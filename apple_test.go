@@ -1,0 +1,242 @@
+package apple_test
+
+import (
+	"testing"
+	"time"
+
+	apple "github.com/apple-nfv/apple"
+)
+
+// deployInternet2 builds a small Internet2 deployment through the public
+// API only.
+func deployInternet2(t *testing.T) (*apple.Framework, []apple.Class) {
+	t.Helper()
+	g := apple.Internet2Topology()
+	fw, err := apple.New(apple.Config{Topology: g, Seed: 11})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	masses := make([]float64, g.NumNodes())
+	for i := range masses {
+		masses[i] = 1
+	}
+	tm, err := apple.NewTrafficMatrix(g.NumNodes())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		for j := 0; j < g.NumNodes(); j++ {
+			if i != j {
+				if err := tm.Set(i, j, 40); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	gen, err := apple.NewChainGenerator(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := apple.BuildClasses(g, tm, gen, fw.Avail(), 1, 25)
+	if err != nil {
+		t.Fatalf("BuildClasses: %v", err)
+	}
+	if err := fw.Deploy(classes); err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	return fw, classes
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := apple.New(apple.Config{}); err == nil {
+		t.Fatal("nil topology should fail")
+	}
+}
+
+func TestDeployAndEnforce(t *testing.T) {
+	fw, classes := deployInternet2(t)
+	if fw.Placement() == nil || fw.Problem() == nil {
+		t.Fatal("placement not recorded")
+	}
+	if fw.TotalInstances() == 0 {
+		t.Fatal("no instances provisioned")
+	}
+	if err := fw.CheckEnforcement(); err != nil {
+		t.Fatalf("CheckEnforcement: %v", err)
+	}
+	// Double deploy is rejected.
+	if err := fw.Deploy(classes); err == nil {
+		t.Fatal("second Deploy should fail")
+	}
+}
+
+func TestForwardAndVisitedNFs(t *testing.T) {
+	fw, classes := deployInternet2(t)
+	c := classes[0]
+	hdr, err := fw.FlowHeader(c.ID, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := fw.Forward(hdr, c.Path[0])
+	if err != nil {
+		t.Fatalf("Forward: %v", err)
+	}
+	if !tr.Delivered {
+		t.Fatal("probe not delivered")
+	}
+	nfs, err := fw.VisitedNFs(tr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(nfs) != len(c.Chain) {
+		t.Fatalf("visited %d NFs, chain has %d", len(nfs), len(c.Chain))
+	}
+	for i := range nfs {
+		if nfs[i] != c.Chain[i] {
+			t.Fatalf("position %d: visited %v, chain %v", i, nfs[i], c.Chain[i])
+		}
+	}
+}
+
+func TestObserveTrafficAndFailover(t *testing.T) {
+	fw, classes := deployInternet2(t)
+	// Planned rates: no loss, no transitions.
+	rates := make(map[apple.ClassID]float64, len(classes))
+	for _, c := range classes {
+		rates[c.ID] = c.RateMbps
+	}
+	loss, n, err := fw.ObserveTraffic(rates)
+	if err != nil {
+		t.Fatalf("ObserveTraffic: %v", err)
+	}
+	if loss != 0 || n != 0 {
+		t.Fatalf("planned load: loss=%v transitions=%d", loss, n)
+	}
+	// Surge the largest class 5×.
+	big := classes[0]
+	rates[big.ID] = big.RateMbps * 5
+	lossBefore, err := fw.LossRate(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := fw.ObserveTraffic(rates); err != nil {
+		t.Fatal(err)
+	}
+	if err := fw.Step(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	lossAfter, err := fw.LossRate(rates)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lossBefore > 0 && lossAfter > lossBefore {
+		t.Fatalf("failover made loss worse: %v -> %v", lossBefore, lossAfter)
+	}
+	if fw.Now() < 6*time.Second {
+		t.Fatal("Step did not advance the clock")
+	}
+	if err := fw.Step(-time.Second); err == nil {
+		t.Fatal("negative step should fail")
+	}
+}
+
+func TestSubclassesOf(t *testing.T) {
+	fw, classes := deployInternet2(t)
+	subs, weights, err := fw.SubclassesOf(classes[0].ID)
+	if err != nil {
+		t.Fatalf("SubclassesOf: %v", err)
+	}
+	if len(subs) == 0 || len(subs) != len(weights) {
+		t.Fatalf("subs=%d weights=%d", len(subs), len(weights))
+	}
+	total := 0.0
+	for _, w := range weights {
+		total += w
+	}
+	if total < 0.99 || total > 1.01 {
+		t.Fatalf("weights sum to %v", total)
+	}
+	if _, _, err := fw.SubclassesOf(9999); err == nil {
+		t.Fatal("unknown class should fail")
+	}
+}
+
+func TestBaselinesAccessibleFromPublicAPI(t *testing.T) {
+	fw, _ := deployInternet2(t)
+	prob := fw.Problem()
+	ing, err := apple.SolveIngress(prob)
+	if err != nil {
+		t.Fatalf("SolveIngress: %v", err)
+	}
+	gr, err := apple.SolveGreedy(prob)
+	if err != nil {
+		t.Fatalf("SolveGreedy: %v", err)
+	}
+	appleCores, err := fw.Placement().TotalResources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingCores, err := ing.TotalResources()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ingCores.Cores <= appleCores.Cores {
+		t.Fatalf("ingress (%d cores) should cost more than APPLE (%d)", ingCores.Cores, appleCores.Cores)
+	}
+	if gr.Objective < fw.Placement().Objective {
+		t.Fatalf("greedy %d beat the LP engine %d", gr.Objective, fw.Placement().Objective)
+	}
+}
+
+func TestCatalogueAndChains(t *testing.T) {
+	if len(apple.Catalogue()) != 4 {
+		t.Fatal("catalogue should have four NFs")
+	}
+	if len(apple.CommonChains()) == 0 {
+		t.Fatal("no common chains")
+	}
+	ip, err := apple.ParseIPv4("10.1.1.0")
+	if err != nil || apple.FormatIPv4(ip) != "10.1.1.0" {
+		t.Fatal("IPv4 helpers broken")
+	}
+}
+
+func TestSubclassDerivationPublic(t *testing.T) {
+	fw, classes := deployInternet2(t)
+	c := classes[0]
+	subs, err := apple.Subclasses(c, fw.Placement().Dist[c.ID])
+	if err != nil {
+		t.Fatalf("Subclasses: %v", err)
+	}
+	if len(subs) == 0 {
+		t.Fatal("no sub-classes derived")
+	}
+}
+
+func TestAddClassOnlinePublicAPI(t *testing.T) {
+	fw, classes := deployInternet2(t)
+	next := apple.Class{
+		ID:       apple.ClassID(len(classes) + 100),
+		Path:     classes[0].Path,
+		Chain:    apple.Chain{apple.Firewall, apple.Proxy},
+		RateMbps: 120,
+	}
+	if err := fw.AddClass(next); err != nil {
+		t.Fatalf("AddClass: %v", err)
+	}
+	if err := fw.CheckEnforcement(); err != nil {
+		t.Fatalf("CheckEnforcement after online add: %v", err)
+	}
+	hdr, err := fw.FlowHeader(next.ID, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := fw.Forward(hdr, next.Path[0])
+	if err != nil || !tr.Delivered {
+		t.Fatalf("online class probe: %+v, %v", tr, err)
+	}
+	nfs, err := fw.VisitedNFs(tr)
+	if err != nil || len(nfs) != 2 || nfs[0] != apple.Firewall || nfs[1] != apple.Proxy {
+		t.Fatalf("online class visited %v, %v", nfs, err)
+	}
+}

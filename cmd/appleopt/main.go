@@ -1,0 +1,118 @@
+// Command appleopt runs the APPLE Optimization Engine on the paper's
+// evaluation topologies and reproduces Table V (average computation time
+// per topology), with per-run placement summaries.
+//
+// Usage:
+//
+//	appleopt -table5                # the full four-topology table
+//	appleopt -topo GEANT -repeats 5 # one topology, more repeats
+//	appleopt -topo UNIV1 -verbose   # include the placement breakdown
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/experiments"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		table5  = flag.Bool("table5", false, "reproduce Table V across all four topologies")
+		topo    = flag.String("topo", "", "single topology: Internet2, GEANT, UNIV1, or AS-3679")
+		repeats = flag.Int("repeats", 3, "solver runs to average per topology")
+		seed    = flag.Int64("seed", 1, "deterministic seed")
+		scale   = flag.Float64("scale", 1, "traffic volume multiplier")
+		verbose = flag.Bool("verbose", false, "print the per-switch placement")
+	)
+	flag.Parse()
+	opts := experiments.Options{Seed: *seed, Scale: *scale}
+
+	var scenarios []*experiments.Scenario
+	switch {
+	case *table5 || *topo == "":
+		all, err := experiments.All(opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "appleopt: %v\n", err)
+			return 1
+		}
+		scenarios = all
+	default:
+		sc, err := scenarioByName(*topo, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "appleopt: %v\n", err)
+			return 1
+		}
+		scenarios = []*experiments.Scenario{sc}
+	}
+
+	rows, err := experiments.TableV(scenarios, *repeats)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "appleopt: %v\n", err)
+		return 1
+	}
+	fmt.Println("Table V — average Optimization Engine computation time")
+	fmt.Printf("%-10s %6s %6s %8s %12s %10s\n", "Topology", "Nodes", "Links", "Classes", "Time", "Instances")
+	for _, r := range rows {
+		fmt.Printf("%-10s %6d %6d %8d %12v %10d\n",
+			r.Topology, r.Nodes, r.Links, r.Classes, r.SolveTime, r.Objective)
+	}
+
+	if *verbose {
+		for _, sc := range scenarios {
+			prob, err := sc.MeanProblem()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "appleopt: %v\n", err)
+				return 1
+			}
+			pl, err := core.NewEngine(core.EngineOptions{}).Solve(prob)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "appleopt: %v\n", err)
+				return 1
+			}
+			fmt.Printf("\n%s placement (%d instances, %s):\n", sc.Name, pl.Objective, pl.Method)
+			switches := pl.Switches()
+			sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+			for _, v := range switches {
+				node, err := sc.Graph.Node(v)
+				if err != nil {
+					continue
+				}
+				fmt.Printf("  %-14s:", node.Name)
+				nfs := pl.Counts[v]
+				keys := make([]string, 0, len(nfs))
+				for nf, q := range nfs {
+					keys = append(keys, fmt.Sprintf(" %v×%d", nf, q))
+				}
+				sort.Strings(keys)
+				for _, k := range keys {
+					fmt.Print(k)
+				}
+				fmt.Println()
+			}
+		}
+	}
+	return 0
+}
+
+func scenarioByName(name string, opts experiments.Options) (*experiments.Scenario, error) {
+	switch name {
+	case "Internet2", "internet2":
+		return experiments.Internet2(opts)
+	case "GEANT", "geant":
+		return experiments.GEANT(opts)
+	case "UNIV1", "univ1":
+		return experiments.UNIV1(opts)
+	case "AS-3679", "as3679", "AS3679":
+		return experiments.AS3679(opts)
+	default:
+		return nil, fmt.Errorf("unknown topology %q", name)
+	}
+}

@@ -1,0 +1,141 @@
+// Command appleproto reproduces APPLE's prototype evaluation (§VIII,
+// Figs 6–9): the ClickOS passive-monitor overload curve, the VM setup
+// time measured through a failover throughput gap, the 20 MB transfer-time
+// CDFs, and the overload detection / fast-rollback timeline. It also
+// prints the Fig 5 ClickOS initiation pipeline.
+//
+// Usage:
+//
+//	appleproto -fig6 -fig7 -fig8 -fig9   # everything (default)
+//	appleproto -fig7 -runs 10            # just the setup-time runs
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/apple-nfv/apple/internal/dataplane"
+	"github.com/apple-nfv/apple/internal/metrics"
+	"github.com/apple-nfv/apple/internal/orchestrator"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		fig6  = flag.Bool("fig6", false, "overload (loss vs rate) curve")
+		fig7  = flag.Bool("fig7", false, "ClickOS VM setup time via failover gap")
+		fig8  = flag.Bool("fig8", false, "20MB transfer-time CDFs per scenario")
+		fig9  = flag.Bool("fig9", false, "overload detection timeline")
+		steps = flag.Bool("steps", false, "print the Fig 5 boot pipeline")
+		runs  = flag.Int("runs", 10, "repetitions for Figs 7-8")
+		seed  = flag.Int64("seed", 1, "deterministic seed")
+	)
+	flag.Parse()
+	if !*fig6 && !*fig7 && !*fig8 && !*fig9 && !*steps {
+		*fig6, *fig7, *fig8, *fig9, *steps = true, true, true, true, true
+	}
+
+	if *steps {
+		fmt.Println("Fig 5 — ClickOS VM initiation pipeline (shares of total boot time)")
+		for _, s := range orchestrator.BootSteps() {
+			fmt.Printf("  step %2d  %4.0f%%  %s\n", s.Seq, s.Share*100, s.Name)
+		}
+		fmt.Println()
+	}
+
+	if *fig6 {
+		fmt.Println("Fig 6 — passive monitor loss rate vs packet receiving rate")
+		rates := []float64{1000, 2000, 4000, 6000, 8000, 10000, 11000, 12000, 13000, 16000, 20000, 28000}
+		points, err := dataplane.OverloadCurve(rates, 2*time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "appleproto: %v\n", err)
+			return 1
+		}
+		fmt.Printf("%10s %10s\n", "rate(pps)", "loss")
+		for _, p := range points {
+			fmt.Printf("%10.0f %9.1f%%\n", p.RatePPS, p.LossRate*100)
+		}
+		fmt.Println()
+	}
+
+	if *fig7 {
+		fmt.Println("Fig 7 — throughput gap during naive failover ≈ orchestrated boot time")
+		var gaps, boots []float64
+		for r := 0; r < *runs; r++ {
+			res, err := dataplane.SetupTimeExperiment(5000, 2*time.Second, 10*time.Second, *seed+int64(r))
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "appleproto: %v\n", err)
+				return 1
+			}
+			gaps = append(gaps, res.Gap.Seconds())
+			boots = append(boots, res.BootTime.Seconds())
+			fmt.Printf("  run %2d: gap %5.2fs (actual boot %5.2fs)\n", r+1, res.Gap.Seconds(), res.BootTime.Seconds())
+		}
+		gs, err := metrics.Summarize(gaps)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "appleproto: %v\n", err)
+			return 1
+		}
+		bs, err := metrics.Summarize(boots)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "appleproto: %v\n", err)
+			return 1
+		}
+		fmt.Printf("  gap: min %.2fs max %.2fs mean %.2fs; boot: min %.2fs max %.2fs mean %.2fs\n\n",
+			gs.Min, gs.Max, gs.Mean, bs.Min, bs.Max, bs.Mean)
+	}
+
+	if *fig8 {
+		fmt.Println("Fig 8 — 20MB file transfer time distribution per failover strategy")
+		scenarios := []dataplane.TransferScenario{
+			dataplane.ScenarioNoFailover,
+			dataplane.ScenarioWaitFiveSeconds,
+			dataplane.ScenarioReconfigure,
+			dataplane.ScenarioNaive,
+		}
+		for _, sc := range scenarios {
+			times, err := dataplane.TransferTimes(sc, dataplane.TransferConfig{Runs: *runs, Seed: *seed})
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "appleproto: %v\n", err)
+				return 1
+			}
+			cdf, err := metrics.NewCDF(times)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "appleproto: %v\n", err)
+				return 1
+			}
+			p50, err := cdf.Quantile(0.5)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "appleproto: %v\n", err)
+				return 1
+			}
+			p90, err := cdf.Quantile(0.9)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "appleproto: %v\n", err)
+				return 1
+			}
+			fmt.Printf("  %-14s p50 %6.3fs  p90 %6.3fs  (%d runs)\n", sc, p50, p90, cdf.N())
+		}
+		fmt.Println()
+	}
+
+	if *fig9 {
+		fmt.Println("Fig 9 — overload detection and rollback timeline (1→10→1 Kpps)")
+		res, err := dataplane.DetectionExperiment(1000, 10000, 3*time.Second, 8*time.Second, 12*time.Second)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "appleproto: %v\n", err)
+			return 1
+		}
+		for _, e := range res.Events {
+			fmt.Printf("  t=%6.2fs  %s\n", e.At.Seconds(), e.What)
+		}
+		fmt.Printf("  total packet loss: %.2f%%\n", res.TotalLoss*100)
+		fmt.Println(res.MonARate.ASCIIPlot(72, 8))
+	}
+	return 0
+}

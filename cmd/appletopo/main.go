@@ -1,0 +1,110 @@
+// Command appletopo inspects the built-in evaluation topologies and their
+// synthetic traffic: node/link counts, diameters, degree distributions,
+// and traffic-series statistics — a quick way to sanity-check the
+// substrates behind the experiments.
+//
+// Usage:
+//
+//	appletopo                  # summary of all four topologies
+//	appletopo -topo GEANT      # one topology in detail
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"github.com/apple-nfv/apple/internal/experiments"
+	"github.com/apple-nfv/apple/internal/topology"
+	"github.com/apple-nfv/apple/internal/traffic"
+)
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		topo = flag.String("topo", "", "detail one topology: Internet2, GEANT, UNIV1, AS-3679")
+		seed = flag.Int64("seed", 1, "traffic seed")
+	)
+	flag.Parse()
+
+	if *topo == "" {
+		fmt.Printf("%-10s %6s %6s %9s %7s\n", "Topology", "Nodes", "Links", "Diameter", "MaxDeg")
+		for _, g := range topology.All() {
+			d, err := g.Diameter()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "appletopo: %v\n", err)
+				return 1
+			}
+			maxDeg := 0
+			for _, n := range g.Nodes() {
+				deg, err := g.Degree(n.ID)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "appletopo: %v\n", err)
+					return 1
+				}
+				if deg > maxDeg {
+					maxDeg = deg
+				}
+			}
+			fmt.Printf("%-10s %6d %6d %9d %7d\n", g.Name(), g.NumNodes(), g.NumLinks(), d, maxDeg)
+		}
+		return 0
+	}
+
+	g, err := topology.ByName(*topo)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "appletopo: %v\n", err)
+		return 1
+	}
+	fmt.Printf("%s: %d nodes, %d links\n", g.Name(), g.NumNodes(), g.NumLinks())
+	nodes := g.Nodes()
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i].ID < nodes[j].ID })
+	for _, n := range nodes {
+		nbrs, err := g.Neighbors(n.ID)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "appletopo: %v\n", err)
+			return 1
+		}
+		fmt.Printf("  %2d %-14s (%s) degree %d\n", n.ID, n.Name, n.Kind, len(nbrs))
+	}
+
+	sc, err := scenarioFor(g.Name(), experiments.Options{Seed: *seed, Snapshots: 96})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "appletopo: %v\n", err)
+		return 1
+	}
+	mean, err := traffic.Mean(sc.Series)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "appletopo: %v\n", err)
+		return 1
+	}
+	rv, err := traffic.RelativeVariance(sc.Series)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "appletopo: %v\n", err)
+		return 1
+	}
+	i, j, peak := mean.PeakPair()
+	fmt.Printf("traffic: %d snapshots, mean total %.0f Mbps, relative variance %.4f\n",
+		len(sc.Series), mean.Total(), rv)
+	fmt.Printf("peak OD pair: %d -> %d at %.1f Mbps\n", i, j, peak)
+	return 0
+}
+
+func scenarioFor(name string, opts experiments.Options) (*experiments.Scenario, error) {
+	switch name {
+	case "Internet2":
+		return experiments.Internet2(opts)
+	case "GEANT":
+		return experiments.GEANT(opts)
+	case "UNIV1":
+		return experiments.UNIV1(opts)
+	case "AS-3679":
+		return experiments.AS3679(opts)
+	default:
+		return nil, fmt.Errorf("no scenario for %q", name)
+	}
+}

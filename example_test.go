@@ -1,0 +1,88 @@
+package apple_test
+
+import (
+	"fmt"
+
+	apple "github.com/apple-nfv/apple"
+)
+
+// Example deploys one policy chain on a three-switch line and probes it —
+// the smallest end-to-end use of the framework.
+func Example() {
+	g := apple.NewTopology("example")
+	a := g.AddNode("a", apple.KindBackbone)
+	b := g.AddNode("b", apple.KindBackbone)
+	c := g.AddNode("c", apple.KindBackbone)
+	if err := g.AddLink(a, b, 10_000, 1); err != nil {
+		fmt.Println(err)
+		return
+	}
+	if err := g.AddLink(b, c, 10_000, 1); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	fw, err := apple.New(apple.Config{Topology: g, Seed: 1})
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	classes := []apple.Class{{
+		ID:       0,
+		Path:     []apple.NodeID{a, b, c},
+		Chain:    apple.Chain{apple.Firewall, apple.IDS},
+		RateMbps: 300,
+	}}
+	if err := fw.Deploy(classes); err != nil {
+		fmt.Println(err)
+		return
+	}
+
+	hdr, err := fw.FlowHeader(0, 1)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	tr, err := fw.Forward(hdr, a)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	nfs, err := fw.VisitedNFs(tr)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	fmt.Printf("delivered=%v visited=%v instances=%d\n",
+		tr.Delivered, nfs, fw.TotalInstances())
+	// Output:
+	// delivered=true visited=[firewall ids] instances=2
+}
+
+// ExampleSubclasses shows how a fractional placement distribution becomes
+// concrete per-flow assignments (§V-A).
+func ExampleSubclasses() {
+	class := apple.Class{
+		ID:    0,
+		Path:  []apple.NodeID{0, 1, 2},
+		Chain: apple.Chain{apple.Firewall, apple.IDS},
+	}
+	// 60% of the firewall work happens at the first hop, 40% at the
+	// second; all IDS work at the second.
+	dist := [][]float64{
+		{0.6, 0},
+		{0.4, 1},
+		{0, 0},
+	}
+	subs, err := apple.Subclasses(class, dist)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	for _, s := range subs {
+		fmt.Printf("portion=%.1f hops=%v\n", s.Portion, s.Hops)
+	}
+	// Output:
+	// portion=0.6 hops=[0 1]
+	// portion=0.4 hops=[1 1]
+}

@@ -1,0 +1,92 @@
+// Enterprise: a day on the GEANT pan-European network. The Optimization
+// Engine re-plans every few hours on the predicted (window-mean) demand —
+// the paper's large-time-scale adjustment — while fast failover covers
+// what the plan did not see. The example prints, per window, how many
+// instances the plan needed and how both loss and hardware track the
+// diurnal wave.
+package main
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	apple "github.com/apple-nfv/apple"
+	"github.com/apple-nfv/apple/internal/experiments"
+	"github.com/apple-nfv/apple/internal/traffic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "enterprise: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A 48-hour GEANT series (hourly snapshots) from the experiments
+	// scenario builder.
+	sc, err := experiments.GEANT(experiments.Options{Seed: 4, Snapshots: 48})
+	if err != nil {
+		return err
+	}
+	g := sc.Graph
+	fmt.Printf("GEANT: %d nodes, %d links; replaying %d hourly snapshots\n",
+		g.NumNodes(), g.NumLinks(), len(sc.Series))
+
+	const window = 6 // re-plan every 6 hours
+	gen, err := apple.NewChainGenerator(sc.Seed, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%5s %9s %10s %9s %10s\n", "hours", "instances", "cores", "loss", "transitions")
+	for start := 0; start < len(sc.Series); start += window {
+		end := start + window
+		if end > len(sc.Series) {
+			end = len(sc.Series)
+		}
+		mean, err := traffic.Mean(sc.Series[start:end])
+		if err != nil {
+			return err
+		}
+		// Fresh deployment per window: the paper's periodic global
+		// optimization with proactive instance installation.
+		fw, err := apple.New(apple.Config{Topology: g, Seed: sc.Seed})
+		if err != nil {
+			return err
+		}
+		classes, err := apple.BuildClasses(g, mean, gen, fw.Avail(), 1, 60)
+		if err != nil {
+			return err
+		}
+		if err := fw.Deploy(classes); err != nil {
+			return err
+		}
+		// Replay the window hour by hour; fast failover handles the
+		// intra-window dynamics.
+		var lossSum float64
+		totalTransitions := 0
+		for t := start; t < end; t++ {
+			rates := make(map[apple.ClassID]float64, len(classes))
+			for _, c := range classes {
+				rates[c.ID] = sc.Series[t].At(int(c.Path[0]), int(c.Path[len(c.Path)-1]))
+			}
+			loss, n, err := fw.ObserveTraffic(rates)
+			if err != nil {
+				return err
+			}
+			lossSum += loss
+			totalTransitions += n
+			if err := fw.Step(10 * time.Second); err != nil {
+				return err
+			}
+		}
+		fmt.Printf("%2d-%2d %9d %10d %8.3f%% %10d\n",
+			start, end, fw.Placement().Objective, fw.UsedResources().Cores,
+			100*lossSum/float64(end-start), totalTransitions)
+	}
+	fmt.Println("\nEach window's plan follows the diurnal wave (fewer instances at")
+	fmt.Println("night, more at the afternoon peak); fast failover keeps loss low")
+	fmt.Println("inside every window.")
+	return nil
+}

@@ -1,0 +1,96 @@
+// Policies: the full §IV-A pipeline. Instead of hand-building classes,
+// operators write header-space policy rules ("http traffic → firewall →
+// IDS → proxy"); atomic predicates computed over a BDD engine carve the
+// traffic into equivalence classes, each with the right chain and its
+// fair share of every OD pair's demand. The classes then flow through the
+// regular optimize → install → enforce pipeline.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	apple "github.com/apple-nfv/apple"
+	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/headerspace"
+	"github.com/apple-nfv/apple/internal/traffic"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "policies: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	g := apple.Internet2Topology()
+	sp := headerspace.NewSpace()
+
+	// Three operator policies, ACL-ordered. Note they overlap: internal
+	// web traffic matches both the first and second rule; atomic
+	// predicates split it out and first-match assigns the chain.
+	web, err := sp.Exact(headerspace.FieldDstPort, 80)
+	if err != nil {
+		return err
+	}
+	tls, err := sp.Exact(headerspace.FieldDstPort, 443)
+	if err != nil {
+		return err
+	}
+	internal, err := sp.Prefix(headerspace.FieldSrcIP, 10<<24, 8)
+	if err != nil {
+		return err
+	}
+	rules := []core.PolicyRule{
+		{Name: "http", Predicate: web.Or(tls), Chain: apple.Chain{apple.Firewall, apple.IDS, apple.Proxy}},
+		{Name: "internal-egress", Predicate: internal, Chain: apple.Chain{apple.NAT, apple.Firewall}},
+	}
+
+	// Uniform demand between all pairs.
+	tm, err := traffic.NewMatrix(g.NumNodes())
+	if err != nil {
+		return err
+	}
+	for i := 0; i < g.NumNodes(); i++ {
+		for j := 0; j < g.NumNodes(); j++ {
+			if i != j {
+				if err := tm.Set(i, j, 60); err != nil {
+					return err
+				}
+			}
+		}
+	}
+
+	fw, err := apple.New(apple.Config{Topology: g, Seed: 9})
+	if err != nil {
+		return err
+	}
+	prob, err := core.BuildProblemFromPolicies(g, tm, sp, rules, fw.Avail(), core.ClassifyOptions{
+		MinRateMbps: 0.001,
+		MaxClasses:  40,
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Printf("atomic predicates turned %d policy rules over %d OD pairs into %d classes\n",
+		len(rules), g.NumNodes()*(g.NumNodes()-1), len(prob.Classes))
+	byChain := map[string]int{}
+	for _, c := range prob.Classes {
+		byChain[c.Chain.String()]++
+	}
+	for chain, n := range byChain {
+		fmt.Printf("  %3d classes → %s\n", n, chain)
+	}
+
+	if err := fw.Deploy(prob.Classes); err != nil {
+		return err
+	}
+	fmt.Printf("placed %d instances (%d cores) in %v\n",
+		fw.Placement().Objective, fw.UsedResources().Cores, fw.Placement().SolveTime.Round(0))
+	if err := fw.CheckEnforcement(); err != nil {
+		return err
+	}
+	fmt.Println("every class enforced along its own routing path ✓")
+	return nil
+}

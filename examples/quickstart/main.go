@@ -1,0 +1,97 @@
+// Quickstart: build a small network, declare one policy chain, let APPLE
+// place the VNFs, and watch a packet get steered through exactly that
+// chain — without ever leaving its routing path.
+package main
+
+import (
+	"fmt"
+	"os"
+
+	apple "github.com/apple-nfv/apple"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintf(os.Stderr, "quickstart: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// A 4-switch line: ingress -> a -> b -> egress.
+	g := apple.NewTopology("quickstart")
+	var sw []apple.NodeID
+	names := []string{"ingress", "a", "b", "egress"}
+	for _, n := range names {
+		sw = append(sw, g.AddNode(n, apple.KindBackbone))
+	}
+	for i := 1; i < len(sw); i++ {
+		if err := g.AddLink(sw[i-1], sw[i], 10_000, 1); err != nil {
+			return err
+		}
+	}
+
+	fw, err := apple.New(apple.Config{Topology: g, Seed: 1})
+	if err != nil {
+		return err
+	}
+
+	// One traffic class: 450 Mbps from ingress to egress, which must
+	// traverse firewall -> IDS -> proxy (the paper's intro example).
+	classes := []apple.Class{{
+		ID:       0,
+		Path:     sw,
+		Chain:    apple.Chain{apple.Firewall, apple.IDS, apple.Proxy},
+		RateMbps: 450,
+	}}
+	if err := fw.Deploy(classes); err != nil {
+		return err
+	}
+
+	pl := fw.Placement()
+	fmt.Printf("Optimization Engine: %d VNF instances placed in %v (%s)\n",
+		pl.Objective, pl.SolveTime.Round(0), pl.Method)
+	used := fw.UsedResources()
+	fmt.Printf("hardware in use: %d cores, %d MB\n", used.Cores, used.MemoryMB)
+
+	// Send a probe packet and inspect its journey.
+	hdr, err := fw.FlowHeader(0, 7)
+	if err != nil {
+		return err
+	}
+	tr, err := fw.Forward(hdr, sw[0])
+	if err != nil {
+		return err
+	}
+	nfs, err := fw.VisitedNFs(tr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("probe %s -> %s delivered=%v\n",
+		apple.FormatIPv4(hdr.SrcIP), apple.FormatIPv4(hdr.DstIP), tr.Delivered)
+	fmt.Print("visited:")
+	for _, nf := range nfs {
+		fmt.Printf(" %v", nf)
+	}
+	fmt.Println()
+	fmt.Print("switch path:")
+	seen := apple.NodeID(-1)
+	for _, v := range tr.Switches {
+		if v != seen {
+			n, err := g.Node(v)
+			if err != nil {
+				return err
+			}
+			fmt.Printf(" %s", n.Name)
+			seen = v
+		}
+	}
+	fmt.Println("  (identical to the routing path: interference-free)")
+
+	// And verify the property for every class systematically.
+	if err := fw.CheckEnforcement(); err != nil {
+		return fmt.Errorf("enforcement check failed: %w", err)
+	}
+	fmt.Println("policy enforcement verified for all classes ✓")
+	return nil
+}

@@ -1,0 +1,3 @@
+module github.com/apple-nfv/apple
+
+go 1.22

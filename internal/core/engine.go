@@ -1,0 +1,480 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/apple-nfv/apple/internal/lp"
+	"github.com/apple-nfv/apple/internal/policy"
+	"github.com/apple-nfv/apple/internal/topology"
+)
+
+// EngineOptions tunes the LP-based Optimization Engine.
+type EngineOptions struct {
+	// Exact switches to branch-and-bound instead of LP-relaxation
+	// rounding. Only practical for small instances; the paper (and this
+	// engine by default) uses the relaxation.
+	Exact bool
+	// ExplicitSigma models the cumulative variables σ of Eq. (2)
+	// explicitly instead of eliminating them into prefix sums of d. The
+	// solutions are identical; the model is larger and slower — kept for
+	// the ablation benchmark.
+	ExplicitSigma bool
+	// MaxRepairRounds bounds the round-and-repair loop (default 25).
+	MaxRepairRounds int
+}
+
+// Engine is the LP-relaxation Optimization Engine of §IV-D.
+type Engine struct {
+	opts EngineOptions
+}
+
+// NewEngine creates an engine.
+func NewEngine(opts EngineOptions) *Engine {
+	if opts.MaxRepairRounds <= 0 {
+		opts.MaxRepairRounds = 25
+	}
+	return &Engine{opts: opts}
+}
+
+// qKey identifies a q_n^v variable.
+type qKey struct {
+	v  topology.NodeID
+	nf policy.NF
+}
+
+// model carries the LP model plus the variable index maps.
+type model struct {
+	m *lp.Model
+	// dVar[classIdx][hopIdx][chainIdx]; -1 where the hop cannot host.
+	dVar [][][]lp.VarID
+	qVar map[qKey]lp.VarID
+}
+
+// Solve runs the Optimization Engine on the problem and returns a
+// placement satisfying Eqs. (3)–(8) with objective (1) minimized
+// approximately (LP relaxation + rounding) or exactly (Exact option).
+func (e *Engine) Solve(prob *Problem) (*Placement, error) {
+	start := time.Now()
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	md, err := buildModel(prob, nil, e.opts.ExplicitSigma)
+	if err != nil {
+		return nil, err
+	}
+	var sol lp.Solution
+	if e.opts.Exact {
+		sol, err = lp.SolveMILP(md.m, lp.MILPOptions{})
+	} else {
+		sol, err = lp.Solve(md.m)
+	}
+	if err != nil {
+		return nil, fmt.Errorf("core: optimization failed: %w", err)
+	}
+	iters := sol.Iterations
+	var counts map[topology.NodeID]map[policy.NF]int
+	if e.opts.Exact {
+		counts = extractCounts(md, &sol, false)
+	} else {
+		// Round q up, then repair any resource violation by capping an
+		// offender and re-solving (a cutting-plane-style loop). Capping
+		// the wrong NF can make the LP infeasible, so candidates are
+		// tried largest-footprint first with backtracking.
+		caps := make(map[qKey]float64)
+		for round := 0; ; round++ {
+			counts = extractCounts(md, &sol, true)
+			violSwitch, ok := findViolatedSwitch(prob, counts)
+			if !ok {
+				break
+			}
+			if round >= e.opts.MaxRepairRounds {
+				return nil, fmt.Errorf("core: could not repair resource violation at switch %d after %d rounds",
+					violSwitch, round)
+			}
+			progressed := false
+			for _, key := range repairCandidates(violSwitch, counts) {
+				newCap := float64(counts[key.v][key.nf] - 1)
+				if newCap < 0 {
+					continue
+				}
+				prevCap, hadCap := caps[key]
+				caps[key] = newCap
+				md2, err := buildModel(prob, caps, e.opts.ExplicitSigma)
+				if err != nil {
+					return nil, err
+				}
+				sol2, err := lp.Solve(md2.m)
+				if err != nil {
+					if errors.Is(err, lp.ErrInfeasible) {
+						// Undo and try the next candidate.
+						if hadCap {
+							caps[key] = prevCap
+						} else {
+							delete(caps, key)
+						}
+						continue
+					}
+					return nil, fmt.Errorf("core: repair re-solve failed: %w", err)
+				}
+				md, sol = md2, sol2
+				iters += sol.Iterations
+				progressed = true
+				break
+			}
+			if !progressed {
+				return nil, fmt.Errorf("core: irreparable resource violation at switch %d", violSwitch)
+			}
+		}
+	}
+	dist := extractDist(prob, md, &sol)
+	pl := &Placement{
+		Counts:     counts,
+		Dist:       dist,
+		SolveTime:  time.Since(start),
+		Iterations: iters,
+		Method:     "lp-relaxation",
+	}
+	if e.opts.Exact {
+		pl.Method = "branch-and-bound"
+	}
+	pl.Objective = pl.TotalInstances()
+	return pl, nil
+}
+
+// buildModel constructs the LP/ILP of §IV-D — σ-eliminated by default,
+// with explicit σ variables when explicitSigma is set. caps optionally
+// adds upper bounds on selected q variables (used by the repair loop).
+func buildModel(prob *Problem, caps map[qKey]float64, explicitSigma bool) (*model, error) {
+	m := lp.NewModel("apple-placement")
+	md := &model{m: m, qVar: make(map[qKey]lp.VarID)}
+	md.dVar = make([][][]lp.VarID, len(prob.Classes))
+
+	// Which (v, nf) pairs are needed at all.
+	needed := make(map[qKey]bool)
+	for ci, c := range prob.Classes {
+		hops := prob.eligibleHops(c)
+		if len(hops) == 0 {
+			return nil, fmt.Errorf("core: class %d has no APPLE host on its path", c.ID)
+		}
+		md.dVar[ci] = make([][]lp.VarID, len(c.Path))
+		for i := range c.Path {
+			md.dVar[ci][i] = make([]lp.VarID, len(c.Chain))
+			for j := range c.Chain {
+				md.dVar[ci][i][j] = -1
+			}
+		}
+		for _, i := range hops {
+			for j, nf := range c.Chain {
+				name := fmt.Sprintf("d[%d][%d][%d]", c.ID, i, j)
+				// Upper bound 1 is implied by Eq. (4) + non-negativity;
+				// leaving it off keeps the tableau smaller.
+				v, err := m.AddVariable(name, 0, math.Inf(1), 0)
+				if err != nil {
+					return nil, fmt.Errorf("core: %w", err)
+				}
+				md.dVar[ci][i][j] = v
+				needed[qKey{v: c.Path[i], nf: nf}] = true
+			}
+		}
+	}
+	// Consolidation bias: the pure Σq objective is degenerate — any split
+	// of a class's load across its path costs the same fractional q, so
+	// the LP may scatter load, and integer rounding then opens one
+	// instance per scattered shard. A tiny per-(v,nf) perturbation makes
+	// switches with more multiplexable demand (total rate of classes
+	// passing v and needing nf) strictly cheaper, so degenerate optima
+	// consolidate. The perturbation is far below 1, so the instance total
+	// is still minimized first.
+	potential := make(map[qKey]float64)
+	maxPotential := 0.0
+	for _, c := range prob.Classes {
+		for _, i := range prob.eligibleHops(c) {
+			for _, nf := range c.Chain {
+				k := qKey{v: c.Path[i], nf: nf}
+				potential[k] += c.RateMbps
+				if potential[k] > maxPotential {
+					maxPotential = potential[k]
+				}
+			}
+		}
+	}
+	for key := range needed {
+		name := fmt.Sprintf("q[%d][%v]", key.v, key.nf)
+		hi := math.Inf(1)
+		if c, ok := caps[key]; ok {
+			hi = c
+		}
+		obj := 1.0 // Eq. (1)
+		if maxPotential > 0 {
+			obj += 1e-3 * (1 - potential[key]/maxPotential)
+		}
+		obj += 1e-7 * float64(key.v) // deterministic tie break
+		v, err := m.AddVariable(name, 0, hi, obj)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if err := m.SetInteger(v); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		md.qVar[key] = v
+	}
+
+	for ci, c := range prob.Classes {
+		hops := prob.eligibleHops(c)
+		if explicitSigma {
+			if err := addSigmaConstraints(m, md, ci, c, hops); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		// Eq. (4): every chain position processes 100% of the class.
+		for j := range c.Chain {
+			terms := make([]lp.Term, 0, len(hops))
+			for _, i := range hops {
+				terms = append(terms, lp.Term{Var: md.dVar[ci][i][j], Coef: 1})
+			}
+			if err := m.AddConstraint(fmt.Sprintf("full[%d][%d]", c.ID, j), lp.EQ, 1, terms...); err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+		}
+		// Eq. (3): σ_{j-1}^i ≥ σ_j^i at every eligible hop, with σ
+		// eliminated into prefix sums of d.
+		for j := 1; j < len(c.Chain); j++ {
+			for hi, i := range hops {
+				terms := make([]lp.Term, 0, 2*(hi+1))
+				for _, k := range hops[:hi+1] {
+					terms = append(terms,
+						lp.Term{Var: md.dVar[ci][k][j-1], Coef: 1},
+						lp.Term{Var: md.dVar[ci][k][j], Coef: -1})
+				}
+				name := fmt.Sprintf("order[%d][%d][%d]", c.ID, i, j)
+				if err := m.AddConstraint(name, lp.GE, 0, terms...); err != nil {
+					return nil, fmt.Errorf("core: %w", err)
+				}
+			}
+		}
+	}
+
+	// Eq. (5): per-(v,nf) capacity couples d to q.
+	type loadTerm struct {
+		d    lp.VarID
+		rate float64
+	}
+	loads := make(map[qKey][]loadTerm)
+	for ci, c := range prob.Classes {
+		for _, i := range prob.eligibleHops(c) {
+			for j, nf := range c.Chain {
+				key := qKey{v: c.Path[i], nf: nf}
+				loads[key] = append(loads[key], loadTerm{d: md.dVar[ci][i][j], rate: c.RateMbps})
+			}
+		}
+	}
+	for key, ts := range loads {
+		spec, err := policy.SpecOf(key.nf)
+		if err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		terms := make([]lp.Term, 0, len(ts)+1)
+		for _, t := range ts {
+			terms = append(terms, lp.Term{Var: t.d, Coef: t.rate})
+		}
+		terms = append(terms, lp.Term{Var: md.qVar[key], Coef: -spec.CapacityMbps})
+		name := fmt.Sprintf("cap[%d][%v]", key.v, key.nf)
+		if err := m.AddConstraint(name, lp.LE, 0, terms...); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
+	// Eq. (6): per-switch resources, one row per resource dimension.
+	byswitch := make(map[topology.NodeID][]qKey)
+	for key := range md.qVar {
+		byswitchAppend(byswitch, key)
+	}
+	for v, keys := range byswitch {
+		avail := prob.Avail[v]
+		coreTerms := make([]lp.Term, 0, len(keys))
+		memTerms := make([]lp.Term, 0, len(keys))
+		for _, key := range keys {
+			spec, err := policy.SpecOf(key.nf)
+			if err != nil {
+				return nil, fmt.Errorf("core: %w", err)
+			}
+			coreTerms = append(coreTerms, lp.Term{Var: md.qVar[key], Coef: float64(spec.Cores)})
+			memTerms = append(memTerms, lp.Term{Var: md.qVar[key], Coef: float64(spec.MemoryMB)})
+		}
+		if err := m.AddConstraint(fmt.Sprintf("cores[%d]", v), lp.LE, float64(avail.Cores), coreTerms...); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+		if err := m.AddConstraint(fmt.Sprintf("mem[%d]", v), lp.LE, float64(avail.MemoryMB), memTerms...); err != nil {
+			return nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	return md, nil
+}
+
+func byswitchAppend(m map[topology.NodeID][]qKey, key qKey) {
+	m[key.v] = append(m[key.v], key)
+}
+
+// extractCounts reads q values; when roundUp is set, fractional LP values
+// are ceiled (the relaxation rounding step).
+func extractCounts(md *model, sol *lp.Solution, roundUp bool) map[topology.NodeID]map[policy.NF]int {
+	counts := make(map[topology.NodeID]map[policy.NF]int)
+	for key, v := range md.qVar {
+		x := sol.Value(v)
+		var q int
+		if roundUp {
+			q = int(math.Ceil(x - 1e-6))
+		} else {
+			q = int(math.Round(x))
+		}
+		if q <= 0 {
+			continue
+		}
+		if counts[key.v] == nil {
+			counts[key.v] = make(map[policy.NF]int)
+		}
+		counts[key.v][key.nf] = q
+	}
+	return counts
+}
+
+// extractDist reads the d values back into per-class matrices, cleaning
+// numerical noise so each chain position sums to exactly 1.
+func extractDist(prob *Problem, md *model, sol *lp.Solution) map[ClassID][][]float64 {
+	out := make(map[ClassID][][]float64, len(prob.Classes))
+	for ci, c := range prob.Classes {
+		dist := make([][]float64, len(c.Path))
+		for i := range c.Path {
+			dist[i] = make([]float64, len(c.Chain))
+			for j := range c.Chain {
+				if v := md.dVar[ci][i][j]; v >= 0 {
+					x := sol.Value(v)
+					if x < 0 {
+						x = 0
+					}
+					dist[i][j] = x
+				}
+			}
+		}
+		// Renormalize each chain position to sum exactly 1.
+		for j := range c.Chain {
+			total := 0.0
+			for i := range c.Path {
+				total += dist[i][j]
+			}
+			if total > 0 {
+				for i := range c.Path {
+					dist[i][j] /= total
+				}
+			}
+		}
+		out[c.ID] = dist
+	}
+	return out
+}
+
+// findViolatedSwitch returns the lowest-ID switch whose rounded instance
+// counts exceed its resources (Eq. 6).
+func findViolatedSwitch(prob *Problem, counts map[topology.NodeID]map[policy.NF]int) (topology.NodeID, bool) {
+	switches := make([]topology.NodeID, 0, len(counts))
+	for v := range counts {
+		switches = append(switches, v)
+	}
+	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+	for _, v := range switches {
+		var used policy.Resources
+		for nf, q := range counts[v] {
+			spec, err := policy.SpecOf(nf)
+			if err != nil {
+				continue
+			}
+			for k := 0; k < q; k++ {
+				used = used.Add(spec.Resources())
+			}
+		}
+		if avail, ok := prob.Avail[v]; ok && !used.Fits(avail) {
+			return v, true
+		}
+	}
+	return 0, false
+}
+
+// repairCandidates orders the (v,nf) pairs at a violated switch for
+// capping: largest core footprint first (freeing the most pressure per
+// capped instance), NF order as the deterministic tie break.
+func repairCandidates(v topology.NodeID, counts map[topology.NodeID]map[policy.NF]int) []qKey {
+	out := make([]qKey, 0, len(counts[v]))
+	for nf, q := range counts[v] {
+		if q > 0 {
+			out = append(out, qKey{v: v, nf: nf})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		si, erri := policy.SpecOf(out[i].nf)
+		sj, errj := policy.SpecOf(out[j].nf)
+		if erri != nil || errj != nil {
+			return out[i].nf < out[j].nf
+		}
+		if si.Cores != sj.Cores {
+			return si.Cores > sj.Cores
+		}
+		return out[i].nf < out[j].nf
+	})
+	return out
+}
+
+// addSigmaConstraints models Eqs. (2)-(4) with explicit cumulative
+// variables, exactly as the paper writes them: σ_{h,j}^i = σ_{h,j}^{i-1} +
+// d_{h,j}^i (Eq. 2), σ_{h,j-1}^i ≥ σ_{h,j}^i (Eq. 3), σ at the last hop
+// equals 1 (Eq. 4).
+func addSigmaConstraints(m *lp.Model, md *model, ci int, c Class, hops []int) error {
+	nPos := len(c.Chain)
+	sigma := make([][]lp.VarID, len(hops))
+	for hi := range hops {
+		sigma[hi] = make([]lp.VarID, nPos)
+		for j := 0; j < nPos; j++ {
+			v, err := m.AddVariable(fmt.Sprintf("sigma[%d][%d][%d]", c.ID, hops[hi], j), 0, 1, 0)
+			if err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+			sigma[hi][j] = v
+		}
+	}
+	for j := 0; j < nPos; j++ {
+		for hi, i := range hops {
+			// Eq. (2): σ^i = σ^{i-1} + d^i.
+			terms := []lp.Term{
+				{Var: sigma[hi][j], Coef: 1},
+				{Var: md.dVar[ci][i][j], Coef: -1},
+			}
+			if hi > 0 {
+				terms = append(terms, lp.Term{Var: sigma[hi-1][j], Coef: -1})
+			}
+			name := fmt.Sprintf("cum[%d][%d][%d]", c.ID, i, j)
+			if err := m.AddConstraint(name, lp.EQ, 0, terms...); err != nil {
+				return fmt.Errorf("core: %w", err)
+			}
+			// Eq. (3): σ_{j-1} ≥ σ_j.
+			if j > 0 {
+				name := fmt.Sprintf("order[%d][%d][%d]", c.ID, i, j)
+				if err := m.AddConstraint(name, lp.GE, 0,
+					lp.Term{Var: sigma[hi][j-1], Coef: 1},
+					lp.Term{Var: sigma[hi][j], Coef: -1}); err != nil {
+					return fmt.Errorf("core: %w", err)
+				}
+			}
+		}
+		// Eq. (4): fully processed by the last hop.
+		name := fmt.Sprintf("full[%d][%d]", c.ID, j)
+		if err := m.AddConstraint(name, lp.EQ, 1,
+			lp.Term{Var: sigma[len(hops)-1][j], Coef: 1}); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+	}
+	return nil
+}

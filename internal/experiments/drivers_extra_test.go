@@ -1,0 +1,102 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestTableVRepeatsAveraged(t *testing.T) {
+	sc, err := Internet2(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := TableV([]*Scenario{sc}, 2)
+	if err != nil {
+		t.Fatalf("TableV: %v", err)
+	}
+	if len(rows) != 1 || rows[0].SolveTime <= 0 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	// Zero repeats falls back to the default.
+	rows0, err := TableV([]*Scenario{sc}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows0[0].Objective != rows[0].Objective {
+		t.Fatalf("objective unstable across repeat settings: %d vs %d",
+			rows0[0].Objective, rows[0].Objective)
+	}
+}
+
+func TestFig12SnapshotClamping(t *testing.T) {
+	sc, err := Internet2(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Asking for more snapshots than the series holds clamps to the
+	// series length; zero means "all".
+	res, err := Fig12(sc, 10_000, false)
+	if err != nil {
+		t.Fatalf("Fig12: %v", err)
+	}
+	if res.Loss.Len() != len(sc.Series) {
+		t.Fatalf("series length %d, want %d", res.Loss.Len(), len(sc.Series))
+	}
+}
+
+func TestFig12DeterministicAcrossRuns(t *testing.T) {
+	sc, err := Internet2(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Fig12(sc, 24, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Fig12(sc, 24, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanLoss != b.MeanLoss || a.PeakExtraCores != b.PeakExtraCores {
+		t.Fatalf("Fig12 not deterministic: %v/%d vs %v/%d",
+			a.MeanLoss, a.PeakExtraCores, b.MeanLoss, b.PeakExtraCores)
+	}
+}
+
+func TestScenarioSnapshotSeconds(t *testing.T) {
+	wan, err := GEANT(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	dc, err := UNIV1(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// WAN series are hourly matrices replayed at a coarse step so VM
+	// boots complete between snapshots; the UNIV1 trace is true 1 s bins.
+	if wan.SnapshotSeconds <= dc.SnapshotSeconds {
+		t.Fatalf("WAN step %ds should exceed the DC trace step %ds",
+			wan.SnapshotSeconds, dc.SnapshotSeconds)
+	}
+	if dur := time.Duration(dc.SnapshotSeconds) * time.Second; dur != time.Second {
+		t.Fatalf("UNIV1 snapshot duration = %v, want 1s (§IX-A)", dur)
+	}
+}
+
+func TestUNIV1TrafficStaysOffCoreEndpoints(t *testing.T) {
+	sc, err := UNIV1(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cores are nodes 0 and 1 in the UNIV1 builder; no demand may
+	// originate or terminate there.
+	for si, m := range sc.Series {
+		for other := 0; other < m.N(); other++ {
+			for _, core := range []int{0, 1} {
+				if m.At(core, other) != 0 || m.At(other, core) != 0 {
+					t.Fatalf("snapshot %d has demand touching core switch %d", si, core)
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,412 @@
+// Package flowtable models SDN switch flow tables: ternary (TCAM-style)
+// rules with priorities, multi-table pipelines with goto-table semantics
+// (the layout of Table III in the paper), the cross-product fallback for
+// switches without pipelining (§V-B), and the prefix-splitting machinery
+// that realizes fractional sub-class portions as wildcard rules (§V-A,
+// second method).
+package flowtable
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/apple-nfv/apple/internal/headerspace"
+)
+
+// Tag field conventions. The paper uses unused header bits — the 12-bit
+// VLAN ID for the host tag and the 6-bit DS field for the sub-class tag.
+const (
+	// HostTagEmpty means the packet has not been classified yet.
+	HostTagEmpty uint16 = 0
+	// HostTagFin means every required VNF instance has processed the
+	// packet.
+	HostTagFin uint16 = 0xFFF
+	// MaxHostTag is the largest assignable host ID (12-bit VLAN field,
+	// minus the Empty and Fin sentinels).
+	MaxHostTag uint16 = 0xFFE
+	// MaxSubTag is the largest sub-class tag (6-bit DS field).
+	MaxSubTag uint8 = 63
+)
+
+// Packet is the mutable per-packet context a pipeline operates on: the
+// immutable header plus the two APPLE tag fields and switch-local
+// metadata.
+type Packet struct {
+	Hdr     headerspace.Header
+	HostTag uint16 // HostTagEmpty when unset
+	SubTag  uint8
+	InPort  int
+}
+
+// Prefix is an IPv4-style prefix match: the top Len bits of a field equal
+// the top Len bits of Addr.
+type Prefix struct {
+	Addr uint32
+	Len  int
+}
+
+// Contains reports whether v falls in the prefix.
+func (p Prefix) Contains(v uint32) bool {
+	if p.Len <= 0 {
+		return true
+	}
+	if p.Len >= 32 {
+		return p.Addr == v
+	}
+	shift := uint(32 - p.Len)
+	return p.Addr>>shift == v>>shift
+}
+
+// String renders CIDR notation.
+func (p Prefix) String() string {
+	return fmt.Sprintf("%s/%d", headerspace.FormatIPv4(p.Addr), p.Len)
+}
+
+// Match is a ternary match. Nil pointer fields are wildcards. HostTag
+// deliberately distinguishes "wildcard" (nil) from "must be empty"
+// (&HostTagEmpty), which Table III's classification rows rely on.
+type Match struct {
+	HostTag *uint16
+	SubTag  *uint8
+	InPort  *int
+	Src     *Prefix
+	Dst     *Prefix
+	Proto   *uint8
+	SrcPort *uint16
+	DstPort *uint16
+}
+
+// U16 returns a pointer to v, for building matches.
+func U16(v uint16) *uint16 { return &v }
+
+// U8 returns a pointer to v, for building matches.
+func U8(v uint8) *uint8 { return &v }
+
+// IntPtr returns a pointer to v, for building matches.
+func IntPtr(v int) *int { return &v }
+
+// PrefixPtr returns a pointer to p, for building matches.
+func PrefixPtr(p Prefix) *Prefix { return &p }
+
+// Matches reports whether the packet satisfies every non-wildcard field.
+func (m Match) Matches(p Packet) bool {
+	if m.HostTag != nil && *m.HostTag != p.HostTag {
+		return false
+	}
+	if m.SubTag != nil && *m.SubTag != p.SubTag {
+		return false
+	}
+	if m.InPort != nil && *m.InPort != p.InPort {
+		return false
+	}
+	if m.Src != nil && !m.Src.Contains(p.Hdr.SrcIP) {
+		return false
+	}
+	if m.Dst != nil && !m.Dst.Contains(p.Hdr.DstIP) {
+		return false
+	}
+	if m.Proto != nil && *m.Proto != p.Hdr.Proto {
+		return false
+	}
+	if m.SrcPort != nil && *m.SrcPort != p.Hdr.SrcPort {
+		return false
+	}
+	if m.DstPort != nil && *m.DstPort != p.Hdr.DstPort {
+		return false
+	}
+	return true
+}
+
+// Subsumes reports whether every packet matching o also matches m (m is at
+// least as general field-by-field). Used to detect shadowed rules.
+func (m Match) Subsumes(o Match) bool {
+	genU16 := func(a, b *uint16) bool { return a == nil || (b != nil && *a == *b) }
+	genU8 := func(a, b *uint8) bool { return a == nil || (b != nil && *a == *b) }
+	genInt := func(a, b *int) bool { return a == nil || (b != nil && *a == *b) }
+	genPfx := func(a, b *Prefix) bool {
+		if a == nil {
+			return true
+		}
+		if b == nil || b.Len < a.Len {
+			return false
+		}
+		return a.Contains(b.Addr)
+	}
+	return genU16(m.HostTag, o.HostTag) && genU8(m.SubTag, o.SubTag) &&
+		genInt(m.InPort, o.InPort) && genPfx(m.Src, o.Src) && genPfx(m.Dst, o.Dst) &&
+		genU8(m.Proto, o.Proto) && genU16(m.SrcPort, o.SrcPort) && genU16(m.DstPort, o.DstPort)
+}
+
+// ActionType enumerates rule actions.
+type ActionType int
+
+// Rule actions. A rule's action list executes in order; Forward and Drop
+// and GotoTable terminate processing of the current table.
+const (
+	ActForward ActionType = iota + 1 // output to a port
+	ActSetHostTag
+	ActSetSubTag
+	ActGotoTable
+	ActDrop
+)
+
+// String returns the action type name.
+func (a ActionType) String() string {
+	switch a {
+	case ActForward:
+		return "forward"
+	case ActSetHostTag:
+		return "set-host-tag"
+	case ActSetSubTag:
+		return "set-sub-tag"
+	case ActGotoTable:
+		return "goto-table"
+	case ActDrop:
+		return "drop"
+	default:
+		return fmt.Sprintf("ActionType(%d)", int(a))
+	}
+}
+
+// Action is one instruction of a rule.
+type Action struct {
+	Type  ActionType
+	Port  int    // ActForward
+	Tag   uint16 // ActSetHostTag / ActSetSubTag
+	Table int    // ActGotoTable
+}
+
+// Rule is a prioritized TCAM entry. Higher Priority wins; ties resolve to
+// the earlier-installed rule.
+type Rule struct {
+	Name     string
+	Priority int
+	Match    Match
+	Actions  []Action
+}
+
+// Table is one flow table: an ordered rule list, optionally bounded by a
+// TCAM capacity.
+type Table struct {
+	rules []Rule
+	// capacity is the maximum rule count; 0 means unbounded.
+	capacity int
+}
+
+// NewTable returns an empty, unbounded table.
+func NewTable() *Table { return &Table{} }
+
+// NewBoundedTable returns an empty table that rejects installs beyond the
+// given TCAM capacity — the "power-hungry and expensive resource" budget
+// the tagging scheme economizes (§I, §V-B).
+func NewBoundedTable(capacity int) (*Table, error) {
+	if capacity <= 0 {
+		return nil, fmt.Errorf("flowtable: capacity %d must be positive", capacity)
+	}
+	return &Table{capacity: capacity}, nil
+}
+
+// ErrTCAMFull is returned by Install when a bounded table is at capacity.
+var ErrTCAMFull = errors.New("flowtable: TCAM full")
+
+// Install adds a rule, keeping rules sorted by descending priority
+// (stable, so equal priorities keep install order).
+func (t *Table) Install(r Rule) error {
+	if t.capacity > 0 && len(t.rules) >= t.capacity {
+		return fmt.Errorf("%w: %d entries", ErrTCAMFull, t.capacity)
+	}
+	if len(r.Actions) == 0 {
+		return fmt.Errorf("flowtable: rule %q has no actions", r.Name)
+	}
+	for _, a := range r.Actions {
+		switch a.Type {
+		case ActForward, ActSetHostTag, ActSetSubTag, ActGotoTable, ActDrop:
+		default:
+			return fmt.Errorf("flowtable: rule %q has unknown action %v", r.Name, a.Type)
+		}
+		if a.Type == ActSetSubTag && a.Tag > uint16(MaxSubTag) {
+			return fmt.Errorf("flowtable: rule %q sets sub tag %d beyond %d", r.Name, a.Tag, MaxSubTag)
+		}
+		if a.Type == ActSetHostTag && a.Tag > HostTagFin {
+			return fmt.Errorf("flowtable: rule %q sets host tag %d beyond %d", r.Name, a.Tag, HostTagFin)
+		}
+	}
+	idx := sort.Search(len(t.rules), func(i int) bool { return t.rules[i].Priority < r.Priority })
+	t.rules = append(t.rules, Rule{})
+	copy(t.rules[idx+1:], t.rules[idx:])
+	t.rules[idx] = r
+	return nil
+}
+
+// Remove deletes all rules with the given name and reports how many were
+// removed.
+func (t *Table) Remove(name string) int {
+	kept := t.rules[:0]
+	removed := 0
+	for _, r := range t.rules {
+		if r.Name == name {
+			removed++
+			continue
+		}
+		kept = append(kept, r)
+	}
+	t.rules = kept
+	return removed
+}
+
+// Size returns the number of installed rules — the TCAM entry count this
+// table consumes.
+func (t *Table) Size() int { return len(t.rules) }
+
+// Rules returns a copy of the rules in match order.
+func (t *Table) Rules() []Rule {
+	out := make([]Rule, len(t.rules))
+	copy(out, t.rules)
+	return out
+}
+
+// Lookup returns the highest-priority matching rule.
+func (t *Table) Lookup(p Packet) (Rule, bool) {
+	for _, r := range t.rules {
+		if r.Match.Matches(p) {
+			return r, true
+		}
+	}
+	return Rule{}, false
+}
+
+// Disposition is the final outcome of pipeline processing.
+type Disposition int
+
+// Pipeline outcomes.
+const (
+	DispForward Disposition = iota + 1
+	DispDrop
+	DispNoMatch
+)
+
+// String returns the disposition name.
+func (d Disposition) String() string {
+	switch d {
+	case DispForward:
+		return "forward"
+	case DispDrop:
+		return "drop"
+	case DispNoMatch:
+		return "no-match"
+	default:
+		return fmt.Sprintf("Disposition(%d)", int(d))
+	}
+}
+
+// Result is the outcome of processing a packet through a pipeline.
+type Result struct {
+	Disposition Disposition
+	Port        int    // valid when forwarded
+	Rule        string // name of the final matching rule
+}
+
+// Pipeline is an ordered sequence of flow tables with OpenFlow-style
+// goto-table semantics: processing starts at table 0 and only moves to
+// strictly later tables.
+type Pipeline struct {
+	tables []*Table
+}
+
+// NewPipeline creates a pipeline with n empty tables.
+func NewPipeline(n int) (*Pipeline, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("flowtable: pipeline needs ≥1 table, got %d", n)
+	}
+	ts := make([]*Table, n)
+	for i := range ts {
+		ts[i] = NewTable()
+	}
+	return &Pipeline{tables: ts}, nil
+}
+
+// Table returns table i.
+func (pl *Pipeline) Table(i int) (*Table, error) {
+	if i < 0 || i >= len(pl.tables) {
+		return nil, fmt.Errorf("flowtable: table %d out of range [0,%d)", i, len(pl.tables))
+	}
+	return pl.tables[i], nil
+}
+
+// NumTables returns the pipeline length.
+func (pl *Pipeline) NumTables() int { return len(pl.tables) }
+
+// TotalSize returns the total TCAM entries across all tables.
+func (pl *Pipeline) TotalSize() int {
+	n := 0
+	for _, t := range pl.tables {
+		n += t.Size()
+	}
+	return n
+}
+
+// Process runs the packet through the pipeline, applying tag rewrites to
+// the packet in place. It returns the final disposition.
+func (pl *Pipeline) Process(p *Packet) (Result, error) {
+	if p == nil {
+		return Result{}, errors.New("flowtable: nil packet")
+	}
+	ti := 0
+	for {
+		rule, ok := pl.tables[ti].Lookup(*p)
+		if !ok {
+			return Result{Disposition: DispNoMatch}, nil
+		}
+		next := -1
+		for _, a := range rule.Actions {
+			switch a.Type {
+			case ActSetHostTag:
+				p.HostTag = a.Tag
+			case ActSetSubTag:
+				p.SubTag = uint8(a.Tag)
+			case ActForward:
+				return Result{Disposition: DispForward, Port: a.Port, Rule: rule.Name}, nil
+			case ActDrop:
+				return Result{Disposition: DispDrop, Rule: rule.Name}, nil
+			case ActGotoTable:
+				next = a.Table
+			}
+		}
+		if next < 0 {
+			// Rule ended without a terminal action.
+			return Result{Disposition: DispNoMatch, Rule: rule.Name}, nil
+		}
+		if next <= ti || next >= len(pl.tables) {
+			return Result{}, fmt.Errorf("flowtable: rule %q goto table %d from table %d is invalid", rule.Name, next, ti)
+		}
+		ti = next
+	}
+}
+
+// Has reports whether any rule with the given name is installed.
+func (t *Table) Has(name string) bool {
+	for _, r := range t.rules {
+		if r.Name == name {
+			return true
+		}
+	}
+	return false
+}
+
+// Shadowed returns the names of rules that can never match because an
+// earlier (higher-priority or earlier-installed) rule subsumes their
+// match. The Rule Generator uses it as a sanity check: a shadowed
+// classification rule silently breaks a sub-class.
+func (t *Table) Shadowed() []string {
+	var out []string
+	for i, r := range t.rules {
+		for _, earlier := range t.rules[:i] {
+			if earlier.Match.Subsumes(r.Match) {
+				out = append(out, r.Name)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+// Package hashring implements the hashing machinery for APPLE's first
+// sub-class assignment method (§V-A): flows are hashed uniformly onto
+// [0,1), and a sub-class is an interval of that unit range (e.g.
+// <10.1.1.0/24, h ∈ [0,0.5)>). A weighted consistent-hash ring is also
+// provided for instance selection that is stable under instance churn —
+// the property that makes fast failover's temporary re-balancing cheap.
+package hashring
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sort"
+)
+
+// FlowKey identifies a flow for hashing purposes (the 5-tuple).
+type FlowKey struct {
+	SrcIP   uint32
+	DstIP   uint32
+	Proto   uint8
+	SrcPort uint16
+	DstPort uint16
+}
+
+// hash64 returns the FNV-1a hash of the key with an extra seed word.
+func (k FlowKey) hash64(seed uint64) uint64 {
+	h := fnv.New64a()
+	var buf [21]byte
+	binary.BigEndian.PutUint64(buf[0:], seed)
+	binary.BigEndian.PutUint32(buf[8:], k.SrcIP)
+	binary.BigEndian.PutUint32(buf[12:], k.DstIP)
+	buf[16] = k.Proto
+	binary.BigEndian.PutUint16(buf[17:], k.SrcPort)
+	binary.BigEndian.PutUint16(buf[19:], k.DstPort)
+	if _, err := h.Write(buf[:]); err != nil {
+		// hash.Hash.Write never fails.
+		panic(err)
+	}
+	return fmix64(h.Sum64())
+}
+
+// fmix64 is the MurmurHash3 64-bit finalizer. FNV-1a alone distributes
+// short, nearly identical inputs (member names, small counters) poorly
+// across the high bits; the avalanche pass fixes that.
+func fmix64(x uint64) uint64 {
+	x ^= x >> 33
+	x *= 0xFF51AFD7ED558CCD
+	x ^= x >> 33
+	x *= 0xC4CEB9FE1A85EC53
+	x ^= x >> 33
+	return x
+}
+
+// Unit maps the flow uniformly onto [0,1).
+func (k FlowKey) Unit() float64 {
+	return float64(k.hash64(0)>>11) / float64(1<<53)
+}
+
+// IntervalMap is the paper's programmable-hash sub-class scheme: the unit
+// interval is partitioned into consecutive sub-intervals, one per
+// sub-class, with widths equal to the sub-class traffic portions d_c^s.
+type IntervalMap struct {
+	bounds []float64 // cumulative upper bounds; last is 1
+}
+
+// NewIntervalMap builds a partition from portions. Portions must be
+// non-negative and sum to 1 within tolerance; they are renormalized to sum
+// exactly 1.
+func NewIntervalMap(portions []float64) (*IntervalMap, error) {
+	if len(portions) == 0 {
+		return nil, errors.New("hashring: no portions")
+	}
+	total := 0.0
+	for i, p := range portions {
+		if p < 0 {
+			return nil, fmt.Errorf("hashring: negative portion %v at %d", p, i)
+		}
+		total += p
+	}
+	if total < 0.999 || total > 1.001 {
+		return nil, fmt.Errorf("hashring: portions sum to %v, want 1", total)
+	}
+	bounds := make([]float64, len(portions))
+	acc := 0.0
+	for i, p := range portions {
+		acc += p / total
+		bounds[i] = acc
+	}
+	bounds[len(bounds)-1] = 1
+	return &IntervalMap{bounds: bounds}, nil
+}
+
+// Lookup returns the sub-class index for the flow.
+func (m *IntervalMap) Lookup(k FlowKey) int {
+	u := k.Unit()
+	i := sort.SearchFloat64s(m.bounds, u)
+	// SearchFloat64s finds the first bound ≥ u; since u < 1 and the last
+	// bound is exactly 1, i is always in range. A bound exactly equal to u
+	// belongs to the next interval (intervals are half-open [lo, hi)).
+	if i < len(m.bounds) && m.bounds[i] == u {
+		i++
+	}
+	if i >= len(m.bounds) {
+		i = len(m.bounds) - 1
+	}
+	return i
+}
+
+// Size returns the number of sub-classes.
+func (m *IntervalMap) Size() int { return len(m.bounds) }
+
+// Portion returns the width of interval i.
+func (m *IntervalMap) Portion(i int) (float64, error) {
+	if i < 0 || i >= len(m.bounds) {
+		return 0, fmt.Errorf("hashring: interval %d out of range", i)
+	}
+	lo := 0.0
+	if i > 0 {
+		lo = m.bounds[i-1]
+	}
+	return m.bounds[i] - lo, nil
+}
+
+// Ring is a weighted consistent-hash ring over named instances. Each
+// instance owns weight×replicasPerWeight virtual points; lookups walk
+// clockwise to the next point. Adding or removing one instance only
+// remaps the keys in its arcs.
+type Ring struct {
+	replicas int
+	points   []ringPoint // sorted by hash
+	members  map[string]int
+}
+
+type ringPoint struct {
+	hash   uint64
+	member string
+}
+
+// NewRing creates a ring with the given number of virtual points per unit
+// of weight (e.g. 40). More replicas smooth the load distribution.
+func NewRing(replicasPerWeight int) (*Ring, error) {
+	if replicasPerWeight <= 0 {
+		return nil, fmt.Errorf("hashring: replicas %d must be positive", replicasPerWeight)
+	}
+	return &Ring{replicas: replicasPerWeight, members: make(map[string]int)}, nil
+}
+
+// Add inserts an instance with the given integer weight ≥ 1.
+func (r *Ring) Add(member string, weight int) error {
+	if member == "" {
+		return errors.New("hashring: empty member name")
+	}
+	if weight < 1 {
+		return fmt.Errorf("hashring: weight %d must be ≥1", weight)
+	}
+	if _, ok := r.members[member]; ok {
+		return fmt.Errorf("hashring: member %q already present", member)
+	}
+	r.members[member] = weight
+	n := weight * r.replicas
+	for i := 0; i < n; i++ {
+		r.points = append(r.points, ringPoint{hash: memberPointHash(member, i), member: member})
+	}
+	sort.Slice(r.points, func(a, b int) bool { return r.points[a].hash < r.points[b].hash })
+	return nil
+}
+
+// Remove deletes an instance and its points.
+func (r *Ring) Remove(member string) error {
+	if _, ok := r.members[member]; !ok {
+		return fmt.Errorf("hashring: member %q not present", member)
+	}
+	delete(r.members, member)
+	kept := r.points[:0]
+	for _, p := range r.points {
+		if p.member != member {
+			kept = append(kept, p)
+		}
+	}
+	r.points = kept
+	return nil
+}
+
+// Members returns the current member set with weights (a copy).
+func (r *Ring) Members() map[string]int {
+	out := make(map[string]int, len(r.members))
+	for k, v := range r.members {
+		out[k] = v
+	}
+	return out
+}
+
+// Lookup returns the instance owning the flow's point, or an error when
+// the ring is empty.
+func (r *Ring) Lookup(k FlowKey) (string, error) {
+	if len(r.points) == 0 {
+		return "", errors.New("hashring: empty ring")
+	}
+	h := k.hash64(0x9E3779B97F4A7C15)
+	i := sort.Search(len(r.points), func(j int) bool { return r.points[j].hash >= h })
+	if i == len(r.points) {
+		i = 0
+	}
+	return r.points[i].member, nil
+}
+
+// memberPointHash hashes a (member, replica) pair onto the ring.
+func memberPointHash(member string, replica int) uint64 {
+	h := fnv.New64a()
+	if _, err := h.Write([]byte(member)); err != nil {
+		panic(err)
+	}
+	var buf [4]byte
+	binary.BigEndian.PutUint32(buf[:], uint32(replica))
+	if _, err := h.Write(buf[:]); err != nil {
+		panic(err)
+	}
+	return fmix64(h.Sum64())
+}

@@ -1,0 +1,294 @@
+package hashring
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func randomKey(rng *rand.Rand) FlowKey {
+	return FlowKey{
+		SrcIP:   rng.Uint32(),
+		DstIP:   rng.Uint32(),
+		Proto:   uint8(rng.Intn(256)),
+		SrcPort: uint16(rng.Intn(65536)),
+		DstPort: uint16(rng.Intn(65536)),
+	}
+}
+
+func TestUnitInRange(t *testing.T) {
+	prop := func(src, dst uint32, proto uint8, sp, dp uint16) bool {
+		u := FlowKey{src, dst, proto, sp, dp}.Unit()
+		return u >= 0 && u < 1
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnitIsUniform(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 20000
+	const buckets = 10
+	counts := make([]int, buckets)
+	for i := 0; i < n; i++ {
+		u := randomKey(rng).Unit()
+		counts[int(u*buckets)]++
+	}
+	want := float64(n) / buckets
+	for b, c := range counts {
+		if math.Abs(float64(c)-want)/want > 0.1 {
+			t.Fatalf("bucket %d has %d keys, want ≈%v (±10%%)", b, c, want)
+		}
+	}
+}
+
+func TestUnitDeterministic(t *testing.T) {
+	k := FlowKey{SrcIP: 1, DstIP: 2, Proto: 6, SrcPort: 80, DstPort: 8080}
+	if k.Unit() != k.Unit() {
+		t.Fatal("Unit not deterministic")
+	}
+}
+
+func TestIntervalMapHalfSplit(t *testing.T) {
+	m, err := NewIntervalMap([]float64{0.5, 0.5})
+	if err != nil {
+		t.Fatalf("NewIntervalMap: %v", err)
+	}
+	if m.Size() != 2 {
+		t.Fatalf("Size = %d", m.Size())
+	}
+	rng := rand.New(rand.NewSource(2))
+	counts := [2]int{}
+	const n = 10000
+	for i := 0; i < n; i++ {
+		counts[m.Lookup(randomKey(rng))]++
+	}
+	// The paper: sub-class h∈[0,0.5) gets ≈50% of flows.
+	for s, c := range counts {
+		frac := float64(c) / n
+		if math.Abs(frac-0.5) > 0.03 {
+			t.Fatalf("sub-class %d got %.3f of flows, want ≈0.5", s, frac)
+		}
+	}
+}
+
+func TestIntervalMapSkewedPortions(t *testing.T) {
+	portions := []float64{0.7, 0.2, 0.1}
+	m, err := NewIntervalMap(portions)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(3))
+	counts := make([]int, 3)
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[m.Lookup(randomKey(rng))]++
+	}
+	for s := range portions {
+		frac := float64(counts[s]) / n
+		if math.Abs(frac-portions[s]) > 0.03 {
+			t.Fatalf("sub-class %d got %.3f, want ≈%.1f", s, frac, portions[s])
+		}
+		p, err := m.Portion(s)
+		if err != nil || math.Abs(p-portions[s]) > 1e-9 {
+			t.Fatalf("Portion(%d) = %v, %v", s, p, err)
+		}
+	}
+	if _, err := m.Portion(9); err == nil {
+		t.Fatal("out-of-range Portion should fail")
+	}
+}
+
+func TestIntervalMapValidation(t *testing.T) {
+	if _, err := NewIntervalMap(nil); err == nil {
+		t.Error("empty portions should fail")
+	}
+	if _, err := NewIntervalMap([]float64{0.5, -0.1, 0.6}); err == nil {
+		t.Error("negative portion should fail")
+	}
+	if _, err := NewIntervalMap([]float64{0.2, 0.2}); err == nil {
+		t.Error("portions summing to 0.4 should fail")
+	}
+}
+
+func TestIntervalMapRenormalizes(t *testing.T) {
+	// Slightly off due to float accumulation: accepted and renormalized.
+	m, err := NewIntervalMap([]float64{0.3334, 0.3333, 0.3334})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0.0
+	for i := 0; i < m.Size(); i++ {
+		p, err := m.Portion(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += p
+	}
+	if math.Abs(total-1) > 1e-12 {
+		t.Fatalf("portions sum to %v after renormalization", total)
+	}
+}
+
+func TestRingBasics(t *testing.T) {
+	r, err := NewRing(50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Lookup(FlowKey{}); err == nil {
+		t.Fatal("empty ring lookup should fail")
+	}
+	if err := r.Add("a", 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("a", 1); err == nil {
+		t.Fatal("duplicate member should fail")
+	}
+	if err := r.Add("", 1); err == nil {
+		t.Fatal("empty name should fail")
+	}
+	if err := r.Add("b", 0); err == nil {
+		t.Fatal("zero weight should fail")
+	}
+	got, err := r.Lookup(FlowKey{SrcIP: 42})
+	if err != nil || got != "a" {
+		t.Fatalf("Lookup = %q, %v", got, err)
+	}
+	if err := r.Remove("a"); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Remove("a"); err == nil {
+		t.Fatal("removing absent member should fail")
+	}
+}
+
+func TestNewRingValidation(t *testing.T) {
+	if _, err := NewRing(0); err == nil {
+		t.Fatal("zero replicas should fail")
+	}
+}
+
+func TestRingBalance(t *testing.T) {
+	r, err := NewRing(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	members := []string{"vnf-1", "vnf-2", "vnf-3", "vnf-4"}
+	for _, m := range members {
+		if err := r.Add(m, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(4))
+	counts := make(map[string]int)
+	const n = 40000
+	for i := 0; i < n; i++ {
+		m, err := r.Lookup(randomKey(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		counts[m]++
+	}
+	for _, m := range members {
+		frac := float64(counts[m]) / n
+		if frac < 0.15 || frac > 0.35 {
+			t.Fatalf("member %s got %.3f of keys, want ≈0.25", m, frac)
+		}
+	}
+}
+
+func TestRingWeights(t *testing.T) {
+	r, err := NewRing(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("big", 3); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("small", 1); err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(5))
+	big := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		m, err := r.Lookup(randomKey(rng))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if m == "big" {
+			big++
+		}
+	}
+	frac := float64(big) / n
+	if frac < 0.65 || frac > 0.85 {
+		t.Fatalf("weighted member got %.3f of keys, want ≈0.75", frac)
+	}
+}
+
+// TestRingConsistency: removing one member only remaps keys that were on
+// it; keys on surviving members stay put.
+func TestRingConsistency(t *testing.T) {
+	r, err := NewRing(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, m := range []string{"a", "b", "c", "d", "e"} {
+		if err := r.Add(m, 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	rng := rand.New(rand.NewSource(6))
+	keys := make([]FlowKey, 5000)
+	before := make([]string, len(keys))
+	for i := range keys {
+		keys[i] = randomKey(rng)
+		m, err := r.Lookup(keys[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		before[i] = m
+	}
+	if err := r.Remove("c"); err != nil {
+		t.Fatal(err)
+	}
+	moved := 0
+	for i, k := range keys {
+		after, err := r.Lookup(k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if before[i] == "c" {
+			if after == "c" {
+				t.Fatal("key still maps to removed member")
+			}
+			continue
+		}
+		if after != before[i] {
+			moved++
+		}
+	}
+	if moved != 0 {
+		t.Fatalf("%d keys on surviving members were remapped; consistent hashing must not move them", moved)
+	}
+}
+
+func TestRingMembersCopy(t *testing.T) {
+	r, err := NewRing(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.Add("x", 2); err != nil {
+		t.Fatal(err)
+	}
+	m := r.Members()
+	if m["x"] != 2 {
+		t.Fatalf("Members = %v", m)
+	}
+	m["x"] = 99
+	if r.Members()["x"] != 2 {
+		t.Fatal("Members leaked internal map")
+	}
+}

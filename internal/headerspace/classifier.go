@@ -1,0 +1,99 @@
+package headerspace
+
+import (
+	"fmt"
+)
+
+// Classifier maps concrete headers to equivalence-class IDs. Classes are
+// the atomic predicates of the input predicate set, so two headers get the
+// same class ID exactly when no input predicate distinguishes them — the
+// aggregation granularity the APPLE Optimization Engine runs on (§IV-A).
+type Classifier struct {
+	sp    *Space
+	preds []Predicate
+	atoms []Predicate
+}
+
+// NewClassifier computes the atomic predicates of preds and returns a
+// classifier over them. All predicates must come from sp.
+func NewClassifier(sp *Space, preds []Predicate) (*Classifier, error) {
+	atoms, err := sp.Atoms(preds)
+	if err != nil {
+		return nil, fmt.Errorf("headerspace: classifier: %w", err)
+	}
+	cp := make([]Predicate, len(preds))
+	copy(cp, preds)
+	return &Classifier{sp: sp, preds: cp, atoms: atoms}, nil
+}
+
+// NumClasses returns the number of atoms (equivalence classes).
+func (c *Classifier) NumClasses() int { return len(c.atoms) }
+
+// Atom returns the predicate of class i.
+func (c *Classifier) Atom(i int) (Predicate, error) {
+	if i < 0 || i >= len(c.atoms) {
+		return Predicate{}, fmt.Errorf("headerspace: class %d out of range [0,%d)", i, len(c.atoms))
+	}
+	return c.atoms[i], nil
+}
+
+// Classify returns the class ID of header h. Every header belongs to
+// exactly one atom, so this always succeeds.
+func (c *Classifier) Classify(h Header) int {
+	for i, a := range c.atoms {
+		if a.Matches(h) {
+			return i
+		}
+	}
+	// Unreachable: atoms partition the header space.
+	panic("headerspace: atoms do not cover the header space")
+}
+
+// Membership returns, for class i, the indexes of the input predicates
+// that cover it. Because atoms are atomic, a predicate either covers an
+// atom entirely or is disjoint from it; this is the class's signature.
+func (c *Classifier) Membership(i int) ([]int, error) {
+	a, err := c.Atom(i)
+	if err != nil {
+		return nil, err
+	}
+	var out []int
+	for j, p := range c.preds {
+		if p.Covers(a) {
+			out = append(out, j)
+		}
+	}
+	return out, nil
+}
+
+// CheckPartition verifies the defining properties of atomic predicates:
+// atoms are pairwise disjoint, non-empty, their union is the full space,
+// and every input predicate equals the union of the atoms it covers. It is
+// used by tests and available as a runtime self-check.
+func (c *Classifier) CheckPartition() error {
+	union := c.sp.False()
+	for i, a := range c.atoms {
+		if a.IsFalse() {
+			return fmt.Errorf("headerspace: atom %d is empty", i)
+		}
+		if union.Overlaps(a) {
+			return fmt.Errorf("headerspace: atom %d overlaps earlier atoms", i)
+		}
+		union = union.Or(a)
+	}
+	if !union.IsTrue() {
+		return fmt.Errorf("headerspace: atoms do not cover the header space")
+	}
+	for j, p := range c.preds {
+		rebuilt := c.sp.False()
+		for _, a := range c.atoms {
+			if p.Covers(a) {
+				rebuilt = rebuilt.Or(a)
+			}
+		}
+		if !rebuilt.Equal(p) {
+			return fmt.Errorf("headerspace: predicate %d is not a union of atoms", j)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,246 @@
+// Package host models an APPLE host (§III): a physical node attached to an
+// SDN switch that runs VNF instances in VMs behind a virtual switch. The
+// vSwitch is a two-table pipeline — table 0 holds APPLE's
+// ⟨InPort, class, sub-class⟩ steering rules and tagging logic, table 1 the
+// rules of other applications — and the host tracks core/memory headroom
+// (A_v in the optimization problem) plus the per-port packet counters the
+// overload detector polls (§VII-B).
+package host
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"github.com/apple-nfv/apple/internal/flowtable"
+	"github.com/apple-nfv/apple/internal/policy"
+	"github.com/apple-nfv/apple/internal/topology"
+	"github.com/apple-nfv/apple/internal/vnf"
+)
+
+// PortID is a vSwitch port number. Port 0 is always the uplink to the
+// physical switch.
+type PortID int
+
+// UplinkPort is the vSwitch port facing the physical network.
+const UplinkPort PortID = 0
+
+// Table indices of the vSwitch pipeline.
+const (
+	TableSteering = 0 // APPLE steering and tagging
+	TableApps     = 1 // other applications (production VM rules)
+)
+
+// DefaultResources is the per-host hardware the paper assumes (§IX-A:
+// "64 cores at each APPLE host"), with a memory budget sized for a mix of
+// ClickOS unikernels and full VMs.
+func DefaultResources() policy.Resources {
+	return policy.Resources{Cores: 64, MemoryMB: 128 * 1024}
+}
+
+// Host is one APPLE host.
+type Host struct {
+	name     string
+	attached topology.NodeID
+	total    policy.Resources
+	used     policy.Resources
+	vswitch  *flowtable.Pipeline
+	ports    map[PortID]*vnf.Instance
+	byID     map[vnf.ID]PortID
+	nextPort PortID
+	counters map[PortID]uint64
+}
+
+// New creates a host attached to the given switch with the given hardware.
+func New(name string, attached topology.NodeID, total policy.Resources) (*Host, error) {
+	if name == "" {
+		return nil, errors.New("host: empty name")
+	}
+	if !total.NonNegative() || total.Cores == 0 {
+		return nil, fmt.Errorf("host: bad resource vector %v", total)
+	}
+	pl, err := flowtable.NewPipeline(2)
+	if err != nil {
+		return nil, fmt.Errorf("host: %w", err)
+	}
+	return &Host{
+		name:     name,
+		attached: attached,
+		total:    total,
+		vswitch:  pl,
+		ports:    make(map[PortID]*vnf.Instance),
+		byID:     make(map[vnf.ID]PortID),
+		nextPort: UplinkPort + 1,
+		counters: make(map[PortID]uint64),
+	}, nil
+}
+
+// Name returns the host name.
+func (h *Host) Name() string { return h.name }
+
+// Switch returns the physical switch the host hangs off.
+func (h *Host) Switch() topology.NodeID { return h.attached }
+
+// VSwitch returns the host's virtual switch pipeline.
+func (h *Host) VSwitch() *flowtable.Pipeline { return h.vswitch }
+
+// Total returns the host's full hardware vector.
+func (h *Host) Total() policy.Resources { return h.total }
+
+// Used returns the hardware reserved by attached instances.
+func (h *Host) Used() policy.Resources { return h.used }
+
+// Available returns the remaining headroom (A_v).
+func (h *Host) Available() policy.Resources { return h.total.Sub(h.used) }
+
+// Attach reserves resources for the instance and connects it to a fresh
+// vSwitch port.
+func (h *Host) Attach(inst *vnf.Instance) (PortID, error) {
+	if inst == nil {
+		return 0, errors.New("host: nil instance")
+	}
+	if _, ok := h.byID[inst.ID()]; ok {
+		return 0, fmt.Errorf("host: instance %s already attached", inst.ID())
+	}
+	need := inst.Spec().Resources()
+	if !need.Fits(h.Available()) {
+		return 0, fmt.Errorf("host: %s needs %v but %s has %v free",
+			inst.ID(), need, h.name, h.Available())
+	}
+	port := h.nextPort
+	h.nextPort++
+	h.ports[port] = inst
+	h.byID[inst.ID()] = port
+	h.used = h.used.Add(need)
+	return port, nil
+}
+
+// Detach releases the instance's resources and frees its port. Steering
+// rules that reference the port are the caller's (rule generator's) job to
+// remove.
+func (h *Host) Detach(id vnf.ID) error {
+	port, ok := h.byID[id]
+	if !ok {
+		return fmt.Errorf("host: instance %s not attached", id)
+	}
+	inst := h.ports[port]
+	h.used = h.used.Sub(inst.Spec().Resources())
+	delete(h.ports, port)
+	delete(h.byID, id)
+	delete(h.counters, port)
+	return nil
+}
+
+// PortOf returns the vSwitch port of an attached instance.
+func (h *Host) PortOf(id vnf.ID) (PortID, error) {
+	port, ok := h.byID[id]
+	if !ok {
+		return 0, fmt.Errorf("host: instance %s not attached", id)
+	}
+	return port, nil
+}
+
+// InstanceAt returns the instance behind a port.
+func (h *Host) InstanceAt(port PortID) (*vnf.Instance, error) {
+	inst, ok := h.ports[port]
+	if !ok {
+		return nil, fmt.Errorf("host: no instance at port %d", port)
+	}
+	return inst, nil
+}
+
+// Instances returns the attached instances sorted by ID.
+func (h *Host) Instances() []*vnf.Instance {
+	out := make([]*vnf.Instance, 0, len(h.ports))
+	for _, inst := range h.ports {
+		out = append(out, inst)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].ID() < out[j].ID() })
+	return out
+}
+
+// NumInstances returns the attached instance count.
+func (h *Host) NumInstances() int { return len(h.ports) }
+
+// CountPacket bumps the per-port counter, emulating the Open vSwitch
+// per-port statistics the prototype polls (they "update almost instantly",
+// §VII-B, unlike per-flow counters).
+func (h *Host) CountPacket(port PortID) { h.counters[port]++ }
+
+// Counter reads a per-port counter.
+func (h *Host) Counter(port PortID) uint64 { return h.counters[port] }
+
+// Traversal is the outcome of pushing one packet through the host.
+type Traversal struct {
+	// Visited lists the instances the packet passed through, in order.
+	Visited []vnf.ID
+	// Result is the final vSwitch disposition (normally a forward to the
+	// uplink).
+	Result flowtable.Result
+}
+
+// maxHops bounds intra-host forwarding; the paper assumes a packet never
+// visits the same instance twice, so the instance count is a natural
+// bound.
+const maxHopsSlack = 2
+
+// Inject pushes a packet into the host on the given ingress port and
+// follows vSwitch forwarding across instance ports until the packet
+// leaves (forwarded to the uplink), is dropped, or misses. The packet's
+// tag fields are updated in place by the vSwitch rules.
+func (h *Host) Inject(pkt *flowtable.Packet, ingress PortID) (Traversal, error) {
+	if pkt == nil {
+		return Traversal{}, errors.New("host: nil packet")
+	}
+	var tr Traversal
+	pkt.InPort = int(ingress)
+	h.CountPacket(ingress)
+	maxHops := len(h.ports) + maxHopsSlack
+	for hop := 0; hop <= maxHops; hop++ {
+		res, err := h.vswitch.Process(pkt)
+		if err != nil {
+			return tr, fmt.Errorf("host: vswitch: %w", err)
+		}
+		tr.Result = res
+		if res.Disposition != flowtable.DispForward {
+			return tr, nil
+		}
+		port := PortID(res.Port)
+		if port == UplinkPort {
+			h.CountPacket(UplinkPort)
+			return tr, nil
+		}
+		inst, ok := h.ports[port]
+		if !ok {
+			return tr, fmt.Errorf("host: rule %q forwards to unknown port %d", res.Rule, port)
+		}
+		h.CountPacket(port)
+		tr.Visited = append(tr.Visited, inst.ID())
+		// Header-modifying NFs (NAT) rewrite the source address — the
+		// behaviour that makes downstream header classification invalid
+		// and motivates global sub-class tags (§X). The rewritten address
+		// comes from the CGNAT pool, deterministic per instance.
+		if inst.Spec().RewritesHeader {
+			pkt.Hdr.SrcIP = natAddress(inst.ID(), pkt.Hdr.SrcIP)
+		}
+		for _, seen := range tr.Visited[:len(tr.Visited)-1] {
+			if seen == inst.ID() {
+				return tr, fmt.Errorf("host: packet visited instance %s twice", inst.ID())
+			}
+		}
+		// The instance returns the packet to the vSwitch on its own port
+		// (IncomePort identifies progress through the chain, §V-B).
+		pkt.InPort = int(port)
+	}
+	return tr, fmt.Errorf("host: packet exceeded %d intra-host hops", maxHops)
+}
+
+// natAddress maps a source address to the instance's CGNAT pool
+// (100.64.0.0/10), deterministically.
+func natAddress(id vnf.ID, src uint32) uint32 {
+	var h uint32 = 2166136261
+	for _, b := range []byte(id) {
+		h = (h ^ uint32(b)) * 16777619
+	}
+	return 100<<24 | 64<<16 | (h^src)&0x3FFFFF
+}

@@ -1,0 +1,154 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// MILPOptions tunes branch-and-bound.
+type MILPOptions struct {
+	// MaxNodes caps the number of explored nodes; 0 means the default.
+	MaxNodes int
+	// Gap is the relative optimality gap at which search stops early;
+	// 0 means prove optimality (within tolerance).
+	Gap float64
+	// IntTol is the tolerance within which a value counts as integral;
+	// 0 means the default 1e-6.
+	IntTol float64
+}
+
+const defaultMaxNodes = 10000
+
+// SolveMILP solves the model respecting integrality flags by LP-based
+// branch and bound (best-first on the parent bound, branching on the most
+// fractional variable). For models with no integer variables it is
+// equivalent to Solve.
+func SolveMILP(m *Model, opts MILPOptions) (Solution, error) {
+	if opts.MaxNodes <= 0 {
+		opts.MaxNodes = defaultMaxNodes
+	}
+	if opts.IntTol <= 0 {
+		opts.IntTol = 1e-6
+	}
+	hasInt := false
+	for _, v := range m.vars {
+		if v.integer {
+			hasInt = true
+			break
+		}
+	}
+	root, err := Solve(m)
+	if err != nil || !hasInt {
+		return root, err
+	}
+
+	type bound struct {
+		v      VarID
+		lo, hi float64 // extra bound tightening relative to the model
+	}
+	type node struct {
+		bounds []bound
+		lb     float64 // parent LP bound
+	}
+	// Node queue ordered by lower bound (best-first).
+	queue := []node{{lb: root.Objective}}
+	pop := func() node {
+		sort.Slice(queue, func(i, j int) bool { return queue[i].lb < queue[j].lb })
+		n := queue[0]
+		queue = queue[1:]
+		return n
+	}
+
+	best := Solution{Status: StatusInfeasible, Objective: math.Inf(1)}
+	totalIters, nodes := 0, 0
+
+	solveWith := func(bounds []bound) (Solution, error) {
+		// Apply bound tightening by temporarily overwriting variable bounds.
+		saved := make([]variable, 0, len(bounds))
+		idx := make([]VarID, 0, len(bounds))
+		for _, b := range bounds {
+			saved = append(saved, m.vars[b.v])
+			idx = append(idx, b.v)
+			if b.lo > m.vars[b.v].lo {
+				m.vars[b.v].lo = b.lo
+			}
+			if b.hi < m.vars[b.v].hi {
+				m.vars[b.v].hi = b.hi
+			}
+		}
+		sol, err := Solve(m)
+		for i, v := range idx {
+			m.vars[v] = saved[i]
+		}
+		return sol, err
+	}
+
+	for len(queue) > 0 && nodes < opts.MaxNodes {
+		nd := pop()
+		if nd.lb >= best.Objective-1e-9 {
+			continue // pruned by bound
+		}
+		sol, err := solveWith(nd.bounds)
+		nodes++
+		totalIters += sol.Iterations
+		if err != nil {
+			// Infeasible subproblem: prune. Other errors abort.
+			if sol.Status == StatusInfeasible {
+				continue
+			}
+			return sol, fmt.Errorf("lp: branch-and-bound node failed: %w", err)
+		}
+		if sol.Objective >= best.Objective-1e-9 {
+			continue
+		}
+		// Find the most fractional integer variable.
+		branchVar := VarID(-1)
+		worst := opts.IntTol
+		for j, v := range m.vars {
+			if !v.integer {
+				continue
+			}
+			x := sol.Values[j]
+			frac := math.Abs(x - math.Round(x))
+			if frac > worst {
+				worst = frac
+				branchVar = VarID(j)
+			}
+		}
+		if branchVar < 0 {
+			// Integral: candidate incumbent.
+			if sol.Objective < best.Objective {
+				best = sol
+				best.Nodes = nodes
+			}
+			continue
+		}
+		x := sol.Values[branchVar]
+		floor := math.Floor(x)
+		down := append(append([]bound(nil), nd.bounds...), bound{v: branchVar, lo: math.Inf(-1), hi: floor})
+		up := append(append([]bound(nil), nd.bounds...), bound{v: branchVar, lo: floor + 1, hi: math.Inf(1)})
+		queue = append(queue, node{bounds: down, lb: sol.Objective}, node{bounds: up, lb: sol.Objective})
+		if opts.Gap > 0 && best.Status == StatusOptimal {
+			rel := (best.Objective - nd.lb) / math.Max(1, math.Abs(best.Objective))
+			if rel <= opts.Gap {
+				break
+			}
+		}
+	}
+	best.Iterations = totalIters
+	best.Nodes = nodes
+	if best.Status != StatusOptimal {
+		if nodes >= opts.MaxNodes {
+			return best, fmt.Errorf("%w: %d branch-and-bound nodes", ErrIterLimit, nodes)
+		}
+		return best, fmt.Errorf("%w: %s (no integral solution)", ErrInfeasible, m.name)
+	}
+	// Snap near-integral values exactly.
+	for j, v := range m.vars {
+		if v.integer {
+			best.Values[j] = math.Round(best.Values[j])
+		}
+	}
+	return best, nil
+}

@@ -1,0 +1,212 @@
+// Package lp is a self-contained linear-programming toolkit: a modeling
+// layer, a dense two-phase primal simplex solver, and a branch-and-bound
+// wrapper for mixed-integer programs. It stands in for CPLEX in the APPLE
+// Optimization Engine (§IV-D): the engine builds the placement ILP here,
+// solves the LP relaxation, and rounds — exactly the solution strategy the
+// paper describes.
+package lp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Sense is the direction of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota + 1 // left-hand side ≤ rhs
+	GE                  // left-hand side ≥ rhs
+	EQ                  // left-hand side = rhs
+)
+
+// String returns the sense's symbol.
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	case EQ:
+		return "="
+	default:
+		return fmt.Sprintf("Sense(%d)", int(s))
+	}
+}
+
+// VarID identifies a variable within a Model.
+type VarID int
+
+// Term is one coefficient–variable product in a linear expression.
+type Term struct {
+	Var  VarID
+	Coef float64
+}
+
+// variable is the model-side record of a decision variable.
+type variable struct {
+	name    string
+	lo, hi  float64
+	obj     float64
+	integer bool
+}
+
+// constraint is a linear constraint in sparse form.
+type constraint struct {
+	name  string
+	sense Sense
+	rhs   float64
+	terms []Term
+}
+
+// Model is a linear (or mixed-integer) minimization program under
+// construction. The zero value is unusable; construct with NewModel.
+type Model struct {
+	name string
+	vars []variable
+	cons []constraint
+}
+
+// NewModel returns an empty minimization model.
+func NewModel(name string) *Model {
+	return &Model{name: name}
+}
+
+// Name returns the model name.
+func (m *Model) Name() string { return m.name }
+
+// NumVariables returns the number of variables added so far.
+func (m *Model) NumVariables() int { return len(m.vars) }
+
+// NumConstraints returns the number of constraints added so far.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// AddVariable adds a continuous variable with bounds [lo, hi] and objective
+// coefficient obj, returning its ID. Use math.Inf(1) for an unbounded hi.
+// Negative lower bounds are supported by internal shifting.
+func (m *Model) AddVariable(name string, lo, hi, obj float64) (VarID, error) {
+	if math.IsNaN(lo) || math.IsNaN(hi) || math.IsNaN(obj) {
+		return 0, fmt.Errorf("lp: NaN in variable %q", name)
+	}
+	if math.IsInf(lo, 0) {
+		return 0, fmt.Errorf("lp: variable %q: free (unbounded-below) variables are not supported", name)
+	}
+	if lo > hi {
+		return 0, fmt.Errorf("lp: variable %q: lower bound %v above upper bound %v", name, lo, hi)
+	}
+	m.vars = append(m.vars, variable{name: name, lo: lo, hi: hi, obj: obj})
+	return VarID(len(m.vars) - 1), nil
+}
+
+// SetInteger marks a variable as integral for SolveMILP. Solve (the LP
+// relaxation) ignores the flag.
+func (m *Model) SetInteger(v VarID) error {
+	if !m.validVar(v) {
+		return fmt.Errorf("lp: unknown variable %d", v)
+	}
+	m.vars[v].integer = true
+	return nil
+}
+
+// IsInteger reports whether v is marked integral.
+func (m *Model) IsInteger(v VarID) bool {
+	return m.validVar(v) && m.vars[v].integer
+}
+
+// VariableName returns the name given at AddVariable.
+func (m *Model) VariableName(v VarID) string {
+	if !m.validVar(v) {
+		return fmt.Sprintf("var(%d)", v)
+	}
+	return m.vars[v].name
+}
+
+func (m *Model) validVar(v VarID) bool { return v >= 0 && int(v) < len(m.vars) }
+
+// AddConstraint adds Σ terms (sense) rhs. Terms referencing the same
+// variable are accumulated. Zero-coefficient terms are dropped.
+func (m *Model) AddConstraint(name string, sense Sense, rhs float64, terms ...Term) error {
+	if sense != LE && sense != GE && sense != EQ {
+		return fmt.Errorf("lp: constraint %q: bad sense %v", name, sense)
+	}
+	if math.IsNaN(rhs) || math.IsInf(rhs, 0) {
+		return fmt.Errorf("lp: constraint %q: bad rhs %v", name, rhs)
+	}
+	acc := make(map[VarID]float64, len(terms))
+	for _, t := range terms {
+		if !m.validVar(t.Var) {
+			return fmt.Errorf("lp: constraint %q references unknown variable %d", name, t.Var)
+		}
+		if math.IsNaN(t.Coef) || math.IsInf(t.Coef, 0) {
+			return fmt.Errorf("lp: constraint %q: bad coefficient %v", name, t.Coef)
+		}
+		acc[t.Var] += t.Coef
+	}
+	compact := make([]Term, 0, len(acc))
+	for _, t := range terms { // preserve first-appearance order
+		c, ok := acc[t.Var]
+		if !ok {
+			continue
+		}
+		delete(acc, t.Var)
+		if c != 0 {
+			compact = append(compact, Term{Var: t.Var, Coef: c})
+		}
+	}
+	m.cons = append(m.cons, constraint{name: name, sense: sense, rhs: rhs, terms: compact})
+	return nil
+}
+
+// Status is the outcome of a solve.
+type Status int
+
+// Solve outcomes.
+const (
+	StatusOptimal Status = iota + 1
+	StatusInfeasible
+	StatusUnbounded
+	StatusIterLimit
+)
+
+// String returns the status name.
+func (s Status) String() string {
+	switch s {
+	case StatusOptimal:
+		return "optimal"
+	case StatusInfeasible:
+		return "infeasible"
+	case StatusUnbounded:
+		return "unbounded"
+	case StatusIterLimit:
+		return "iteration-limit"
+	default:
+		return fmt.Sprintf("Status(%d)", int(s))
+	}
+}
+
+// Solution is the result of Solve or SolveMILP.
+type Solution struct {
+	Status     Status
+	Objective  float64
+	Values     []float64 // indexed by VarID
+	Iterations int       // total simplex pivots
+	Nodes      int       // branch-and-bound nodes (1 for pure LP)
+}
+
+// Value returns the solution value of v.
+func (s *Solution) Value(v VarID) float64 {
+	if v < 0 || int(v) >= len(s.Values) {
+		return math.NaN()
+	}
+	return s.Values[v]
+}
+
+// Errors returned by the solvers.
+var (
+	ErrInfeasible = errors.New("lp: infeasible")
+	ErrUnbounded  = errors.New("lp: unbounded")
+	ErrIterLimit  = errors.New("lp: iteration limit exceeded")
+	ErrEmptyModel = errors.New("lp: model has no variables")
+)

@@ -1,0 +1,402 @@
+package lp
+
+import (
+	"fmt"
+	"math"
+)
+
+const (
+	eps = 1e-9
+	// dantzigLimit is the pivot count after which the solver switches from
+	// Dantzig's rule to Bland's rule to guarantee termination.
+	dantzigLimit = 20000
+	// hardIterLimit aborts pathological instances.
+	hardIterLimit = 200000
+)
+
+// Solve solves the LP relaxation of the model (integrality flags are
+// ignored) with a dense two-phase primal simplex. It returns ErrInfeasible,
+// ErrUnbounded, or ErrIterLimit wrapped with context on failure; on success
+// Solution.Status is StatusOptimal.
+func Solve(m *Model) (Solution, error) {
+	if len(m.vars) == 0 {
+		return Solution{}, ErrEmptyModel
+	}
+	t, err := newTableau(m)
+	if err != nil {
+		return Solution{}, err
+	}
+	status, iters := t.run()
+	sol := Solution{Status: status, Iterations: iters, Nodes: 1}
+	switch status {
+	case StatusOptimal:
+		sol.Values = t.extract(m)
+		sol.Objective = 0
+		for i, v := range m.vars {
+			sol.Objective += v.obj * sol.Values[i]
+		}
+		return sol, nil
+	case StatusInfeasible:
+		return sol, fmt.Errorf("%w: %s", ErrInfeasible, m.name)
+	case StatusUnbounded:
+		return sol, fmt.Errorf("%w: %s", ErrUnbounded, m.name)
+	default:
+		return sol, fmt.Errorf("%w: %s after %d pivots", ErrIterLimit, m.name, iters)
+	}
+}
+
+// tableau is the dense simplex working state in standard form:
+// minimize c·x subject to Ax = b, x ≥ 0, with b ≥ 0.
+type tableau struct {
+	m, n  int       // rows, structural+slack+artificial columns
+	a     []float64 // m×n row-major constraint matrix
+	b     []float64 // rhs, length m
+	c     []float64 // phase-2 costs, length n
+	art   []float64 // phase-1 costs (1 on artificials), length n
+	basis []int     // basic column per row
+	nart  int       // number of artificial columns
+	// shift maps structural column j (0..nv-1) back to model variables:
+	// x_model = x_std + lo.
+	lo []float64
+	// red is the maintained reduced-cost row during optimize (nil
+	// otherwise); inBasis marks basic columns.
+	red     []float64
+	inBasis []bool
+}
+
+// newTableau converts the model into standard form.
+func newTableau(m *Model) (*tableau, error) {
+	nv := len(m.vars)
+	// Count rows: model constraints + one upper-bound row per finitely
+	// bounded variable with hi > lo (hi == lo pins the variable; treat as
+	// an equality row too, simplest uniform handling).
+	type row struct {
+		terms []Term
+		sense Sense
+		rhs   float64
+	}
+	rows := make([]row, 0, len(m.cons)+4)
+	for _, con := range m.cons {
+		r := row{terms: con.terms, sense: con.sense, rhs: con.rhs}
+		// Shift variables by their lower bounds: rhs -= Σ coef*lo.
+		for _, t := range con.terms {
+			r.rhs -= t.Coef * m.vars[t.Var].lo
+		}
+		rows = append(rows, r)
+	}
+	for j, v := range m.vars {
+		if !math.IsInf(v.hi, 1) {
+			rows = append(rows, row{
+				terms: []Term{{Var: VarID(j), Coef: 1}},
+				sense: LE,
+				rhs:   v.hi - v.lo,
+			})
+		}
+	}
+	nrows := len(rows)
+	// Columns: nv structural, then one slack/surplus per inequality, then
+	// artificials as needed. Count first.
+	nslack := 0
+	for _, r := range rows {
+		if r.sense != EQ {
+			nslack++
+		}
+	}
+	// Artificials: GE rows and EQ rows always get one; LE rows with
+	// negative rhs are flipped into GE first, so count after normalization.
+	// Normalize now: make rhs ≥ 0.
+	for i := range rows {
+		if rows[i].rhs < 0 {
+			neg := make([]Term, len(rows[i].terms))
+			for k, t := range rows[i].terms {
+				neg[k] = Term{Var: t.Var, Coef: -t.Coef}
+			}
+			rows[i].terms = neg
+			rows[i].rhs = -rows[i].rhs
+			switch rows[i].sense {
+			case LE:
+				rows[i].sense = GE
+			case GE:
+				rows[i].sense = LE
+			}
+		}
+	}
+	nart := 0
+	for _, r := range rows {
+		if r.sense != LE {
+			nart++
+		}
+	}
+	n := nv + nslack + nart
+	t := &tableau{
+		m:     nrows,
+		n:     n,
+		a:     make([]float64, nrows*n),
+		b:     make([]float64, nrows),
+		c:     make([]float64, n),
+		art:   make([]float64, n),
+		basis: make([]int, nrows),
+		nart:  nart,
+		lo:    make([]float64, nv),
+	}
+	for j, v := range m.vars {
+		t.c[j] = v.obj
+		t.lo[j] = v.lo
+	}
+	slackCol := nv
+	artCol := nv + nslack
+	for i, r := range rows {
+		for _, term := range r.terms {
+			t.a[i*n+int(term.Var)] += term.Coef
+		}
+		t.b[i] = r.rhs
+		switch r.sense {
+		case LE:
+			t.a[i*n+slackCol] = 1
+			t.basis[i] = slackCol
+			slackCol++
+		case GE:
+			t.a[i*n+slackCol] = -1
+			slackCol++
+			t.a[i*n+artCol] = 1
+			t.art[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		case EQ:
+			t.a[i*n+artCol] = 1
+			t.art[artCol] = 1
+			t.basis[i] = artCol
+			artCol++
+		}
+	}
+	return t, nil
+}
+
+// run executes phase 1 (if artificials exist) and phase 2. It returns the
+// outcome and total pivot count.
+func (t *tableau) run() (Status, int) {
+	iters := 0
+	if t.nart > 0 {
+		st, it := t.optimize(t.art, true)
+		iters += it
+		if st != StatusOptimal {
+			return st, iters
+		}
+		// Feasible iff the artificial objective reached ~0.
+		if obj := t.objective(t.art); obj > 1e-6 {
+			return StatusInfeasible, iters
+		}
+		// Pivot any artificial still in the basis out (degenerate rows);
+		// if a row is all-zero over real columns, it is redundant and the
+		// artificial can stay at value 0 harmlessly, but we must forbid it
+		// from re-entering: zero its phase-2 handling by leaving c for
+		// artificials at +inf effect via exclusion in pricing (see below).
+		t.evictArtificials()
+	}
+	st, it := t.optimize(t.c, false)
+	iters += it
+	return st, iters
+}
+
+// objective returns the current value of the given cost vector at the
+// basic solution.
+func (t *tableau) objective(c []float64) float64 {
+	obj := 0.0
+	for i := 0; i < t.m; i++ {
+		obj += c[t.basis[i]] * t.b[i]
+	}
+	return obj
+}
+
+// realCols is the number of non-artificial columns.
+func (t *tableau) realCols() int { return t.n - t.nart }
+
+// evictArtificials pivots basic artificial variables out where possible.
+func (t *tableau) evictArtificials() {
+	real := t.realCols()
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < real {
+			continue
+		}
+		// Find any real column with a nonzero entry in this row.
+		pivotCol := -1
+		for j := 0; j < real; j++ {
+			if math.Abs(t.a[i*t.n+j]) > eps {
+				pivotCol = j
+				break
+			}
+		}
+		if pivotCol >= 0 {
+			t.pivot(i, pivotCol)
+		}
+		// Otherwise the row is redundant; the artificial stays basic at 0.
+	}
+}
+
+// optimize runs simplex pivots for the cost vector c. phase1 restricts
+// nothing extra; in phase 2 artificial columns are never priced in.
+//
+// Reduced costs r_j = c_j − c_B·B⁻¹A_j are maintained incrementally: they
+// are computed once from the current tableau and then updated inside each
+// pivot like any other row, bringing the per-pivot cost from three O(m·n)
+// passes down to one.
+func (t *tableau) optimize(c []float64, phase1 bool) (Status, int) {
+	cols := t.n
+	if !phase1 {
+		cols = t.realCols()
+	}
+	// Mark basic columns for O(1) pricing skips.
+	t.inBasis = make([]bool, t.n)
+	for _, bj := range t.basis {
+		t.inBasis[bj] = true
+	}
+	// Initial reduced costs from the current (already pivoted) tableau.
+	refresh := func() {
+		t.red = make([]float64, t.n)
+		copy(t.red, c)
+		for i := 0; i < t.m; i++ {
+			cb := c[t.basis[i]]
+			if cb == 0 {
+				continue
+			}
+			row := t.a[i*t.n : (i+1)*t.n]
+			for j, aij := range row {
+				if aij != 0 {
+					t.red[j] -= cb * aij
+				}
+			}
+		}
+	}
+	refresh()
+	refreshed := false
+	defer func() { t.red = nil }()
+	iters := 0
+	for {
+		if iters >= hardIterLimit {
+			return StatusIterLimit, iters
+		}
+		useBland := iters >= dantzigLimit
+		// Price from the maintained reduced-cost row.
+		enter := -1
+		best := -eps
+		for j := 0; j < cols; j++ {
+			if t.inBasis[j] {
+				continue
+			}
+			if rj := t.red[j]; rj < -eps {
+				if useBland {
+					enter = j
+					break
+				}
+				if rj < best {
+					best = rj
+					enter = j
+				}
+			}
+		}
+		if enter < 0 {
+			// The incremental row accumulates floating error across many
+			// pivots; confirm optimality against freshly computed reduced
+			// costs once before declaring victory.
+			if !refreshed {
+				refresh()
+				refreshed = true
+				continue
+			}
+			return StatusOptimal, iters
+		}
+		refreshed = false
+		// Ratio test.
+		leave := -1
+		bestRatio := math.Inf(1)
+		for i := 0; i < t.m; i++ {
+			aij := t.a[i*t.n+enter]
+			if aij > eps {
+				ratio := t.b[i] / aij
+				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
+					bestRatio = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return StatusUnbounded, iters
+		}
+		t.pivot(leave, enter)
+		iters++
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on (row, col), keeping the
+// reduced-cost row (when one is active) and the basic-column marks in
+// sync.
+func (t *tableau) pivot(row, col int) {
+	n := t.n
+	p := t.a[row*n+col]
+	inv := 1 / p
+	prow := t.a[row*n : (row+1)*n]
+	for j := range prow {
+		prow[j] *= inv
+	}
+	t.b[row] *= inv
+	prow[col] = 1 // exact
+	for i := 0; i < t.m; i++ {
+		if i == row {
+			continue
+		}
+		f := t.a[i*n+col]
+		if f == 0 {
+			continue
+		}
+		irow := t.a[i*n : (i+1)*n]
+		for j, pv := range prow {
+			if pv != 0 {
+				irow[j] -= f * pv
+			}
+		}
+		irow[col] = 0 // exact
+		t.b[i] -= f * t.b[row]
+		if t.b[i] < 0 && t.b[i] > -1e-11 {
+			t.b[i] = 0
+		}
+	}
+	if t.red != nil {
+		f := t.red[col]
+		if f != 0 {
+			for j, pv := range prow {
+				if pv != 0 {
+					t.red[j] -= f * pv
+				}
+			}
+			t.red[col] = 0 // exact
+		}
+	}
+	if t.inBasis != nil {
+		t.inBasis[t.basis[row]] = false
+		t.inBasis[col] = true
+	}
+	t.basis[row] = col
+}
+
+// extract reads the structural solution back in model coordinates.
+func (t *tableau) extract(m *Model) []float64 {
+	out := make([]float64, len(m.vars))
+	for j := range out {
+		out[j] = t.lo[j]
+	}
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] < len(m.vars) {
+			out[t.basis[i]] = t.lo[t.basis[i]] + t.b[i]
+		}
+	}
+	// Clean tiny negatives from floating error.
+	for j, v := range m.vars {
+		if out[j] < v.lo && out[j] > v.lo-1e-7 {
+			out[j] = v.lo
+		}
+		if !math.IsInf(v.hi, 1) && out[j] > v.hi && out[j] < v.hi+1e-7 {
+			out[j] = v.hi
+		}
+	}
+	return out
+}

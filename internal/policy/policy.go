@@ -1,0 +1,308 @@
+// Package policy models network-function policies: the NF catalogue with
+// the paper's Table IV datasheet (capacity and resource demands per VNF
+// type), policy chains (ordered NF sequences a flow must traverse), and a
+// deterministic chain synthesizer following the real-network studies the
+// paper cites ([37], [12]) since NF policies are not publicly available
+// (§IX-A).
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// NF identifies a network function type.
+type NF int
+
+// The four NF types used throughout the paper's evaluation.
+const (
+	Firewall NF = iota + 1
+	Proxy
+	NAT
+	IDS
+)
+
+// numNF is the count of defined NF types.
+const numNF = 4
+
+// AllNFs returns every defined NF type, in catalogue order.
+func AllNFs() []NF { return []NF{Firewall, Proxy, NAT, IDS} }
+
+// String returns the NF's conventional name.
+func (n NF) String() string {
+	switch n {
+	case Firewall:
+		return "firewall"
+	case Proxy:
+		return "proxy"
+	case NAT:
+		return "nat"
+	case IDS:
+		return "ids"
+	default:
+		return fmt.Sprintf("NF(%d)", int(n))
+	}
+}
+
+// Valid reports whether n is a defined NF type.
+func (n NF) Valid() bool { return n >= Firewall && n <= IDS }
+
+// Resources is the hardware demand vector R_n of a VNF instance, and the
+// available vector A_v of an APPLE host. Comparison is element-wise.
+type Resources struct {
+	Cores    int
+	MemoryMB int
+}
+
+// Fits reports whether r fits within avail element-wise.
+func (r Resources) Fits(avail Resources) bool {
+	return r.Cores <= avail.Cores && r.MemoryMB <= avail.MemoryMB
+}
+
+// Add returns the element-wise sum.
+func (r Resources) Add(o Resources) Resources {
+	return Resources{Cores: r.Cores + o.Cores, MemoryMB: r.MemoryMB + o.MemoryMB}
+}
+
+// Sub returns the element-wise difference.
+func (r Resources) Sub(o Resources) Resources {
+	return Resources{Cores: r.Cores - o.Cores, MemoryMB: r.MemoryMB - o.MemoryMB}
+}
+
+// NonNegative reports whether all elements are ≥ 0.
+func (r Resources) NonNegative() bool { return r.Cores >= 0 && r.MemoryMB >= 0 }
+
+// String renders the vector compactly.
+func (r Resources) String() string {
+	return fmt.Sprintf("%dcores/%dMB", r.Cores, r.MemoryMB)
+}
+
+// Spec is one row of the VNF datasheet (Table IV), extended with the
+// memory footprint implied by the VM flavour: ClickOS unikernels are tiny
+// (tens of MB, [28]); full VMs carry a guest OS.
+type Spec struct {
+	NF           NF
+	Cores        int
+	CapacityMbps float64
+	ClickOS      bool
+	MemoryMB     int
+	// RewritesHeader marks NFs that change packet headers (NAT), which
+	// invalidates downstream header-based classification; the data plane
+	// must rely on a globally-meaningful sub-class tag instead (§X).
+	RewritesHeader bool
+}
+
+// Resources returns the demand vector of one instance.
+func (s Spec) Resources() Resources {
+	return Resources{Cores: s.Cores, MemoryMB: s.MemoryMB}
+}
+
+// CapacityPPS converts the datasheet Mbps capacity to packets/second for a
+// given packet size — the metric Cap_n of the optimization problem.
+func (s Spec) CapacityPPS(packetBytes int) (float64, error) {
+	if packetBytes <= 0 {
+		return 0, fmt.Errorf("policy: packet size %d must be positive", packetBytes)
+	}
+	return s.CapacityMbps * 1e6 / (float64(packetBytes) * 8), nil
+}
+
+// catalogue is Table IV of the paper: firewall and NAT run in ClickOS,
+// proxy and IDS in full VMs.
+var catalogue = map[NF]Spec{
+	Firewall: {NF: Firewall, Cores: 4, CapacityMbps: 900, ClickOS: true, MemoryMB: 32},
+	Proxy:    {NF: Proxy, Cores: 4, CapacityMbps: 900, ClickOS: false, MemoryMB: 2048},
+	NAT:      {NF: NAT, Cores: 2, CapacityMbps: 900, ClickOS: true, MemoryMB: 32, RewritesHeader: true},
+	IDS:      {NF: IDS, Cores: 8, CapacityMbps: 600, ClickOS: false, MemoryMB: 4096},
+}
+
+// Catalogue returns the Table IV datasheet, in NF order.
+func Catalogue() []Spec {
+	out := make([]Spec, 0, numNF)
+	for _, nf := range AllNFs() {
+		out = append(out, catalogue[nf])
+	}
+	return out
+}
+
+// SpecOf returns the datasheet row for nf.
+func SpecOf(nf NF) (Spec, error) {
+	s, ok := catalogue[nf]
+	if !ok {
+		return Spec{}, fmt.Errorf("policy: unknown NF %v", nf)
+	}
+	return s, nil
+}
+
+// Chain is an ordered NF sequence a flow must traverse (C_h in the paper).
+type Chain []NF
+
+// Validate checks that the chain is non-empty, all NFs are defined, and no
+// NF type repeats (the data plane disambiguates hops by vSwitch in-port,
+// which requires each instance — and, conservatively, each type — to appear
+// once; §V-B).
+func (c Chain) Validate() error {
+	if len(c) == 0 {
+		return errors.New("policy: empty chain")
+	}
+	seen := make(map[NF]bool, len(c))
+	for i, nf := range c {
+		if !nf.Valid() {
+			return fmt.Errorf("policy: chain position %d: unknown NF %v", i, nf)
+		}
+		if seen[nf] {
+			return fmt.Errorf("policy: chain repeats %v", nf)
+		}
+		seen[nf] = true
+	}
+	return nil
+}
+
+// String renders the chain as "firewall->ids->proxy".
+func (c Chain) String() string {
+	parts := make([]string, len(c))
+	for i, nf := range c {
+		parts[i] = nf.String()
+	}
+	return strings.Join(parts, "->")
+}
+
+// Index returns the position of nf in the chain (i(C,h,n) in the paper),
+// or -1 if absent.
+func (c Chain) Index(nf NF) int {
+	for i, x := range c {
+		if x == nf {
+			return i
+		}
+	}
+	return -1
+}
+
+// Contains reports whether nf appears in the chain.
+func (c Chain) Contains(nf NF) bool { return c.Index(nf) >= 0 }
+
+// RewritesHeader reports whether any NF in the chain modifies packet
+// headers, which forces global sub-class tagging (§X).
+func (c Chain) RewritesHeader() (bool, error) {
+	for _, nf := range c {
+		s, err := SpecOf(nf)
+		if err != nil {
+			return false, err
+		}
+		if s.RewritesHeader {
+			return true, nil
+		}
+	}
+	return false, nil
+}
+
+// Equal reports element-wise equality.
+func (c Chain) Equal(o Chain) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i := range c {
+		if c[i] != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Clone returns a copy of the chain.
+func (c Chain) Clone() Chain {
+	out := make(Chain, len(c))
+	copy(out, c)
+	return out
+}
+
+// Resources returns the total demand of one instance of every NF in the
+// chain — what the ingress strawman pays per class (§IX-D).
+func (c Chain) Resources() (Resources, error) {
+	var total Resources
+	for _, nf := range c {
+		s, err := SpecOf(nf)
+		if err != nil {
+			return Resources{}, err
+		}
+		total = total.Add(s.Resources())
+	}
+	return total, nil
+}
+
+// CommonChains returns the representative policy chains synthesized from
+// the SFC data-center use cases [12] and the middlebox survey [37]: web
+// protection, intrusion monitoring, NAT'd egress, and combinations over
+// the four NF types.
+func CommonChains() []Chain {
+	return []Chain{
+		{Firewall, IDS, Proxy},      // the paper's intro example (http)
+		{Firewall, IDS},             // security pair
+		{Firewall, Proxy},           // filtered web access
+		{NAT, Firewall},             // egress NAT then filter
+		{Firewall, NAT},             // filter then NAT
+		{IDS, Proxy},                // monitored proxying
+		{IDS},                       // passive monitoring
+		{Firewall},                  // plain filtering
+		{Firewall, IDS, NAT},        // secured egress
+		{Firewall, IDS, Proxy, NAT}, // full stack
+	}
+}
+
+// Generator deterministically assigns policy chains to flow classes with
+// realistic skew (a few chains dominate, per [37]).
+type Generator struct {
+	rng    *rand.Rand
+	chains []Chain
+	cum    []float64
+}
+
+// NewGenerator builds a generator over the given chains with geometric
+// popularity weights (first chain most popular). A nil or empty chains
+// slice uses CommonChains.
+func NewGenerator(seed int64, chains []Chain) (*Generator, error) {
+	if len(chains) == 0 {
+		chains = CommonChains()
+	}
+	cloned := make([]Chain, len(chains))
+	for i, c := range chains {
+		if err := c.Validate(); err != nil {
+			return nil, fmt.Errorf("policy: generator chain %d: %w", i, err)
+		}
+		cloned[i] = c.Clone()
+	}
+	// Geometric weights w_i = r^i, r = 0.7.
+	const r = 0.7
+	cum := make([]float64, len(cloned))
+	w, total := 1.0, 0.0
+	for i := range cloned {
+		total += w
+		cum[i] = total
+		w *= r
+	}
+	for i := range cum {
+		cum[i] /= total
+	}
+	return &Generator{rng: rand.New(rand.NewSource(seed)), chains: cloned, cum: cum}, nil
+}
+
+// Next returns the chain for the next flow class.
+func (g *Generator) Next() Chain {
+	u := g.rng.Float64()
+	for i, c := range g.cum {
+		if u <= c {
+			return g.chains[i].Clone()
+		}
+	}
+	return g.chains[len(g.chains)-1].Clone()
+}
+
+// Chains returns the generator's chain set (copies).
+func (g *Generator) Chains() []Chain {
+	out := make([]Chain, len(g.chains))
+	for i, c := range g.chains {
+		out[i] = c.Clone()
+	}
+	return out
+}

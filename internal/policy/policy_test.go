@@ -1,0 +1,271 @@
+package policy
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestCatalogueMatchesTableIV(t *testing.T) {
+	tests := []struct {
+		nf      NF
+		cores   int
+		mbps    float64
+		clickos bool
+	}{
+		{Firewall, 4, 900, true},
+		{Proxy, 4, 900, false},
+		{NAT, 2, 900, true},
+		{IDS, 8, 600, false},
+	}
+	for _, tc := range tests {
+		s, err := SpecOf(tc.nf)
+		if err != nil {
+			t.Fatalf("SpecOf(%v): %v", tc.nf, err)
+		}
+		if s.Cores != tc.cores || s.CapacityMbps != tc.mbps || s.ClickOS != tc.clickos {
+			t.Errorf("%v spec = %+v, want cores=%d mbps=%v clickos=%v",
+				tc.nf, s, tc.cores, tc.mbps, tc.clickos)
+		}
+	}
+	if len(Catalogue()) != 4 {
+		t.Fatalf("catalogue size = %d", len(Catalogue()))
+	}
+	if _, err := SpecOf(NF(99)); err == nil {
+		t.Fatal("unknown NF should fail")
+	}
+}
+
+func TestCapacityPPS(t *testing.T) {
+	s, err := SpecOf(Firewall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 900 Mbps at 1500-byte packets = 75000 pps.
+	pps, err := s.CapacityPPS(1500)
+	if err != nil || pps != 75000 {
+		t.Fatalf("CapacityPPS = %v, %v; want 75000", pps, err)
+	}
+	if _, err := s.CapacityPPS(0); err == nil {
+		t.Fatal("zero packet size should fail")
+	}
+}
+
+func TestNFString(t *testing.T) {
+	want := map[NF]string{Firewall: "firewall", Proxy: "proxy", NAT: "nat", IDS: "ids"}
+	for nf, name := range want {
+		if nf.String() != name {
+			t.Errorf("%d String = %q, want %q", nf, nf.String(), name)
+		}
+		if !nf.Valid() {
+			t.Errorf("%v should be valid", nf)
+		}
+	}
+	if NF(0).Valid() || NF(5).Valid() {
+		t.Error("out-of-range NF should be invalid")
+	}
+	if NF(9).String() == "" {
+		t.Error("unknown NF should still render")
+	}
+}
+
+func TestResourcesArithmetic(t *testing.T) {
+	a := Resources{Cores: 4, MemoryMB: 100}
+	b := Resources{Cores: 2, MemoryMB: 300}
+	if got := a.Add(b); got.Cores != 6 || got.MemoryMB != 400 {
+		t.Fatalf("Add = %+v", got)
+	}
+	if got := a.Sub(b); got.Cores != 2 || got.MemoryMB != -200 {
+		t.Fatalf("Sub = %+v", got)
+	}
+	if a.Sub(b).NonNegative() {
+		t.Fatal("negative memory should not be NonNegative")
+	}
+	if !b.Fits(Resources{Cores: 2, MemoryMB: 300}) {
+		t.Fatal("exact fit should pass")
+	}
+	if b.Fits(Resources{Cores: 1, MemoryMB: 300}) {
+		t.Fatal("core overflow should fail")
+	}
+	if !strings.Contains(a.String(), "4cores") {
+		t.Fatalf("String = %q", a.String())
+	}
+}
+
+func TestChainValidate(t *testing.T) {
+	good := Chain{Firewall, IDS, Proxy}
+	if err := good.Validate(); err != nil {
+		t.Fatalf("valid chain rejected: %v", err)
+	}
+	if err := (Chain{}).Validate(); err == nil {
+		t.Error("empty chain should fail")
+	}
+	if err := (Chain{Firewall, Firewall}).Validate(); err == nil {
+		t.Error("repeated NF should fail")
+	}
+	if err := (Chain{NF(42)}).Validate(); err == nil {
+		t.Error("unknown NF should fail")
+	}
+}
+
+func TestChainStringIndexContains(t *testing.T) {
+	c := Chain{Firewall, IDS, Proxy}
+	if c.String() != "firewall->ids->proxy" {
+		t.Fatalf("String = %q", c.String())
+	}
+	if c.Index(IDS) != 1 || c.Index(NAT) != -1 {
+		t.Fatal("Index wrong")
+	}
+	if !c.Contains(Proxy) || c.Contains(NAT) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+func TestChainEqualClone(t *testing.T) {
+	c := Chain{Firewall, IDS}
+	d := c.Clone()
+	if !c.Equal(d) {
+		t.Fatal("clone should be equal")
+	}
+	d[0] = NAT
+	if c.Equal(d) {
+		t.Fatal("mutated clone should differ")
+	}
+	if c[0] != Firewall {
+		t.Fatal("Clone shares storage")
+	}
+	if c.Equal(Chain{Firewall}) {
+		t.Fatal("length mismatch should differ")
+	}
+}
+
+func TestChainResources(t *testing.T) {
+	c := Chain{Firewall, IDS} // 4+8 cores
+	r, err := c.Resources()
+	if err != nil {
+		t.Fatalf("Resources: %v", err)
+	}
+	if r.Cores != 12 {
+		t.Fatalf("cores = %d, want 12", r.Cores)
+	}
+	if _, err := (Chain{NF(9)}).Resources(); err == nil {
+		t.Fatal("unknown NF should fail")
+	}
+}
+
+func TestCommonChainsAreValid(t *testing.T) {
+	chains := CommonChains()
+	if len(chains) < 5 {
+		t.Fatalf("want a representative set, got %d", len(chains))
+	}
+	for i, c := range chains {
+		if err := c.Validate(); err != nil {
+			t.Errorf("chain %d (%s): %v", i, c, err)
+		}
+	}
+	// The paper's intro example must be present.
+	intro := Chain{Firewall, IDS, Proxy}
+	found := false
+	for _, c := range chains {
+		if c.Equal(intro) {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("firewall->ids->proxy (the paper's example) missing")
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1, err := NewGenerator(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := NewGenerator(5, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if !g1.Next().Equal(g2.Next()) {
+			t.Fatalf("draw %d differs across equal seeds", i)
+		}
+	}
+}
+
+func TestGeneratorSkew(t *testing.T) {
+	g, err := NewGenerator(1, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make(map[string]int)
+	const n = 2000
+	for i := 0; i < n; i++ {
+		counts[g.Next().String()]++
+	}
+	first := CommonChains()[0].String()
+	if counts[first] < n/5 {
+		t.Fatalf("most popular chain drawn only %d/%d times", counts[first], n)
+	}
+	if len(counts) < 4 {
+		t.Fatalf("only %d distinct chains drawn; want diversity", len(counts))
+	}
+}
+
+func TestGeneratorCustomChains(t *testing.T) {
+	chains := []Chain{{NAT}, {IDS}}
+	g, err := NewGenerator(2, chains)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := g.Chains()
+	if len(got) != 2 || !got[0].Equal(chains[0]) {
+		t.Fatalf("Chains = %v", got)
+	}
+	// Mutating the returned slice must not affect the generator.
+	got[0][0] = Firewall
+	if !g.Chains()[0].Equal(Chain{NAT}) {
+		t.Fatal("Chains leaked internal storage")
+	}
+	for i := 0; i < 10; i++ {
+		c := g.Next()
+		if len(c) != 1 {
+			t.Fatalf("unexpected chain %v", c)
+		}
+	}
+}
+
+func TestGeneratorRejectsBadChains(t *testing.T) {
+	if _, err := NewGenerator(1, []Chain{{}}); err == nil {
+		t.Fatal("empty chain should be rejected")
+	}
+	if _, err := NewGenerator(1, []Chain{{NF(77)}}); err == nil {
+		t.Fatal("invalid NF should be rejected")
+	}
+}
+
+func TestAllNFs(t *testing.T) {
+	all := AllNFs()
+	if len(all) != 4 {
+		t.Fatalf("AllNFs = %v", all)
+	}
+	seen := make(map[NF]bool)
+	for _, nf := range all {
+		if seen[nf] {
+			t.Fatalf("duplicate %v", nf)
+		}
+		seen[nf] = true
+	}
+}
+
+func TestRewritesHeader(t *testing.T) {
+	yes, err := (Chain{Firewall, NAT}).RewritesHeader()
+	if err != nil || !yes {
+		t.Fatalf("NAT chain = %v, %v; want true", yes, err)
+	}
+	no, err := (Chain{Firewall, IDS}).RewritesHeader()
+	if err != nil || no {
+		t.Fatalf("non-NAT chain = %v, %v; want false", no, err)
+	}
+	if _, err := (Chain{NF(99)}).RewritesHeader(); err == nil {
+		t.Fatal("unknown NF should fail")
+	}
+}

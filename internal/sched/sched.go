@@ -1,0 +1,174 @@
+// Package sched implements the max-min fair multi-resource scheduler the
+// paper leaves as future work (§X: "To integrate a max-min fair
+// multi-resource scheduler [25] for policy enforcement would be our future
+// work"). VNF instances co-located on an APPLE host contend for several
+// resources at once (CPU cycles, NIC bandwidth, memory bandwidth); plain
+// per-resource fair sharing lets a CPU-heavy NF starve an I/O-heavy one.
+//
+// The allocator implements Dominant Resource Fairness: each task's
+// dominant share (its largest per-resource usage fraction) is equalized at
+// the highest feasible level, with optional weights. For backlogged tasks
+// this has a closed form, which Allocate computes and Verify checks
+// against first principles.
+package sched
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// Task is one contender: a name, a per-unit demand vector (resource
+// consumed per unit of work, e.g. per packet), and a weight (1 = default).
+type Task struct {
+	Name   string
+	Demand []float64
+	Weight float64
+}
+
+// Allocation is the result for one task.
+type Allocation struct {
+	Name string
+	// Units of work per time unit granted.
+	Units float64
+	// DominantShare is the task's usage fraction of its dominant resource.
+	DominantShare float64
+}
+
+// Allocate computes the weighted DRF allocation for backlogged tasks over
+// the given resource capacities. All tasks receive the same
+// weight-normalized dominant share θ, the largest feasible:
+//
+//	θ = min over resources r of  C_r / Σ_i w_i·d_ir / s_i
+//
+// where s_i = max_r d_ir/C_r is task i's dominant per-unit share.
+func Allocate(capacity []float64, tasks []Task) ([]Allocation, error) {
+	if len(capacity) == 0 {
+		return nil, errors.New("sched: no resources")
+	}
+	for r, c := range capacity {
+		if c <= 0 || math.IsNaN(c) || math.IsInf(c, 0) {
+			return nil, fmt.Errorf("sched: bad capacity %v for resource %d", c, r)
+		}
+	}
+	if len(tasks) == 0 {
+		return nil, errors.New("sched: no tasks")
+	}
+	type prepared struct {
+		weight float64
+		// unitsPerTheta is how many units the task runs per unit of
+		// normalized dominant share.
+		unitsPerTheta float64
+	}
+	prep := make([]prepared, len(tasks))
+	for i, t := range tasks {
+		if len(t.Demand) != len(capacity) {
+			return nil, fmt.Errorf("sched: task %q has %d demands, want %d", t.Name, len(t.Demand), len(capacity))
+		}
+		w := t.Weight
+		if w == 0 {
+			w = 1
+		}
+		if w < 0 {
+			return nil, fmt.Errorf("sched: task %q has negative weight", t.Name)
+		}
+		s := 0.0
+		for r, d := range t.Demand {
+			if d < 0 || math.IsNaN(d) || math.IsInf(d, 0) {
+				return nil, fmt.Errorf("sched: task %q has bad demand %v", t.Name, d)
+			}
+			if share := d / capacity[r]; share > s {
+				s = share
+			}
+		}
+		if s == 0 {
+			return nil, fmt.Errorf("sched: task %q demands nothing", t.Name)
+		}
+		prep[i] = prepared{weight: w, unitsPerTheta: w / s}
+	}
+	// θ is capped by every resource.
+	theta := math.Inf(1)
+	for r, c := range capacity {
+		used := 0.0
+		for i, t := range tasks {
+			used += prep[i].unitsPerTheta * t.Demand[r]
+		}
+		if used > 0 {
+			if limit := c / used; limit < theta {
+				theta = limit
+			}
+		}
+	}
+	out := make([]Allocation, len(tasks))
+	for i, t := range tasks {
+		units := prep[i].unitsPerTheta * theta
+		dom := 0.0
+		for r, d := range t.Demand {
+			if share := units * d / capacity[r]; share > dom {
+				dom = share
+			}
+		}
+		out[i] = Allocation{Name: t.Name, Units: units, DominantShare: dom}
+	}
+	return out, nil
+}
+
+// Verify checks the two defining DRF properties of an allocation against
+// the inputs: feasibility (no resource over-committed) and equalized
+// weight-normalized dominant shares with at least one saturated resource
+// (Pareto efficiency). Used by tests and available as a runtime check.
+func Verify(capacity []float64, tasks []Task, allocs []Allocation) error {
+	if len(tasks) != len(allocs) {
+		return fmt.Errorf("sched: %d tasks but %d allocations", len(tasks), len(allocs))
+	}
+	const tol = 1e-9
+	// Feasibility + find a saturated resource.
+	saturated := false
+	for r, c := range capacity {
+		used := 0.0
+		for i, t := range tasks {
+			used += allocs[i].Units * t.Demand[r]
+		}
+		if used > c*(1+tol) {
+			return fmt.Errorf("sched: resource %d over-committed: %v of %v", r, used, c)
+		}
+		if used >= c*(1-1e-6) {
+			saturated = true
+		}
+	}
+	if !saturated {
+		return errors.New("sched: no resource saturated; allocation is not Pareto efficient")
+	}
+	// Equal weight-normalized dominant shares.
+	first := math.NaN()
+	for i, t := range tasks {
+		w := t.Weight
+		if w == 0 {
+			w = 1
+		}
+		norm := allocs[i].DominantShare / w
+		if math.IsNaN(first) {
+			first = norm
+			continue
+		}
+		if math.Abs(norm-first) > 1e-6 {
+			return fmt.Errorf("sched: task %q normalized dominant share %v differs from %v",
+				t.Name, norm, first)
+		}
+	}
+	return nil
+}
+
+// FromVNFProfile builds a two-resource demand vector (CPU units, NIC
+// Mbps) per Mbps of traffic for a VNF with the given datasheet: an NF
+// that needs `cores` to run at `capacityMbps` consumes cores/capacity CPU
+// per Mbps and exactly 1 Mbps of NIC per Mbps.
+func FromVNFProfile(name string, cores int, capacityMbps float64) (Task, error) {
+	if cores <= 0 || capacityMbps <= 0 {
+		return Task{}, fmt.Errorf("sched: bad profile %d cores / %v Mbps", cores, capacityMbps)
+	}
+	return Task{
+		Name:   name,
+		Demand: []float64{float64(cores) / capacityMbps, 1},
+	}, nil
+}

@@ -1,0 +1,183 @@
+package sched
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestDRFClassicExample is the canonical example from the DRF paper: two
+// users on ⟨9 CPU, 18 GB⟩, demands ⟨1,4⟩ and ⟨3,1⟩. DRF gives user A
+// 3 units (12 GB dominant = 2/3) and user B 2 units (6 CPU dominant =
+// 2/3).
+func TestDRFClassicExample(t *testing.T) {
+	capacity := []float64{9, 18}
+	tasks := []Task{
+		{Name: "A", Demand: []float64{1, 4}},
+		{Name: "B", Demand: []float64{3, 1}},
+	}
+	allocs, err := Allocate(capacity, tasks)
+	if err != nil {
+		t.Fatalf("Allocate: %v", err)
+	}
+	if math.Abs(allocs[0].Units-3) > 1e-9 || math.Abs(allocs[1].Units-2) > 1e-9 {
+		t.Fatalf("units = %v, %v; want 3 and 2", allocs[0].Units, allocs[1].Units)
+	}
+	if math.Abs(allocs[0].DominantShare-2.0/3) > 1e-9 ||
+		math.Abs(allocs[1].DominantShare-2.0/3) > 1e-9 {
+		t.Fatalf("dominant shares = %v, %v; want 2/3 each",
+			allocs[0].DominantShare, allocs[1].DominantShare)
+	}
+	if err := Verify(capacity, tasks, allocs); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestWeightedDRF(t *testing.T) {
+	capacity := []float64{100, 100}
+	tasks := []Task{
+		{Name: "gold", Demand: []float64{1, 1}, Weight: 3},
+		{Name: "bronze", Demand: []float64{1, 1}, Weight: 1},
+	}
+	allocs, err := Allocate(capacity, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := allocs[0].Units / allocs[1].Units; math.Abs(r-3) > 1e-9 {
+		t.Fatalf("weighted ratio = %v, want 3", r)
+	}
+	if err := Verify(capacity, tasks, allocs); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+}
+
+func TestSingleTaskGetsSaturation(t *testing.T) {
+	capacity := []float64{10, 40}
+	tasks := []Task{{Name: "solo", Demand: []float64{2, 1}}}
+	allocs, err := Allocate(capacity, tasks)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// CPU binds: 10/2 = 5 units, dominant share 1.
+	if math.Abs(allocs[0].Units-5) > 1e-9 || math.Abs(allocs[0].DominantShare-1) > 1e-9 {
+		t.Fatalf("alloc = %+v", allocs[0])
+	}
+}
+
+func TestAllocateValidation(t *testing.T) {
+	good := []Task{{Name: "x", Demand: []float64{1}}}
+	if _, err := Allocate(nil, good); err == nil {
+		t.Error("no resources should fail")
+	}
+	if _, err := Allocate([]float64{0}, good); err == nil {
+		t.Error("zero capacity should fail")
+	}
+	if _, err := Allocate([]float64{1}, nil); err == nil {
+		t.Error("no tasks should fail")
+	}
+	if _, err := Allocate([]float64{1}, []Task{{Name: "short", Demand: nil}}); err == nil {
+		t.Error("demand length mismatch should fail")
+	}
+	if _, err := Allocate([]float64{1}, []Task{{Name: "zero", Demand: []float64{0}}}); err == nil {
+		t.Error("zero demand should fail")
+	}
+	if _, err := Allocate([]float64{1}, []Task{{Name: "neg", Demand: []float64{1}, Weight: -1}}); err == nil {
+		t.Error("negative weight should fail")
+	}
+	if _, err := Allocate([]float64{1}, []Task{{Name: "nan", Demand: []float64{math.NaN()}}}); err == nil {
+		t.Error("NaN demand should fail")
+	}
+}
+
+// TestDRFPropertiesRandom: feasibility, Pareto efficiency (some resource
+// saturated), and equalized normalized dominant shares on random
+// instances.
+func TestDRFPropertiesRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 200; trial++ {
+		nr := 1 + rng.Intn(4)
+		nt := 1 + rng.Intn(6)
+		capacity := make([]float64, nr)
+		for r := range capacity {
+			capacity[r] = 1 + rng.Float64()*99
+		}
+		tasks := make([]Task, nt)
+		for i := range tasks {
+			d := make([]float64, nr)
+			nonzero := false
+			for r := range d {
+				if rng.Intn(3) > 0 {
+					d[r] = rng.Float64() * 5
+					if d[r] > 0 {
+						nonzero = true
+					}
+				}
+			}
+			if !nonzero {
+				d[rng.Intn(nr)] = 1
+			}
+			tasks[i] = Task{Name: "t", Demand: d, Weight: 1 + rng.Float64()*4}
+		}
+		allocs, err := Allocate(capacity, tasks)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		if err := Verify(capacity, tasks, allocs); err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+	}
+}
+
+func TestVerifyCatchesViolations(t *testing.T) {
+	capacity := []float64{10}
+	tasks := []Task{{Name: "a", Demand: []float64{1}}, {Name: "b", Demand: []float64{1}}}
+	// Over-committed.
+	bad := []Allocation{{Name: "a", Units: 8, DominantShare: 0.8}, {Name: "b", Units: 8, DominantShare: 0.8}}
+	if err := Verify(capacity, tasks, bad); err == nil {
+		t.Error("over-commitment not caught")
+	}
+	// Unequal shares.
+	uneq := []Allocation{{Name: "a", Units: 8, DominantShare: 0.8}, {Name: "b", Units: 2, DominantShare: 0.2}}
+	if err := Verify(capacity, tasks, uneq); err == nil {
+		t.Error("unequal shares not caught")
+	}
+	// Not Pareto efficient (nothing saturated).
+	waste := []Allocation{{Name: "a", Units: 1, DominantShare: 0.1}, {Name: "b", Units: 1, DominantShare: 0.1}}
+	if err := Verify(capacity, tasks, waste); err == nil {
+		t.Error("waste not caught")
+	}
+	if err := Verify(capacity, tasks, bad[:1]); err == nil {
+		t.Error("length mismatch not caught")
+	}
+}
+
+// TestVNFProfileScheduling: co-located IDS (CPU-heavy) and firewall
+// (NIC-bound) share a 64-core, 10 Gbps host; DRF protects the firewall's
+// throughput instead of letting per-CPU fairness starve it.
+func TestVNFProfileScheduling(t *testing.T) {
+	ids, err := FromVNFProfile("ids", 8, 600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fw, err := FromVNFProfile("firewall", 4, 900)
+	if err != nil {
+		t.Fatal(err)
+	}
+	capacity := []float64{64, 10_000} // cores, NIC Mbps
+	allocs, err := Allocate(capacity, []Task{ids, fw})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Verify(capacity, []Task{ids, fw}, allocs); err != nil {
+		t.Fatalf("Verify: %v", err)
+	}
+	// The IDS is the CPU hog (8 cores per 600 Mbps); equal dominant
+	// shares must leave the firewall with strictly more throughput.
+	if allocs[1].Units <= allocs[0].Units {
+		t.Fatalf("firewall %v Mbps should exceed IDS %v Mbps under DRF",
+			allocs[1].Units, allocs[0].Units)
+	}
+	if _, err := FromVNFProfile("bad", 0, 100); err == nil {
+		t.Error("zero cores should fail")
+	}
+}

@@ -1,0 +1,264 @@
+// Package sim provides a lightweight discrete-event simulation kernel used
+// by the APPLE data-plane and orchestration models.
+//
+// A Simulation owns a virtual clock and a priority queue of timed events.
+// Components schedule callbacks at absolute virtual times or after relative
+// delays; Run drains the queue in time order. The kernel is deliberately
+// single-threaded: determinism matters more than parallelism for the
+// experiments in this repository, and it keeps component code free of locks.
+package sim
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"math"
+	"time"
+)
+
+// ErrStopped is returned by Run when the simulation was halted by Stop
+// before the event queue drained or the horizon elapsed.
+var ErrStopped = errors.New("sim: stopped")
+
+// Event is a callback scheduled to run at a virtual time.
+type Event func(now time.Duration)
+
+// item is a scheduled event in the queue.
+type item struct {
+	at   time.Duration
+	seq  uint64 // tie-breaker: FIFO among events at the same instant
+	fn   Event
+	idx  int
+	dead bool
+}
+
+// eventQueue implements heap.Interface ordered by (at, seq).
+type eventQueue []*item
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].idx = i
+	q[j].idx = j
+}
+
+func (q *eventQueue) Push(x any) {
+	it := x.(*item)
+	it.idx = len(*q)
+	*q = append(*q, it)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	it := old[n-1]
+	old[n-1] = nil
+	it.idx = -1
+	*q = old[:n-1]
+	return it
+}
+
+// Handle identifies a scheduled event so it can be cancelled.
+type Handle struct {
+	it *item
+}
+
+// Cancel marks the event so it will not fire. Cancelling an already-fired or
+// already-cancelled event is a no-op. It reports whether the event was live.
+func (h Handle) Cancel() bool {
+	if h.it == nil || h.it.dead {
+		return false
+	}
+	h.it.dead = true
+	return true
+}
+
+// Simulation is a discrete-event simulator with a virtual clock.
+//
+// The zero value is not usable; construct with New.
+type Simulation struct {
+	now     time.Duration
+	queue   eventQueue
+	seq     uint64
+	stopped bool
+	fired   uint64
+}
+
+// New returns an empty simulation with the clock at zero.
+func New() *Simulation {
+	return &Simulation{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() time.Duration { return s.now }
+
+// Fired returns the number of events executed so far.
+func (s *Simulation) Fired() uint64 { return s.fired }
+
+// Pending returns the number of live events still queued.
+func (s *Simulation) Pending() int {
+	n := 0
+	for _, it := range s.queue {
+		if !it.dead {
+			n++
+		}
+	}
+	return n
+}
+
+// At schedules fn to run at absolute virtual time at. Scheduling in the past
+// is an error; scheduling exactly at the current time runs fn later in the
+// same instant (FIFO among same-time events).
+func (s *Simulation) At(at time.Duration, fn Event) (Handle, error) {
+	if fn == nil {
+		return Handle{}, errors.New("sim: nil event")
+	}
+	if at < s.now {
+		return Handle{}, fmt.Errorf("sim: schedule at %v before now %v", at, s.now)
+	}
+	it := &item{at: at, seq: s.seq, fn: fn}
+	s.seq++
+	heap.Push(&s.queue, it)
+	return Handle{it: it}, nil
+}
+
+// After schedules fn to run after the given delay from the current time.
+// A negative delay is an error.
+func (s *Simulation) After(delay time.Duration, fn Event) (Handle, error) {
+	if delay < 0 {
+		return Handle{}, fmt.Errorf("sim: negative delay %v", delay)
+	}
+	return s.At(s.now+delay, fn)
+}
+
+// MustAfter is After for wiring code where the delay is a non-negative
+// constant; it panics on error.
+func (s *Simulation) MustAfter(delay time.Duration, fn Event) Handle {
+	h, err := s.After(delay, fn)
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+// Every schedules fn to run periodically starting at start and then every
+// period, until the returned Handle is cancelled or the simulation ends.
+// fn observes the tick time. Period must be positive.
+func (s *Simulation) Every(start, period time.Duration, fn Event) (Handle, error) {
+	if period <= 0 {
+		return Handle{}, fmt.Errorf("sim: non-positive period %v", period)
+	}
+	// The periodic handle wraps a forwarding item whose cancellation stops
+	// the chain: each tick checks the sentinel before rescheduling.
+	sentinel := &item{}
+	var tick Event
+	tick = func(now time.Duration) {
+		if sentinel.dead {
+			return
+		}
+		fn(now)
+		if sentinel.dead {
+			return
+		}
+		if _, err := s.After(period, tick); err != nil {
+			// Unreachable: period > 0 and now is valid.
+			panic(err)
+		}
+	}
+	if _, err := s.At(start, tick); err != nil {
+		return Handle{}, err
+	}
+	return Handle{it: sentinel}, nil
+}
+
+// Stop halts Run after the currently executing event returns.
+func (s *Simulation) Stop() { s.stopped = true }
+
+// Run executes events in time order until the queue drains or the virtual
+// clock would pass horizon. A non-positive horizon means no limit. It
+// returns ErrStopped if Stop was called.
+func (s *Simulation) Run(horizon time.Duration) error {
+	if horizon <= 0 {
+		horizon = time.Duration(math.MaxInt64)
+	}
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		it := heap.Pop(&s.queue).(*item)
+		if it.dead {
+			continue
+		}
+		if it.at > horizon {
+			// Leave the clock at the horizon; the event stays queued for
+			// a later Run.
+			heap.Push(&s.queue, it)
+			s.now = horizon
+			return nil
+		}
+		s.now = it.at
+		it.dead = true
+		s.fired++
+		it.fn(s.now)
+	}
+	return nil
+}
+
+// AdvanceTo runs all events up to t and then sets the clock to exactly t,
+// even if the queue drained earlier — the stepping primitive snapshot-based
+// simulations use between traffic-matrix snapshots.
+func (s *Simulation) AdvanceTo(t time.Duration) error {
+	if t < s.now {
+		return fmt.Errorf("sim: advance to %v before now %v", t, s.now)
+	}
+	if err := s.Run(t); err != nil {
+		return err
+	}
+	if s.now < t {
+		s.now = t
+	}
+	return nil
+}
+
+// RunUntil executes events until the predicate returns true (checked after
+// each event), the queue drains, or the horizon passes.
+func (s *Simulation) RunUntil(horizon time.Duration, done func() bool) error {
+	if done == nil {
+		return s.Run(horizon)
+	}
+	if horizon <= 0 {
+		horizon = time.Duration(math.MaxInt64)
+	}
+	s.stopped = false
+	for len(s.queue) > 0 {
+		if s.stopped {
+			return ErrStopped
+		}
+		if done() {
+			return nil
+		}
+		it := heap.Pop(&s.queue).(*item)
+		if it.dead {
+			continue
+		}
+		if it.at > horizon {
+			heap.Push(&s.queue, it)
+			s.now = horizon
+			return nil
+		}
+		s.now = it.at
+		it.dead = true
+		s.fired++
+		it.fn(s.now)
+	}
+	return nil
+}

@@ -1,0 +1,262 @@
+package sim
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"time"
+)
+
+func TestRunOrdersEventsByTime(t *testing.T) {
+	s := New()
+	var got []int
+	for i, d := range []time.Duration{30, 10, 20} {
+		i := i
+		if _, err := s.At(d*time.Millisecond, func(time.Duration) { got = append(got, i) }); err != nil {
+			t.Fatalf("At: %v", err)
+		}
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []int{1, 2, 0}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("order = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestSameInstantIsFIFO(t *testing.T) {
+	s := New()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		if _, err := s.At(time.Second, func(time.Duration) { got = append(got, i) }); err != nil {
+			t.Fatalf("At: %v", err)
+		}
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if !sort.IntsAreSorted(got) {
+		t.Fatalf("same-instant events not FIFO: %v", got)
+	}
+}
+
+func TestSchedulingInThePastFails(t *testing.T) {
+	s := New()
+	s.MustAfter(time.Second, func(time.Duration) {})
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if _, err := s.At(0, func(time.Duration) {}); err == nil {
+		t.Fatal("At(0) after clock advanced should fail")
+	}
+	if _, err := s.After(-time.Second, func(time.Duration) {}); err == nil {
+		t.Fatal("negative After should fail")
+	}
+}
+
+func TestNilEventFails(t *testing.T) {
+	s := New()
+	if _, err := s.At(0, nil); err == nil {
+		t.Fatal("nil event should fail")
+	}
+}
+
+func TestCancel(t *testing.T) {
+	s := New()
+	fired := false
+	h := s.MustAfter(time.Second, func(time.Duration) { fired = true })
+	if !h.Cancel() {
+		t.Fatal("first Cancel should report true")
+	}
+	if h.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+}
+
+func TestHorizonStopsClock(t *testing.T) {
+	s := New()
+	fired := false
+	s.MustAfter(10*time.Second, func(time.Duration) { fired = true })
+	if err := s.Run(3 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if fired {
+		t.Fatal("event beyond horizon fired")
+	}
+	if got := s.Now(); got != 3*time.Second {
+		t.Fatalf("Now() = %v, want 3s", got)
+	}
+}
+
+func TestStop(t *testing.T) {
+	s := New()
+	n := 0
+	for i := 1; i <= 5; i++ {
+		s.MustAfter(time.Duration(i)*time.Second, func(time.Duration) {
+			n++
+			if n == 2 {
+				s.Stop()
+			}
+		})
+	}
+	if err := s.Run(0); err != ErrStopped {
+		t.Fatalf("Run = %v, want ErrStopped", err)
+	}
+	if n != 2 {
+		t.Fatalf("fired %d events, want 2", n)
+	}
+}
+
+func TestEvery(t *testing.T) {
+	s := New()
+	var ticks []time.Duration
+	h, err := s.Every(time.Second, 2*time.Second, func(now time.Duration) {
+		ticks = append(ticks, now)
+		if len(ticks) == 3 {
+			// Cancel from inside the tick: no further ticks may fire.
+			return
+		}
+	})
+	if err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	s.MustAfter(5500*time.Millisecond, func(time.Duration) { h.Cancel() })
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	want := []time.Duration{time.Second, 3 * time.Second, 5 * time.Second}
+	if len(ticks) != len(want) {
+		t.Fatalf("ticks = %v, want %v", ticks, want)
+	}
+	for i := range want {
+		if ticks[i] != want[i] {
+			t.Fatalf("ticks = %v, want %v", ticks, want)
+		}
+	}
+}
+
+func TestEveryRejectsBadPeriod(t *testing.T) {
+	s := New()
+	if _, err := s.Every(0, 0, func(time.Duration) {}); err == nil {
+		t.Fatal("zero period should fail")
+	}
+}
+
+func TestRunUntil(t *testing.T) {
+	s := New()
+	n := 0
+	for i := 1; i <= 10; i++ {
+		s.MustAfter(time.Duration(i)*time.Second, func(time.Duration) { n++ })
+	}
+	if err := s.RunUntil(0, func() bool { return n >= 4 }); err != nil {
+		t.Fatalf("RunUntil: %v", err)
+	}
+	if n != 4 {
+		t.Fatalf("fired %d, want 4", n)
+	}
+	// Remaining events still run on a subsequent Run.
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if n != 10 {
+		t.Fatalf("fired %d total, want 10", n)
+	}
+}
+
+// TestRandomScheduleIsNonDecreasing is a property test: under an arbitrary
+// schedule of future events (including events scheduled from inside events),
+// observed firing times never decrease.
+func TestRandomScheduleIsNonDecreasing(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 20; trial++ {
+		s := New()
+		var times []time.Duration
+		var spawn func(now time.Duration)
+		budget := 200
+		spawn = func(now time.Duration) {
+			times = append(times, now)
+			if budget <= 0 {
+				return
+			}
+			budget--
+			d := time.Duration(rng.Intn(1000)) * time.Millisecond
+			s.MustAfter(d, spawn)
+		}
+		for i := 0; i < 5; i++ {
+			s.MustAfter(time.Duration(rng.Intn(100))*time.Millisecond, spawn)
+		}
+		if err := s.Run(0); err != nil {
+			t.Fatalf("Run: %v", err)
+		}
+		for i := 1; i < len(times); i++ {
+			if times[i] < times[i-1] {
+				t.Fatalf("trial %d: time went backwards: %v after %v", trial, times[i], times[i-1])
+			}
+		}
+		if s.Pending() != 0 {
+			t.Fatalf("trial %d: %d events still pending after Run", trial, s.Pending())
+		}
+	}
+}
+
+func TestFiredCounter(t *testing.T) {
+	s := New()
+	for i := 0; i < 7; i++ {
+		s.MustAfter(time.Duration(i)*time.Millisecond, func(time.Duration) {})
+	}
+	h := s.MustAfter(time.Millisecond, func(time.Duration) {})
+	h.Cancel()
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if s.Fired() != 7 {
+		t.Fatalf("Fired() = %d, want 7", s.Fired())
+	}
+}
+
+func TestHorizonPreservesFutureEvents(t *testing.T) {
+	s := New()
+	fired := false
+	s.MustAfter(10*time.Second, func(time.Duration) { fired = true })
+	if err := s.Run(3 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if fired {
+		t.Fatal("event fired early")
+	}
+	// The event must survive the early horizon and fire on a later Run.
+	if err := s.Run(0); err != nil {
+		t.Fatal(err)
+	}
+	if !fired {
+		t.Fatal("event beyond an early horizon was lost")
+	}
+}
+
+func TestAdvanceTo(t *testing.T) {
+	s := New()
+	n := 0
+	s.MustAfter(time.Second, func(time.Duration) { n++ })
+	if err := s.AdvanceTo(5 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatal("due event did not fire")
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("Now = %v, want 5s even with an empty queue", s.Now())
+	}
+	if err := s.AdvanceTo(time.Second); err == nil {
+		t.Fatal("advancing into the past should fail")
+	}
+}

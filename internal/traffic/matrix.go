@@ -1,0 +1,197 @@
+// Package traffic generates and manipulates the traffic matrices APPLE's
+// evaluation replays (§IX-A): time-varying demand matrices with diurnal and
+// weekly structure for Internet2 and GEANT (672 hourly snapshots = four
+// weeks), bursty trace replay for the UNIV1 data center, and FNSS-style
+// synthesis for AS-3679. Demands are in Mbps between switch pairs.
+package traffic
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Matrix is an n×n origin-destination demand matrix in Mbps. The diagonal
+// is unused and kept at zero.
+type Matrix struct {
+	n int
+	d []float64
+}
+
+// NewMatrix returns a zero n×n matrix.
+func NewMatrix(n int) (*Matrix, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("traffic: matrix size %d must be positive", n)
+	}
+	return &Matrix{n: n, d: make([]float64, n*n)}, nil
+}
+
+// MustNewMatrix is NewMatrix for constant sizes; it panics on error.
+func MustNewMatrix(n int) *Matrix {
+	m, err := NewMatrix(n)
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+// N returns the matrix dimension.
+func (m *Matrix) N() int { return m.n }
+
+// At returns the demand from i to j.
+func (m *Matrix) At(i, j int) float64 {
+	if i < 0 || j < 0 || i >= m.n || j >= m.n {
+		return 0
+	}
+	return m.d[i*m.n+j]
+}
+
+// Set assigns the demand from i to j. Self-demand and negative rates are
+// rejected.
+func (m *Matrix) Set(i, j int, mbps float64) error {
+	if i < 0 || j < 0 || i >= m.n || j >= m.n {
+		return fmt.Errorf("traffic: index (%d,%d) out of %d×%d", i, j, m.n, m.n)
+	}
+	if i == j {
+		return fmt.Errorf("traffic: self demand at node %d", i)
+	}
+	if mbps < 0 || math.IsNaN(mbps) || math.IsInf(mbps, 0) {
+		return fmt.Errorf("traffic: bad rate %v at (%d,%d)", mbps, i, j)
+	}
+	m.d[i*m.n+j] = mbps
+	return nil
+}
+
+// Total returns the sum of all demands.
+func (m *Matrix) Total() float64 {
+	t := 0.0
+	for _, v := range m.d {
+		t += v
+	}
+	return t
+}
+
+// Scale returns a new matrix with every entry multiplied by f ≥ 0.
+func (m *Matrix) Scale(f float64) (*Matrix, error) {
+	if f < 0 || math.IsNaN(f) || math.IsInf(f, 0) {
+		return nil, fmt.Errorf("traffic: bad scale factor %v", f)
+	}
+	out := MustNewMatrix(m.n)
+	for k, v := range m.d {
+		out.d[k] = v * f
+	}
+	return out, nil
+}
+
+// Clone returns a deep copy.
+func (m *Matrix) Clone() *Matrix {
+	out := MustNewMatrix(m.n)
+	copy(out.d, m.d)
+	return out
+}
+
+// Mean averages a non-empty series of equal-sized matrices — the input the
+// paper feeds the Optimization Engine ("whose traffic matrix input is the
+// mean value of the 672 snapshots", §IX-A).
+func Mean(series []*Matrix) (*Matrix, error) {
+	if len(series) == 0 {
+		return nil, errors.New("traffic: empty series")
+	}
+	n := series[0].n
+	out := MustNewMatrix(n)
+	for si, m := range series {
+		if m.n != n {
+			return nil, fmt.Errorf("traffic: snapshot %d has size %d, want %d", si, m.n, n)
+		}
+		for k, v := range m.d {
+			out.d[k] += v
+		}
+	}
+	inv := 1 / float64(len(series))
+	for k := range out.d {
+		out.d[k] *= inv
+	}
+	return out, nil
+}
+
+// PeakPair returns the OD pair with the largest demand and its rate.
+func (m *Matrix) PeakPair() (i, j int, mbps float64) {
+	for a := 0; a < m.n; a++ {
+		for b := 0; b < m.n; b++ {
+			if v := m.d[a*m.n+b]; v > mbps {
+				i, j, mbps = a, b, v
+			}
+		}
+	}
+	return i, j, mbps
+}
+
+// Gravity builds a demand matrix by the gravity model: demand(i,j) ∝
+// mass[i]·mass[j], scaled so the matrix total is totalMbps. Masses must be
+// non-negative with at least two positive entries.
+func Gravity(masses []float64, totalMbps float64) (*Matrix, error) {
+	n := len(masses)
+	if n < 2 {
+		return nil, fmt.Errorf("traffic: gravity needs ≥2 nodes, got %d", n)
+	}
+	if totalMbps < 0 {
+		return nil, fmt.Errorf("traffic: negative total %v", totalMbps)
+	}
+	sum := 0.0
+	positive := 0
+	for i, w := range masses {
+		if w < 0 || math.IsNaN(w) || math.IsInf(w, 0) {
+			return nil, fmt.Errorf("traffic: bad mass %v at node %d", w, i)
+		}
+		if w > 0 {
+			positive++
+		}
+		sum += w
+	}
+	if positive < 2 {
+		return nil, errors.New("traffic: gravity needs ≥2 positive masses")
+	}
+	m := MustNewMatrix(n)
+	// Normalizer excludes the diagonal.
+	norm := 0.0
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				norm += masses[i] * masses[j]
+			}
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			m.d[i*n+j] = totalMbps * masses[i] * masses[j] / norm
+		}
+	}
+	return m, nil
+}
+
+// MVRNoise applies the power-law mean–variance relationship observed for
+// aggregate traffic (Gunnar et al. [21], cited in §IV-A): each entry x is
+// replaced by max(0, x + N(0, sqrt(a·x^b))). b in [1,2]; b→2 means
+// relative variance independent of volume, b→1 means aggregation smooths
+// (Morris & Lin [30]).
+func MVRNoise(m *Matrix, a, b float64, rng *rand.Rand) (*Matrix, error) {
+	if a < 0 || b < 1 || b > 2 {
+		return nil, fmt.Errorf("traffic: bad MVR parameters a=%v b=%v", a, b)
+	}
+	if rng == nil {
+		return nil, errors.New("traffic: nil rng")
+	}
+	out := MustNewMatrix(m.n)
+	for k, x := range m.d {
+		if x == 0 {
+			continue
+		}
+		std := math.Sqrt(a * math.Pow(x, b))
+		out.d[k] = math.Max(0, x+rng.NormFloat64()*std)
+	}
+	return out, nil
+}
