@@ -1,0 +1,29 @@
+GO ?= go
+BENCHTIME ?= 5x
+
+.PHONY: build test race vet bench check clean
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+vet:
+	$(GO) vet ./...
+
+# bench runs the Table V engine benchmarks and refreshes BENCH_lp.json,
+# the machine-readable LP hot-path report (ns/op, pivots, warm-start hits,
+# speedup vs the recorded seed baselines).
+bench:
+	$(GO) test -run '^$$' -bench 'BenchmarkTableV' -benchtime $(BENCHTIME) .
+	$(GO) run ./cmd/benchlp -out BENCH_lp.json
+
+check: build vet test race
+
+clean:
+	$(GO) clean ./...
+	rm -f BENCH_lp.json

@@ -155,6 +155,7 @@ func benchFig10(b *testing.B, build func(experiments.Options) (*experiments.Scen
 	b.Helper()
 	sc := scenario(b, build)
 	var median float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		row, err := experiments.Fig10(sc, 4)
 		if err != nil {
@@ -176,6 +177,7 @@ func benchFig11(b *testing.B, build func(experiments.Options) (*experiments.Scen
 	b.Helper()
 	sc := scenario(b, build)
 	var reduction float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		row, err := experiments.Fig11(sc, 4)
 		if err != nil {
@@ -198,6 +200,7 @@ func benchFig12(b *testing.B, build func(experiments.Options) (*experiments.Scen
 	sc := scenario(b, build)
 	const snapshots = 48
 	var off, on, extra float64
+	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		resOff, err := experiments.Fig12(sc, snapshots, false)
 		if err != nil {
@@ -265,6 +268,7 @@ func BenchmarkAblation_Aggregation(b *testing.B) {
 				b.Fatal(err)
 			}
 			engine := core.NewEngine(core.EngineOptions{})
+			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := engine.Solve(prob); err != nil {
 					b.Fatalf("solve: %v", err)

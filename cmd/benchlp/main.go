@@ -1,0 +1,165 @@
+// Command benchlp measures the Optimization Engine's LP hot path on the
+// four Table V topologies and writes a machine-readable BENCH_lp.json so
+// the performance trajectory is tracked across PRs. Each topology's
+// series-mean problem is solved repeatedly; the report carries wall time,
+// pivot counts, warm-start hit rates, and the speedup against the recorded
+// pre-bounded-variable baselines.
+//
+// Usage:
+//
+//	benchlp                      # all four topologies, BENCH_lp.json
+//	benchlp -repeats 10 -out -   # more repeats, JSON to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/experiments"
+	"github.com/apple-nfv/apple/internal/metrics"
+)
+
+// seedBaselineNs records the seed repository's BenchmarkTableV_* ns/op
+// (dense row-per-bound simplex, cold re-solve per repair round) so every
+// report carries the before/after pair without needing a checkout of the
+// old code.
+var seedBaselineNs = map[string]float64{
+	"Internet2": 7_402_209,
+	"GEANT":     116_140_578,
+	"UNIV1":     82_742_635,
+	"AS-3679":   1_495_292_413,
+}
+
+// TopoReport is one topology's measurement.
+type TopoReport struct {
+	Topology     string  `json:"topology"`
+	Classes      int     `json:"classes"`
+	Instances    int     `json:"instances"`
+	Repeats      int     `json:"repeats"`
+	NsPerSolve   float64 `json:"ns_per_solve"`
+	SeedNs       float64 `json:"seed_ns_per_solve,omitempty"`
+	Speedup      float64 `json:"speedup_vs_seed,omitempty"`
+	Phase1Pivots int64   `json:"phase1_pivots"`
+	Phase2Pivots int64   `json:"phase2_pivots"`
+	DualPivots   int64   `json:"dual_pivots"`
+	ColdSolves   int64   `json:"cold_solves"`
+	WarmHits     int64   `json:"warm_hits"`
+	WarmMisses   int64   `json:"warm_misses"`
+	Phase1Ms     float64 `json:"phase1_ms"`
+	Phase2Ms     float64 `json:"phase2_ms"`
+}
+
+// Report is the whole BENCH_lp.json document.
+type Report struct {
+	GeneratedAt string       `json:"generated_at"`
+	Seed        int64        `json:"scenario_seed"`
+	Snapshots   int          `json:"scenario_snapshots"`
+	Topologies  []TopoReport `json:"topologies"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		repeats   = flag.Int("repeats", 5, "solver runs per topology")
+		seed      = flag.Int64("seed", 1, "deterministic scenario seed")
+		snapshots = flag.Int("snapshots", 96, "series length (96 matches the benchmark harness)")
+		out       = flag.String("out", "BENCH_lp.json", "output path, or - for stdout")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Snapshots: *snapshots}
+	scenarios, err := experiments.All(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchlp: %v\n", err)
+		return 1
+	}
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        *seed,
+		Snapshots:   *snapshots,
+	}
+	for _, sc := range scenarios {
+		tr, err := measure(sc, *repeats)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchlp: %s: %v\n", sc.Name, err)
+			return 1
+		}
+		rep.Topologies = append(rep.Topologies, tr)
+		fmt.Fprintf(os.Stderr, "%-10s %12.0f ns/op  %5.2fx vs seed  %d instances  warm %d/%d\n",
+			tr.Topology, tr.NsPerSolve, tr.Speedup, tr.Instances,
+			tr.WarmHits, tr.WarmHits+tr.WarmMisses)
+	}
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchlp: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchlp: %v\n", err)
+		return 1
+	}
+	return 0
+}
+
+// measure solves sc's mean problem repeats times and aggregates the solver
+// counters accumulated across the runs.
+func measure(sc *experiments.Scenario, repeats int) (TopoReport, error) {
+	if repeats <= 0 {
+		repeats = 5
+	}
+	prob, err := sc.MeanProblem()
+	if err != nil {
+		return TopoReport{}, err
+	}
+	engine := core.NewEngine(core.EngineOptions{})
+	// One untimed warm-up keeps one-off page faults out of the numbers.
+	if _, err := engine.Solve(prob); err != nil {
+		return TopoReport{}, err
+	}
+	before := metrics.LP.Snapshot()
+	start := time.Now()
+	instances := 0
+	for r := 0; r < repeats; r++ {
+		pl, err := engine.Solve(prob)
+		if err != nil {
+			return TopoReport{}, err
+		}
+		instances = pl.TotalInstances()
+	}
+	elapsed := time.Since(start)
+	delta := metrics.LP.Snapshot().Sub(before)
+
+	tr := TopoReport{
+		Topology:     sc.Name,
+		Classes:      len(prob.Classes),
+		Instances:    instances,
+		Repeats:      repeats,
+		NsPerSolve:   float64(elapsed.Nanoseconds()) / float64(repeats),
+		Phase1Pivots: delta.Phase1Pivots,
+		Phase2Pivots: delta.Phase2Pivots,
+		DualPivots:   delta.DualPivots,
+		ColdSolves:   delta.Solves,
+		WarmHits:     delta.WarmHits,
+		WarmMisses:   delta.WarmMisses,
+		Phase1Ms:     float64(delta.Phase1Time.Microseconds()) / 1e3,
+		Phase2Ms:     float64(delta.Phase2Time.Microseconds()) / 1e3,
+	}
+	if base, ok := seedBaselineNs[sc.Name]; ok {
+		tr.SeedNs = base
+		tr.Speedup = base / tr.NsPerSolve
+	}
+	return tr, nil
+}

@@ -8,9 +8,18 @@ import (
 	"time"
 
 	"github.com/apple-nfv/apple/internal/lp"
+	"github.com/apple-nfv/apple/internal/metrics"
 	"github.com/apple-nfv/apple/internal/policy"
 	"github.com/apple-nfv/apple/internal/topology"
 )
+
+// recordSolve feeds one solve's instrumentation into the process-wide
+// solver counters.
+func recordSolve(sol *lp.Solution, resolve bool) {
+	metrics.LP.RecordSolve(resolve, sol.WarmStarted,
+		sol.Phase1Iterations, sol.Phase2Iterations, sol.DualIterations,
+		sol.Phase1Time, sol.Phase2Time)
+}
 
 // EngineOptions tunes the LP-based Optimization Engine.
 type EngineOptions struct {
@@ -66,15 +75,17 @@ func (e *Engine) Solve(prob *Problem) (*Placement, error) {
 	if err != nil {
 		return nil, err
 	}
+	solver := lp.NewSolver(md.m)
 	var sol lp.Solution
 	if e.opts.Exact {
 		sol, err = lp.SolveMILP(md.m, lp.MILPOptions{})
 	} else {
-		sol, err = lp.Solve(md.m)
+		sol, err = solver.Solve()
 	}
 	if err != nil {
 		return nil, fmt.Errorf("core: optimization failed: %w", err)
 	}
+	recordSolve(&sol, false)
 	iters := sol.Iterations
 	var counts map[topology.NodeID]map[policy.NF]int
 	if e.opts.Exact {
@@ -83,8 +94,11 @@ func (e *Engine) Solve(prob *Problem) (*Placement, error) {
 		// Round q up, then repair any resource violation by capping an
 		// offender and re-solving (a cutting-plane-style loop). Capping
 		// the wrong NF can make the LP infeasible, so candidates are
-		// tried largest-footprint first with backtracking.
-		caps := make(map[qKey]float64)
+		// tried largest-footprint first with backtracking. A cap only
+		// tightens one q upper bound, so the re-solve warm-starts from
+		// the previous optimal basis (dual simplex) instead of rebuilding
+		// the model; the solver falls back to a cold solve on its own
+		// when the warm start is rejected.
 		for round := 0; ; round++ {
 			counts = extractCounts(md, &sol, true)
 			violSwitch, ok := findViolatedSwitch(prob, counts)
@@ -101,27 +115,28 @@ func (e *Engine) Solve(prob *Problem) (*Placement, error) {
 				if newCap < 0 {
 					continue
 				}
-				prevCap, hadCap := caps[key]
-				caps[key] = newCap
-				md2, err := buildModel(prob, caps, e.opts.ExplicitSigma)
+				qv := md.qVar[key]
+				_, prevCap, err := md.m.Bounds(qv)
 				if err != nil {
-					return nil, err
+					return nil, fmt.Errorf("core: %w", err)
 				}
-				sol2, err := lp.Solve(md2.m)
+				if err := solver.SetUpper(qv, newCap); err != nil {
+					return nil, fmt.Errorf("core: %w", err)
+				}
+				sol2, err := solver.ReSolve()
+				recordSolve(&sol2, true)
+				iters += sol2.Iterations
 				if err != nil {
 					if errors.Is(err, lp.ErrInfeasible) {
 						// Undo and try the next candidate.
-						if hadCap {
-							caps[key] = prevCap
-						} else {
-							delete(caps, key)
+						if err := solver.SetUpper(qv, prevCap); err != nil {
+							return nil, fmt.Errorf("core: %w", err)
 						}
 						continue
 					}
 					return nil, fmt.Errorf("core: repair re-solve failed: %w", err)
 				}
-				md, sol = md2, sol2
-				iters += sol.Iterations
+				sol = sol2
 				progressed = true
 				break
 			}

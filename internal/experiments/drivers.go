@@ -35,11 +35,14 @@ func TableV(scenarios []*Scenario, repeats int) ([]TableVRow, error) {
 	if repeats <= 0 {
 		repeats = 3
 	}
-	out := make([]TableVRow, 0, len(scenarios))
-	for _, sc := range scenarios {
+	// Per-topology runs are independent; each fills its own row, so the
+	// table order is deterministic.
+	out := make([]TableVRow, len(scenarios))
+	err := runIndexed(len(scenarios), 0, func(i int) error {
+		sc := scenarios[i]
 		prob, err := sc.MeanProblem()
 		if err != nil {
-			return nil, fmt.Errorf("experiments: %s: %w", sc.Name, err)
+			return fmt.Errorf("experiments: %s: %w", sc.Name, err)
 		}
 		row := TableVRow{
 			Topology: sc.Name,
@@ -51,13 +54,17 @@ func TableV(scenarios []*Scenario, repeats int) ([]TableVRow, error) {
 		for r := 0; r < repeats; r++ {
 			pl, err := core.NewEngine(core.EngineOptions{}).Solve(prob)
 			if err != nil {
-				return nil, fmt.Errorf("experiments: %s: %w", sc.Name, err)
+				return fmt.Errorf("experiments: %s: %w", sc.Name, err)
 			}
 			total += pl.SolveTime
 			row.Objective = pl.Objective
 		}
 		row.SolveTime = total / time.Duration(repeats)
-		out = append(out, row)
+		out[i] = row
+		return nil
+	})
+	if err != nil {
+		return nil, err
 	}
 	return out, nil
 }
@@ -91,25 +98,28 @@ func Fig10(sc *Scenario, draws int) (Fig10Row, error) {
 		step = 1
 	}
 	engine := core.NewEngine(core.EngineOptions{})
-	for d := 0; d < draws; d++ {
+	// Draws are independent solves; ratios land by index so the boxplot
+	// input order matches the sequential driver exactly.
+	row.Ratios = make([]float64, draws)
+	err := runIndexed(draws, 0, func(d int) error {
 		tm := sc.Series[d*step]
 		prob, err := sc.Problem(tm)
 		if err != nil {
-			return Fig10Row{}, fmt.Errorf("experiments: %s draw %d: %w", sc.Name, d, err)
+			return fmt.Errorf("experiments: %s draw %d: %w", sc.Name, d, err)
 		}
 		pl, err := engine.Solve(prob)
 		if err != nil {
-			return Fig10Row{}, fmt.Errorf("experiments: %s draw %d: %w", sc.Name, d, err)
+			return fmt.Errorf("experiments: %s draw %d: %w", sc.Name, d, err)
 		}
 		specs := make([]tagging.ClassSpec, 0, len(prob.Classes))
 		for _, cl := range prob.Classes {
 			subs, err := core.Subclasses(cl, pl.Dist[cl.ID])
 			if err != nil {
-				return Fig10Row{}, fmt.Errorf("experiments: %w", err)
+				return fmt.Errorf("experiments: %w", err)
 			}
 			prefix, err := controller.ClassPrefix(cl.ID)
 			if err != nil {
-				return Fig10Row{}, fmt.Errorf("experiments: %w", err)
+				return fmt.Errorf("experiments: %w", err)
 			}
 			spec := tagging.ClassSpec{
 				Class:      cl,
@@ -130,9 +140,13 @@ func Fig10(sc *Scenario, draws int) (Fig10Row, error) {
 		}
 		usage, err := tagging.CountTCAM(specs, 8)
 		if err != nil {
-			return Fig10Row{}, fmt.Errorf("experiments: %s draw %d: %w", sc.Name, d, err)
+			return fmt.Errorf("experiments: %s draw %d: %w", sc.Name, d, err)
 		}
-		row.Ratios = append(row.Ratios, usage.Ratio())
+		row.Ratios[d] = usage.Ratio()
+		return nil
+	})
+	if err != nil {
+		return Fig10Row{}, err
 	}
 	box, err := metrics.NewBoxplot(row.Ratios)
 	if err != nil {
@@ -189,29 +203,41 @@ func Fig11(sc *Scenario, draws int) (Fig11Row, error) {
 	}
 	row := Fig11Row{Topology: sc.Name}
 	engine := core.NewEngine(core.EngineOptions{})
-	for d := 0; d < draws; d++ {
+	// Per-draw core totals land by index and are reduced afterwards, so
+	// the averages are bit-identical to the sequential accumulation order.
+	appleCores := make([]float64, draws)
+	ingressCores := make([]float64, draws)
+	err := runIndexed(draws, 0, func(d int) error {
 		prob, err := sc.Problem(sc.Series[d*step])
 		if err != nil {
-			return Fig11Row{}, fmt.Errorf("experiments: %s draw %d: %w", sc.Name, d, err)
+			return fmt.Errorf("experiments: %s draw %d: %w", sc.Name, d, err)
 		}
 		apple, err := engine.Solve(prob)
 		if err != nil {
-			return Fig11Row{}, fmt.Errorf("experiments: %s draw %d: %w", sc.Name, d, err)
+			return fmt.Errorf("experiments: %s draw %d: %w", sc.Name, d, err)
 		}
 		ing, err := core.SolveIngress(prob)
 		if err != nil {
-			return Fig11Row{}, fmt.Errorf("experiments: %s draw %d: %w", sc.Name, d, err)
+			return fmt.Errorf("experiments: %s draw %d: %w", sc.Name, d, err)
 		}
 		ar, err := apple.TotalResources()
 		if err != nil {
-			return Fig11Row{}, fmt.Errorf("experiments: %w", err)
+			return fmt.Errorf("experiments: %w", err)
 		}
 		ir, err := ing.TotalResources()
 		if err != nil {
-			return Fig11Row{}, fmt.Errorf("experiments: %w", err)
+			return fmt.Errorf("experiments: %w", err)
 		}
-		row.AppleCores += float64(ar.Cores)
-		row.IngressCores += float64(ir.Cores)
+		appleCores[d] = float64(ar.Cores)
+		ingressCores[d] = float64(ir.Cores)
+		return nil
+	})
+	if err != nil {
+		return Fig11Row{}, err
+	}
+	for d := 0; d < draws; d++ {
+		row.AppleCores += appleCores[d]
+		row.IngressCores += ingressCores[d]
 	}
 	row.AppleCores /= float64(draws)
 	row.IngressCores /= float64(draws)

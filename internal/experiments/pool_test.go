@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"errors"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunIndexedCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 3, 64} {
+		n := 37
+		seen := make([]atomic.Int32, n)
+		if err := runIndexed(n, workers, func(i int) error {
+			seen[i].Add(1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i := range seen {
+			if got := seen[i].Load(); got != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, got)
+			}
+		}
+	}
+}
+
+func TestRunIndexedReturnsLowestIndexError(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := runIndexed(10, 2, func(i int) error {
+		switch i {
+		case 3:
+			return errA
+		case 7:
+			return errB
+		}
+		return nil
+	})
+	// 3 may or may not run before 7 under arbitrary scheduling, but
+	// whichever errors must surface; the lowest recorded index wins.
+	if !errors.Is(err, errA) && !errors.Is(err, errB) {
+		t.Fatalf("err = %v, want one of the injected errors", err)
+	}
+	if err := runIndexed(0, 4, func(int) error { return errA }); err != nil {
+		t.Fatalf("n=0 should be a no-op, got %v", err)
+	}
+}

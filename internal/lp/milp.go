@@ -38,7 +38,8 @@ func SolveMILP(m *Model, opts MILPOptions) (Solution, error) {
 			break
 		}
 	}
-	root, err := Solve(m)
+	s := NewSolver(m)
+	root, err := s.Solve()
 	if err != nil || !hasInt {
 		return root, err
 	}
@@ -63,25 +64,42 @@ func SolveMILP(m *Model, opts MILPOptions) (Solution, error) {
 	best := Solution{Status: StatusInfeasible, Objective: math.Inf(1)}
 	totalIters, nodes := 0, 0
 
+	// Root bounds, restored between nodes so each node applies its
+	// tightenings against the original model. Bound changes go through the
+	// shared Solver, which warm-starts every node from the previous
+	// optimal basis via the dual simplex.
+	rootLo := make([]float64, len(m.vars))
+	rootHi := make([]float64, len(m.vars))
+	for j, v := range m.vars {
+		rootLo[j], rootHi[j] = v.lo, v.hi
+	}
+	touched := make(map[VarID]bool)
 	solveWith := func(bounds []bound) (Solution, error) {
-		// Apply bound tightening by temporarily overwriting variable bounds.
-		saved := make([]variable, 0, len(bounds))
-		idx := make([]VarID, 0, len(bounds))
+		for v := range touched {
+			if err := s.SetBounds(v, rootLo[v], rootHi[v]); err != nil {
+				return Solution{}, err
+			}
+			delete(touched, v)
+		}
 		for _, b := range bounds {
-			saved = append(saved, m.vars[b.v])
-			idx = append(idx, b.v)
-			if b.lo > m.vars[b.v].lo {
-				m.vars[b.v].lo = b.lo
+			lo, hi := m.vars[b.v].lo, m.vars[b.v].hi
+			if b.lo > lo {
+				lo = b.lo
 			}
-			if b.hi < m.vars[b.v].hi {
-				m.vars[b.v].hi = b.hi
+			if b.hi < hi {
+				hi = b.hi
 			}
+			if lo > hi {
+				// Crossed bounds: the subproblem is trivially infeasible
+				// and SetBounds would reject the pair.
+				return Solution{Status: StatusInfeasible}, fmt.Errorf("%w: %s", ErrInfeasible, m.name)
+			}
+			if err := s.SetBounds(b.v, lo, hi); err != nil {
+				return Solution{}, err
+			}
+			touched[b.v] = true
 		}
-		sol, err := Solve(m)
-		for i, v := range idx {
-			m.vars[v] = saved[i]
-		}
-		return sol, err
+		return s.ReSolve()
 	}
 
 	for len(queue) > 0 && nodes < opts.MaxNodes {
@@ -134,6 +152,12 @@ func SolveMILP(m *Model, opts MILPOptions) (Solution, error) {
 			if rel <= opts.Gap {
 				break
 			}
+		}
+	}
+	// Leave the model at its root bounds for the caller.
+	for v := range touched {
+		if err := s.SetBounds(v, rootLo[v], rootHi[v]); err != nil {
+			return best, err
 		}
 	}
 	best.Iterations = totalIters

@@ -10,6 +10,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
+	"time"
 )
 
 // Sense is the direction of a linear constraint.
@@ -115,6 +116,43 @@ func (m *Model) IsInteger(v VarID) bool {
 	return m.validVar(v) && m.vars[v].integer
 }
 
+// Bounds returns the current [lo, hi] bounds of v.
+func (m *Model) Bounds(v VarID) (lo, hi float64, err error) {
+	if !m.validVar(v) {
+		return 0, 0, fmt.Errorf("lp: unknown variable %d", v)
+	}
+	return m.vars[v].lo, m.vars[v].hi, nil
+}
+
+// SetBounds replaces the bounds of v. The same validation as AddVariable
+// applies. Callers holding a live Solver must mutate bounds through
+// Solver.SetBounds instead so the solver's working state stays in sync.
+func (m *Model) SetBounds(v VarID, lo, hi float64) error {
+	if !m.validVar(v) {
+		return fmt.Errorf("lp: unknown variable %d", v)
+	}
+	if math.IsNaN(lo) || math.IsNaN(hi) {
+		return fmt.Errorf("lp: NaN bound for variable %q", m.vars[v].name)
+	}
+	if math.IsInf(lo, 0) {
+		return fmt.Errorf("lp: variable %q: free (unbounded-below) variables are not supported", m.vars[v].name)
+	}
+	if lo > hi {
+		return fmt.Errorf("lp: variable %q: lower bound %v above upper bound %v", m.vars[v].name, lo, hi)
+	}
+	m.vars[v].lo = lo
+	m.vars[v].hi = hi
+	return nil
+}
+
+// SetUpper replaces only the upper bound of v, keeping the lower bound.
+func (m *Model) SetUpper(v VarID, hi float64) error {
+	if !m.validVar(v) {
+		return fmt.Errorf("lp: unknown variable %d", v)
+	}
+	return m.SetBounds(v, m.vars[v].lo, hi)
+}
+
 // VariableName returns the name given at AddVariable.
 func (m *Model) VariableName(v VarID) string {
 	if !m.validVar(v) {
@@ -186,13 +224,26 @@ func (s Status) String() string {
 	}
 }
 
-// Solution is the result of Solve or SolveMILP.
+// Solution is the result of Solve, Solver.Solve/ReSolve, or SolveMILP.
+// On infeasible/unbounded/iteration-limit outcomes Objective is 0 and
+// Values is nil; only the status and iteration counters are meaningful.
 type Solution struct {
 	Status     Status
 	Objective  float64
 	Values     []float64 // indexed by VarID
-	Iterations int       // total simplex pivots
+	Iterations int       // total simplex pivots (phase 1 + phase 2 + dual)
 	Nodes      int       // branch-and-bound nodes (1 for pure LP)
+
+	// Phase split instrumentation (Table V observability).
+	Phase1Iterations int           // phase-1 (feasibility) pivots
+	Phase2Iterations int           // phase-2 (optimality) pivots
+	DualIterations   int           // dual-simplex pivots of a warm re-solve
+	Phase1Time       time.Duration // wall time spent in phase 1
+	Phase2Time       time.Duration // wall time spent in phase 2 (and dual)
+	// WarmStarted reports whether this solution came from a warm re-solve
+	// that reused the previous basis (Solver.ReSolve hit) rather than a
+	// cold two-phase solve.
+	WarmStarted bool
 }
 
 // Value returns the solution value of v.

@@ -3,6 +3,7 @@ package lp
 import (
 	"fmt"
 	"math"
+	"time"
 )
 
 const (
@@ -12,264 +13,431 @@ const (
 	dantzigLimit = 20000
 	// hardIterLimit aborts pathological instances.
 	hardIterLimit = 200000
+	// dualTol is the reduced-cost tolerance below which a saved basis still
+	// counts as dual feasible for a warm re-solve.
+	dualTol = 1e-7
+	// dualIterFactor bounds warm re-solve dual pivots at factor·m before
+	// the solver gives up and falls back to a cold solve.
+	dualIterFactor = 4
+	// minDualIters keeps the dual pivot budget useful on tiny models.
+	minDualIters = 200
 )
 
 // Solve solves the LP relaxation of the model (integrality flags are
-// ignored) with a dense two-phase primal simplex. It returns ErrInfeasible,
-// ErrUnbounded, or ErrIterLimit wrapped with context on failure; on success
-// Solution.Status is StatusOptimal.
+// ignored) with a dense bounded-variable two-phase primal simplex. Variable
+// bounds lo ≤ x ≤ hi are handled natively in the ratio test (nonbasic
+// variables may sit at either bound), so finite bounds never generate
+// tableau rows. It returns ErrInfeasible, ErrUnbounded, or ErrIterLimit
+// wrapped with context on failure; on success Solution.Status is
+// StatusOptimal.
 func Solve(m *Model) (Solution, error) {
-	if len(m.vars) == 0 {
+	s := NewSolver(m)
+	return s.Solve()
+}
+
+// Solver owns the simplex working state for one model and keeps it alive
+// across solves, which is what makes warm re-solves after bound changes
+// cheap: the tableau encodes only the constraint matrix (bounds never
+// appear in it), so tightening or relaxing a bound invalidates nothing but
+// primal feasibility — which the dual simplex repairs in a handful of
+// pivots starting from the previous optimal basis.
+type Solver struct {
+	model *Model
+	t     *tableau
+}
+
+// NewSolver wraps a model. The tableau is built lazily on the first Solve.
+func NewSolver(m *Model) *Solver {
+	return &Solver{model: m}
+}
+
+// Solve runs a cold two-phase solve, discarding any previous basis.
+func (s *Solver) Solve() (Solution, error) {
+	if len(s.model.vars) == 0 {
 		return Solution{}, ErrEmptyModel
 	}
-	t, err := newTableau(m)
+	// Crossed bounds (possible via branch-and-bound tightening, which
+	// bypasses SetBounds validation) make the model trivially infeasible;
+	// the tableau would otherwise misread such a column as fixed.
+	for _, v := range s.model.vars {
+		if v.lo > v.hi {
+			s.t = nil
+			sol := Solution{Status: StatusInfeasible}
+			return sol, solveErr(StatusInfeasible, s.model.name, 0)
+		}
+	}
+	t, err := newTableau(s.model)
 	if err != nil {
 		return Solution{}, err
 	}
-	status, iters := t.run()
-	sol := Solution{Status: status, Iterations: iters, Nodes: 1}
-	switch status {
-	case StatusOptimal:
-		sol.Values = t.extract(m)
-		sol.Objective = 0
-		for i, v := range m.vars {
-			sol.Objective += v.obj * sol.Values[i]
-		}
-		return sol, nil
-	case StatusInfeasible:
-		return sol, fmt.Errorf("%w: %s", ErrInfeasible, m.name)
-	case StatusUnbounded:
-		return sol, fmt.Errorf("%w: %s", ErrUnbounded, m.name)
-	default:
-		return sol, fmt.Errorf("%w: %s after %d pivots", ErrIterLimit, m.name, iters)
+	s.t = t
+	p1Start := time.Now()
+	status, it1 := t.phase1()
+	p1Time := time.Since(p1Start)
+	sol := Solution{
+		Status:           status,
+		Phase1Iterations: it1,
+		Iterations:       it1,
+		Phase1Time:       p1Time,
+		Nodes:            1,
+	}
+	if status != StatusOptimal {
+		// A failed tableau (mid-phase-1, artificials still basic) is not a
+		// valid warm-start base; drop it so the next ReSolve goes cold.
+		s.t = nil
+		return sol, solveErr(status, s.model.name, it1)
+	}
+	p2Start := time.Now()
+	status, it2 := t.optimize(t.c, false)
+	sol.Phase2Iterations = it2
+	sol.Iterations += it2
+	sol.Phase2Time = time.Since(p2Start)
+	sol.Status = status
+	if status != StatusOptimal {
+		s.t = nil
+		return sol, solveErr(status, s.model.name, sol.Iterations)
+	}
+	s.finish(&sol)
+	return sol, nil
+}
+
+// ReSolve re-optimizes after bound changes (Solver.SetBounds/SetUpper),
+// warm-starting from the current basis with the dual simplex. The basis
+// stays dual feasible under any bound change, so this usually converges in
+// a few pivots. When the warm start is rejected (no prior basis, dual
+// infeasibility from numerical drift, or a pivot budget blow-out) the
+// solver transparently falls back to a cold Solve; Solution.WarmStarted
+// reports which path produced the answer. A dual-simplex infeasibility
+// verdict is confirmed with a cold solve before being reported, so
+// callers never act on a spurious certificate.
+func (s *Solver) ReSolve() (Solution, error) {
+	if s.t == nil {
+		return s.Solve()
+	}
+	t := s.t
+	start := time.Now()
+	status, dIters, ok := t.dualSimplex(dualIterBudget(t.m))
+	if !ok {
+		// Warm start rejected: cold solve.
+		return s.Solve()
+	}
+	if status == StatusInfeasible {
+		// Confirm the certificate from scratch; a cold solve also leaves
+		// the solver in a well-defined state for the caller's next bound
+		// change.
+		return s.Solve()
+	}
+	// Primal clean-up: the dual run restores primal feasibility, and any
+	// eps-level dual infeasibility left behind is mopped up here (usually
+	// zero pivots).
+	status, it2 := t.optimize(t.c, false)
+	sol := Solution{
+		Status:           status,
+		DualIterations:   dIters,
+		Phase2Iterations: it2,
+		Iterations:       dIters + it2,
+		Phase2Time:       time.Since(start),
+		WarmStarted:      true,
+		Nodes:            1,
+	}
+	if status != StatusOptimal {
+		s.t = nil
+		return sol, solveErr(status, s.model.name, sol.Iterations)
+	}
+	s.finish(&sol)
+	return sol, nil
+}
+
+// SetBounds updates the bounds of v in the model and, when a tableau is
+// live, in the solver state — including the basic-value bookkeeping when a
+// nonbasic variable's resting bound moves.
+func (s *Solver) SetBounds(v VarID, lo, hi float64) error {
+	if err := s.model.SetBounds(v, lo, hi); err != nil {
+		return err
+	}
+	if s.t != nil {
+		s.t.setVarBounds(int(v), lo, hi)
+	}
+	return nil
+}
+
+// SetUpper updates only the upper bound of v (the repair-loop cap path).
+func (s *Solver) SetUpper(v VarID, hi float64) error {
+	lo, _, err := s.model.Bounds(v)
+	if err != nil {
+		return err
+	}
+	return s.SetBounds(v, lo, hi)
+}
+
+// finish extracts values and the objective into an optimal solution.
+func (s *Solver) finish(sol *Solution) {
+	sol.Values = s.t.extract(s.model)
+	sol.Objective = 0
+	for i, v := range s.model.vars {
+		sol.Objective += v.obj * sol.Values[i]
 	}
 }
 
-// tableau is the dense simplex working state in standard form:
-// minimize c·x subject to Ax = b, x ≥ 0, with b ≥ 0.
-type tableau struct {
-	m, n  int       // rows, structural+slack+artificial columns
-	a     []float64 // m×n row-major constraint matrix
-	b     []float64 // rhs, length m
-	c     []float64 // phase-2 costs, length n
-	art   []float64 // phase-1 costs (1 on artificials), length n
-	basis []int     // basic column per row
-	nart  int       // number of artificial columns
-	// shift maps structural column j (0..nv-1) back to model variables:
-	// x_model = x_std + lo.
-	lo []float64
-	// red is the maintained reduced-cost row during optimize (nil
-	// otherwise); inBasis marks basic columns.
-	red     []float64
-	inBasis []bool
+// solveErr maps a terminal status to the package error.
+func solveErr(status Status, name string, iters int) error {
+	switch status {
+	case StatusInfeasible:
+		return fmt.Errorf("%w: %s", ErrInfeasible, name)
+	case StatusUnbounded:
+		return fmt.Errorf("%w: %s", ErrUnbounded, name)
+	default:
+		return fmt.Errorf("%w: %s after %d pivots", ErrIterLimit, name, iters)
+	}
 }
 
-// newTableau converts the model into standard form.
+func dualIterBudget(m int) int {
+	b := dualIterFactor * m
+	if b < minDualIters {
+		b = minDualIters
+	}
+	return b
+}
+
+// tableau is the dense bounded-variable simplex working state:
+// minimize c·x subject to Ax + Σs = b, lo ≤ x ≤ hi, with one slack per row
+// (bounds [0,∞) for inequalities, [0,0] for equalities) and artificial
+// columns only for rows whose slack-basis start violates the slack bounds.
+// `a` is maintained as B⁻¹A by Gauss-Jordan pivoting; basic-variable
+// values xB are maintained incrementally and never stored in the matrix.
+type tableau struct {
+	m, n int // rows, structural+slack+artificial columns
+	nv   int // structural columns
+	nart int // artificial columns (always the trailing ones)
+
+	a     []float64 // m×n row-major constraint matrix, kept as B⁻¹A
+	basis []int     // basic column per row
+	xB    []float64 // value of the basic variable per row
+
+	lo, hi  []float64 // per-column bounds
+	atUpper []bool    // nonbasic column rests at hi (else at lo)
+
+	c   []float64 // phase-2 costs
+	art []float64 // phase-1 costs (1 on artificials)
+
+	red     []float64 // maintained reduced-cost row
+	inBasis []bool    // basic-column marks
+	nz      []int32   // scratch: pivot-row nonzero columns
+}
+
+// newTableau converts the model. Structural variables start nonbasic at
+// their lower bound; each row's slack absorbs the residual when it can,
+// otherwise the row gets an artificial and joins phase 1.
 func newTableau(m *Model) (*tableau, error) {
 	nv := len(m.vars)
-	// Count rows: model constraints + one upper-bound row per finitely
-	// bounded variable with hi > lo (hi == lo pins the variable; treat as
-	// an equality row too, simplest uniform handling).
-	type row struct {
-		terms []Term
-		sense Sense
-		rhs   float64
-	}
-	rows := make([]row, 0, len(m.cons)+4)
-	for _, con := range m.cons {
-		r := row{terms: con.terms, sense: con.sense, rhs: con.rhs}
-		// Shift variables by their lower bounds: rhs -= Σ coef*lo.
+	nrows := len(m.cons)
+
+	// Residual of each row at the all-at-lower-bound starting point.
+	resid := make([]float64, nrows)
+	for i, con := range m.cons {
+		r := con.rhs
 		for _, t := range con.terms {
-			r.rhs -= t.Coef * m.vars[t.Var].lo
+			r -= t.Coef * m.vars[t.Var].lo
 		}
-		rows = append(rows, r)
+		resid[i] = r
 	}
-	for j, v := range m.vars {
-		if !math.IsInf(v.hi, 1) {
-			rows = append(rows, row{
-				terms: []Term{{Var: VarID(j), Coef: 1}},
-				sense: LE,
-				rhs:   v.hi - v.lo,
-			})
-		}
-	}
-	nrows := len(rows)
-	// Columns: nv structural, then one slack/surplus per inequality, then
-	// artificials as needed. Count first.
-	nslack := 0
-	for _, r := range rows {
-		if r.sense != EQ {
-			nslack++
-		}
-	}
-	// Artificials: GE rows and EQ rows always get one; LE rows with
-	// negative rhs are flipped into GE first, so count after normalization.
-	// Normalize now: make rhs ≥ 0.
-	for i := range rows {
-		if rows[i].rhs < 0 {
-			neg := make([]Term, len(rows[i].terms))
-			for k, t := range rows[i].terms {
-				neg[k] = Term{Var: t.Var, Coef: -t.Coef}
-			}
-			rows[i].terms = neg
-			rows[i].rhs = -rows[i].rhs
-			switch rows[i].sense {
-			case LE:
-				rows[i].sense = GE
-			case GE:
-				rows[i].sense = LE
-			}
-		}
-	}
+	// A row needs an artificial when its slack cannot hold the residual:
+	// LE wants resid ≥ 0, GE wants resid ≤ 0, EQ wants resid = 0.
+	needArt := make([]bool, nrows)
 	nart := 0
-	for _, r := range rows {
-		if r.sense != LE {
+	for i, con := range m.cons {
+		switch con.sense {
+		case LE:
+			needArt[i] = resid[i] < -eps
+		case GE:
+			needArt[i] = resid[i] > eps
+		case EQ:
+			needArt[i] = math.Abs(resid[i]) > eps
+		}
+		if needArt[i] {
 			nart++
 		}
 	}
-	n := nv + nslack + nart
+
+	n := nv + nrows + nart
 	t := &tableau{
-		m:     nrows,
-		n:     n,
-		a:     make([]float64, nrows*n),
-		b:     make([]float64, nrows),
-		c:     make([]float64, n),
-		art:   make([]float64, n),
-		basis: make([]int, nrows),
-		nart:  nart,
-		lo:    make([]float64, nv),
+		m:       nrows,
+		n:       n,
+		nv:      nv,
+		nart:    nart,
+		a:       make([]float64, nrows*n),
+		basis:   make([]int, nrows),
+		xB:      make([]float64, nrows),
+		lo:      make([]float64, n),
+		hi:      make([]float64, n),
+		c:       make([]float64, n),
+		art:     make([]float64, n),
+		atUpper: make([]bool, n),
+		inBasis: make([]bool, n),
 	}
 	for j, v := range m.vars {
 		t.c[j] = v.obj
 		t.lo[j] = v.lo
+		t.hi[j] = v.hi
 	}
-	slackCol := nv
-	artCol := nv + nslack
-	for i, r := range rows {
-		for _, term := range r.terms {
-			t.a[i*n+int(term.Var)] += term.Coef
+	artCol := nv + nrows
+	for i, con := range m.cons {
+		row := t.a[i*n : (i+1)*n]
+		for _, term := range con.terms {
+			row[int(term.Var)] += term.Coef
 		}
-		t.b[i] = r.rhs
-		switch r.sense {
-		case LE:
-			t.a[i*n+slackCol] = 1
-			t.basis[i] = slackCol
-			slackCol++
+		slack := nv + i
+		sign := 1.0
+		shi := math.Inf(1)
+		switch con.sense {
 		case GE:
-			t.a[i*n+slackCol] = -1
-			slackCol++
-			t.a[i*n+artCol] = 1
-			t.art[artCol] = 1
-			t.basis[i] = artCol
-			artCol++
+			sign = -1
 		case EQ:
-			t.a[i*n+artCol] = 1
+			shi = 0
+		}
+		row[slack] = sign
+		t.lo[slack] = 0
+		t.hi[slack] = shi
+		if !needArt[i] {
+			sval := sign * resid[i]
+			if sval < 0 {
+				sval = 0 // eps-level residual noise
+			}
+			t.basis[i] = slack
+			t.xB[i] = sval
+		} else {
+			tau := 1.0
+			if resid[i] < 0 {
+				tau = -1
+			}
+			row[artCol] = tau
+			t.lo[artCol] = 0
+			t.hi[artCol] = math.Inf(1)
 			t.art[artCol] = 1
 			t.basis[i] = artCol
+			t.xB[i] = math.Abs(resid[i])
 			artCol++
+		}
+	}
+	// Canonicalize: the tableau is maintained as B⁻¹A, so each row's basic
+	// column must be a unit vector. GE slacks (coefficient −1) and negative
+	// artificials need their rows scaled by −1.
+	for i, bj := range t.basis {
+		t.inBasis[bj] = true
+		row := t.a[i*n : (i+1)*n]
+		if piv := row[bj]; piv != 1 {
+			inv := 1 / piv
+			for jj := range row {
+				row[jj] *= inv
+			}
+			row[bj] = 1
 		}
 	}
 	return t, nil
 }
 
-// run executes phase 1 (if artificials exist) and phase 2. It returns the
-// outcome and total pivot count.
-func (t *tableau) run() (Status, int) {
-	iters := 0
-	if t.nart > 0 {
-		st, it := t.optimize(t.art, true)
-		iters += it
-		if st != StatusOptimal {
-			return st, iters
-		}
-		// Feasible iff the artificial objective reached ~0.
-		if obj := t.objective(t.art); obj > 1e-6 {
-			return StatusInfeasible, iters
-		}
-		// Pivot any artificial still in the basis out (degenerate rows);
-		// if a row is all-zero over real columns, it is redundant and the
-		// artificial can stay at value 0 harmlessly, but we must forbid it
-		// from re-entering: zero its phase-2 handling by leaving c for
-		// artificials at +inf effect via exclusion in pricing (see below).
-		t.evictArtificials()
-	}
-	st, it := t.optimize(t.c, false)
-	iters += it
-	return st, iters
-}
-
-// objective returns the current value of the given cost vector at the
-// basic solution.
-func (t *tableau) objective(c []float64) float64 {
-	obj := 0.0
-	for i := 0; i < t.m; i++ {
-		obj += c[t.basis[i]] * t.b[i]
-	}
-	return obj
-}
-
 // realCols is the number of non-artificial columns.
 func (t *tableau) realCols() int { return t.n - t.nart }
 
-// evictArtificials pivots basic artificial variables out where possible.
+// value returns the resting value of a nonbasic column.
+func (t *tableau) value(j int) float64 {
+	if t.atUpper[j] {
+		return t.hi[j]
+	}
+	return t.lo[j]
+}
+
+// phase1 drives the artificial objective to zero (when artificials exist),
+// evicts leftover basic artificials and pins every artificial at zero so
+// it can never re-enter.
+func (t *tableau) phase1() (Status, int) {
+	if t.nart == 0 {
+		return StatusOptimal, 0
+	}
+	st, iters := t.optimize(t.art, true)
+	if st == StatusUnbounded {
+		// The phase-1 objective is bounded below by zero, so an unbounded
+		// verdict can only be eps-level noise; treat it as a solver failure
+		// rather than a statement about the model.
+		return StatusIterLimit, iters
+	}
+	if st != StatusOptimal {
+		return st, iters
+	}
+	infeas := 0.0
+	for i := 0; i < t.m; i++ {
+		if t.basis[i] >= t.realCols() {
+			infeas += t.xB[i]
+		}
+	}
+	if infeas > 1e-6 {
+		return StatusInfeasible, iters
+	}
+	t.evictArtificials()
+	for k := t.realCols(); k < t.n; k++ {
+		t.hi[k] = 0 // fixed: never re-enters pricing
+	}
+	return StatusOptimal, iters
+}
+
+// evictArtificials pivots basic artificial variables (at value ~0) out
+// where a real column with a usable pivot exists. Rows that are all-zero
+// over real columns are redundant; their artificial stays basic at 0.
 func (t *tableau) evictArtificials() {
 	real := t.realCols()
 	for i := 0; i < t.m; i++ {
 		if t.basis[i] < real {
 			continue
 		}
-		// Find any real column with a nonzero entry in this row.
+		row := t.a[i*t.n : (i+1)*t.n]
 		pivotCol := -1
 		for j := 0; j < real; j++ {
-			if math.Abs(t.a[i*t.n+j]) > eps {
+			if math.Abs(row[j]) > eps {
 				pivotCol = j
 				break
 			}
 		}
 		if pivotCol >= 0 {
-			t.pivot(i, pivotCol)
+			t.replaceBasic(i, pivotCol, 0, false)
 		}
-		// Otherwise the row is redundant; the artificial stays basic at 0.
 	}
 }
 
-// optimize runs simplex pivots for the cost vector c. phase1 restricts
-// nothing extra; in phase 2 artificial columns are never priced in.
-//
-// Reduced costs r_j = c_j − c_B·B⁻¹A_j are maintained incrementally: they
-// are computed once from the current tableau and then updated inside each
-// pivot like any other row, bringing the per-pivot cost from three O(m·n)
-// passes down to one.
+// refreshRed recomputes the reduced-cost row r_j = c_j − c_B·B⁻¹A_j from
+// the current tableau for the given cost vector.
+func (t *tableau) refreshRed(c []float64) {
+	if t.red == nil {
+		t.red = make([]float64, t.n)
+	}
+	copy(t.red, c)
+	for i := 0; i < t.m; i++ {
+		cb := c[t.basis[i]]
+		if cb == 0 {
+			continue
+		}
+		row := t.a[i*t.n : (i+1)*t.n]
+		for j, aij := range row {
+			if aij != 0 {
+				t.red[j] -= cb * aij
+			}
+		}
+	}
+}
+
+// optimize runs bounded-variable primal simplex pivots for the cost vector
+// c. In phase 2 artificial columns are never priced in. A nonbasic column
+// at its lower bound enters when its reduced cost is negative; one at its
+// upper bound enters (moving down) when its reduced cost is positive. The
+// ratio test limits the move by the first basic variable to hit either of
+// its bounds, or by the entering variable's own opposite bound — the
+// latter is a bound flip that changes no basis at all.
 func (t *tableau) optimize(c []float64, phase1 bool) (Status, int) {
 	cols := t.n
 	if !phase1 {
 		cols = t.realCols()
 	}
-	// Mark basic columns for O(1) pricing skips.
-	t.inBasis = make([]bool, t.n)
-	for _, bj := range t.basis {
-		t.inBasis[bj] = true
-	}
-	// Initial reduced costs from the current (already pivoted) tableau.
-	refresh := func() {
-		t.red = make([]float64, t.n)
-		copy(t.red, c)
-		for i := 0; i < t.m; i++ {
-			cb := c[t.basis[i]]
-			if cb == 0 {
-				continue
-			}
-			row := t.a[i*t.n : (i+1)*t.n]
-			for j, aij := range row {
-				if aij != 0 {
-					t.red[j] -= cb * aij
-				}
-			}
-		}
-	}
-	refresh()
+	t.refreshRed(c)
 	refreshed := false
-	defer func() { t.red = nil }()
 	iters := 0
 	for {
 		if iters >= hardIterLimit {
@@ -278,20 +446,24 @@ func (t *tableau) optimize(c []float64, phase1 bool) (Status, int) {
 		useBland := iters >= dantzigLimit
 		// Price from the maintained reduced-cost row.
 		enter := -1
-		best := -eps
+		dir := 1.0
+		best := eps
 		for j := 0; j < cols; j++ {
-			if t.inBasis[j] {
+			if t.inBasis[j] || t.hi[j]-t.lo[j] < eps {
 				continue
 			}
-			if rj := t.red[j]; rj < -eps {
+			score := -t.red[j] // improvement rate moving up from lo
+			d := 1.0
+			if t.atUpper[j] {
+				score = t.red[j] // moving down from hi
+				d = -1
+			}
+			if score > best {
+				enter, dir = j, d
 				if useBland {
-					enter = j
 					break
 				}
-				if rj < best {
-					best = rj
-					enter = j
-				}
+				best = score
 			}
 		}
 		if enter < 0 {
@@ -299,97 +471,289 @@ func (t *tableau) optimize(c []float64, phase1 bool) (Status, int) {
 			// pivots; confirm optimality against freshly computed reduced
 			// costs once before declaring victory.
 			if !refreshed {
-				refresh()
+				t.refreshRed(c)
 				refreshed = true
 				continue
 			}
 			return StatusOptimal, iters
 		}
 		refreshed = false
-		// Ratio test.
+		// Ratio test: smallest step over basic-variable bound hits and the
+		// entering variable's own span.
+		limit := t.hi[enter] - t.lo[enter] // may be +inf
 		leave := -1
-		bestRatio := math.Inf(1)
+		leaveToUpper := false
 		for i := 0; i < t.m; i++ {
 			aij := t.a[i*t.n+enter]
-			if aij > eps {
-				ratio := t.b[i] / aij
-				if ratio < bestRatio-eps || (ratio < bestRatio+eps && (leave < 0 || t.basis[i] < t.basis[leave])) {
-					bestRatio = ratio
-					leave = i
+			delta := dir * aij // rate at which xB[i] decreases per unit step
+			bi := t.basis[i]
+			var ti float64
+			var toUpper bool
+			if delta > eps {
+				ti = (t.xB[i] - t.lo[bi]) / delta
+			} else if delta < -eps {
+				hb := t.hi[bi]
+				if math.IsInf(hb, 1) {
+					continue
 				}
+				ti = (hb - t.xB[i]) / -delta
+				toUpper = true
+			} else {
+				continue
+			}
+			if ti < 0 {
+				ti = 0 // eps-level bound violation from drift
+			}
+			if ti < limit-eps || (ti < limit+eps && (leave < 0 || bi < t.basis[leave])) {
+				limit = ti
+				leave = i
+				leaveToUpper = toUpper
 			}
 		}
-		if leave < 0 {
+		if math.IsInf(limit, 1) {
 			return StatusUnbounded, iters
 		}
-		t.pivot(leave, enter)
+		if leave < 0 {
+			t.boundFlip(enter, dir, limit)
+			iters++
+			continue
+		}
+		target := t.lo[t.basis[leave]]
+		if leaveToUpper {
+			target = t.hi[t.basis[leave]]
+		}
+		t.replaceBasic(leave, enter, target, leaveToUpper)
 		iters++
 	}
 }
 
-// pivot performs a Gauss-Jordan pivot on (row, col), keeping the
-// reduced-cost row (when one is active) and the basic-column marks in
-// sync.
-func (t *tableau) pivot(row, col int) {
-	n := t.n
-	p := t.a[row*n+col]
-	inv := 1 / p
-	prow := t.a[row*n : (row+1)*n]
-	for j := range prow {
-		prow[j] *= inv
-	}
-	t.b[row] *= inv
-	prow[col] = 1 // exact
-	for i := 0; i < t.m; i++ {
-		if i == row {
+// dualSimplex restores primal feasibility after bound changes, preserving
+// dual feasibility throughout — the warm-start workhorse. Returns ok=false
+// when the warm start must be abandoned (dual-infeasible start or pivot
+// budget exceeded); the caller falls back to a cold solve. A returned
+// StatusInfeasible is a dual-unboundedness certificate: the violated row
+// proves no setting of the nonbasic variables can bring the basic variable
+// inside its bounds.
+func (t *tableau) dualSimplex(maxIter int) (Status, int, bool) {
+	real := t.realCols()
+	t.refreshRed(t.c)
+	for j := 0; j < real; j++ {
+		if t.inBasis[j] || t.hi[j]-t.lo[j] < eps {
 			continue
 		}
-		f := t.a[i*n+col]
+		if t.atUpper[j] {
+			if t.red[j] > dualTol {
+				return StatusIterLimit, 0, false
+			}
+		} else if t.red[j] < -dualTol {
+			return StatusIterLimit, 0, false
+		}
+	}
+	iters := 0
+	for {
+		if iters >= maxIter {
+			return StatusIterLimit, iters, false
+		}
+		// Leaving row: the most violated basic variable.
+		r := -1
+		below := false
+		worst := 1e-9
+		for i := 0; i < t.m; i++ {
+			bi := t.basis[i]
+			if v := t.lo[bi] - t.xB[i]; v > worst {
+				worst, r, below = v, i, true
+			}
+			if hb := t.hi[bi]; !math.IsInf(hb, 1) {
+				if v := t.xB[i] - hb; v > worst {
+					worst, r, below = v, i, false
+				}
+			}
+		}
+		if r < 0 {
+			return StatusOptimal, iters, true
+		}
+		// Entering column: the dual ratio test. For a basic variable below
+		// its lower bound we need columns whose movement raises it; above
+		// the upper bound, columns whose movement lowers it. Among the
+		// eligible, the smallest |red/a| keeps every other reduced cost on
+		// its feasible side after the pivot.
+		row := t.a[r*t.n : (r+1)*t.n]
+		enter := -1
+		bestRatio := math.Inf(1)
+		for j := 0; j < real; j++ {
+			if t.inBasis[j] || t.hi[j]-t.lo[j] < eps {
+				continue
+			}
+			arj := row[j]
+			var eligible bool
+			if below {
+				eligible = (!t.atUpper[j] && arj < -eps) || (t.atUpper[j] && arj > eps)
+			} else {
+				eligible = (!t.atUpper[j] && arj > eps) || (t.atUpper[j] && arj < -eps)
+			}
+			if !eligible {
+				continue
+			}
+			ratio := math.Abs(t.red[j] / arj)
+			if ratio < bestRatio-1e-12 || (ratio < bestRatio+1e-12 && (enter < 0 || j < enter)) {
+				bestRatio = ratio
+				enter = j
+			}
+		}
+		if enter < 0 {
+			return StatusInfeasible, iters, true
+		}
+		target := t.lo[t.basis[r]]
+		if !below {
+			target = t.hi[t.basis[r]]
+		}
+		t.replaceBasic(r, enter, target, !below)
+		iters++
+	}
+}
+
+// boundFlip moves nonbasic column j from one bound to the other (distance
+// dist in direction dir) without any basis change, updating the basic
+// values it shifts.
+func (t *tableau) boundFlip(j int, dir, dist float64) {
+	step := dir * dist
+	for i := 0; i < t.m; i++ {
+		if aij := t.a[i*t.n+j]; aij != 0 {
+			t.xB[i] -= step * aij
+		}
+	}
+	t.atUpper[j] = !t.atUpper[j]
+}
+
+// replaceBasic pivots column j into the basis at row r, sending the
+// current basic variable of r to targetBound (its lower or upper bound per
+// leavingAtUpper). It updates the basic values, nonbasic statuses, the
+// Gauss-Jordan tableau, and the maintained reduced-cost row.
+func (t *tableau) replaceBasic(r, j int, targetBound float64, leavingAtUpper bool) {
+	n := t.n
+	piv := t.a[r*n+j]
+	delta := (t.xB[r] - targetBound) / piv
+	enterVal := t.value(j) + delta
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		aij := t.a[i*n+j]
+		if aij == 0 {
+			continue
+		}
+		t.xB[i] -= aij * delta
+		// Clean eps-level bound violations introduced by the update.
+		bi := t.basis[i]
+		if d := t.xB[i] - t.lo[bi]; d < 0 && d > -1e-11 {
+			t.xB[i] = t.lo[bi]
+		} else if hb := t.hi[bi]; !math.IsInf(hb, 1) {
+			if d := t.xB[i] - hb; d > 0 && d < 1e-11 {
+				t.xB[i] = hb
+			}
+		}
+	}
+	leaving := t.basis[r]
+	t.atUpper[leaving] = leavingAtUpper
+	if leaving >= t.realCols() {
+		// An artificial that leaves the basis is pinned at zero for good.
+		t.hi[leaving] = 0
+		t.atUpper[leaving] = false
+	}
+	t.xB[r] = enterVal
+
+	// Gauss-Jordan pivot on (r, j). The pivot row's nonzero columns are
+	// collected once so every elimination walks only those indices instead
+	// of branching across all n columns — the single hottest loop in the
+	// solver.
+	inv := 1 / piv
+	prow := t.a[r*n : (r+1)*n]
+	if cap(t.nz) < n {
+		t.nz = make([]int32, 0, n)
+	}
+	nz := t.nz[:0]
+	for jj := range prow {
+		v := prow[jj] * inv
+		// Drop eps-dust to fight fill-in and drift accumulation.
+		if v < 1e-13 && v > -1e-13 {
+			v = 0
+		}
+		prow[jj] = v
+		if v != 0 {
+			nz = append(nz, int32(jj))
+		}
+	}
+	t.nz = nz
+	prow[j] = 1 // exact
+	for i := 0; i < t.m; i++ {
+		if i == r {
+			continue
+		}
+		f := t.a[i*n+j]
 		if f == 0 {
 			continue
 		}
 		irow := t.a[i*n : (i+1)*n]
-		for j, pv := range prow {
-			if pv != 0 {
-				irow[j] -= f * pv
-			}
+		for _, jj := range nz {
+			irow[jj] -= f * prow[jj]
 		}
-		irow[col] = 0 // exact
-		t.b[i] -= f * t.b[row]
-		if t.b[i] < 0 && t.b[i] > -1e-11 {
-			t.b[i] = 0
-		}
+		irow[j] = 0 // exact
 	}
 	if t.red != nil {
-		f := t.red[col]
+		f := t.red[j]
 		if f != 0 {
-			for j, pv := range prow {
-				if pv != 0 {
-					t.red[j] -= f * pv
-				}
+			for _, jj := range nz {
+				t.red[jj] -= f * prow[jj]
 			}
-			t.red[col] = 0 // exact
+			t.red[j] = 0 // exact
 		}
 	}
-	if t.inBasis != nil {
-		t.inBasis[t.basis[row]] = false
-		t.inBasis[col] = true
+	t.inBasis[leaving] = false
+	t.inBasis[j] = true
+	t.basis[r] = j
+}
+
+// setVarBounds updates the bounds of structural column j in the live
+// tableau. When a nonbasic column's resting value moves (its bound changed
+// under it, or an at-upper column lost its finite upper bound), the basic
+// values are shifted accordingly so the tableau stays consistent; any
+// resulting primal infeasibility is the dual simplex's job.
+func (t *tableau) setVarBounds(j int, lo, hi float64) {
+	if t.inBasis[j] {
+		t.lo[j] = lo
+		t.hi[j] = hi
+		return
 	}
-	t.basis[row] = col
+	oldVal := t.value(j)
+	t.lo[j] = lo
+	t.hi[j] = hi
+	if t.atUpper[j] && math.IsInf(hi, 1) {
+		t.atUpper[j] = false
+	}
+	newVal := t.value(j)
+	if newVal == oldVal {
+		return
+	}
+	shift := newVal - oldVal
+	for i := 0; i < t.m; i++ {
+		if aij := t.a[i*t.n+j]; aij != 0 {
+			t.xB[i] -= aij * shift
+		}
+	}
 }
 
 // extract reads the structural solution back in model coordinates.
 func (t *tableau) extract(m *Model) []float64 {
 	out := make([]float64, len(m.vars))
 	for j := range out {
-		out[j] = t.lo[j]
+		out[j] = t.value(j)
 	}
 	for i := 0; i < t.m; i++ {
-		if t.basis[i] < len(m.vars) {
-			out[t.basis[i]] = t.lo[t.basis[i]] + t.b[i]
+		if bj := t.basis[i]; bj < t.nv {
+			out[bj] = t.xB[i]
 		}
 	}
-	// Clean tiny negatives from floating error.
+	// Clean tiny bound violations from floating error.
 	for j, v := range m.vars {
 		if out[j] < v.lo && out[j] > v.lo-1e-7 {
 			out[j] = v.lo

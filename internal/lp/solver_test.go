@@ -1,0 +1,331 @@
+package lp
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomModel builds a random LP with mixed senses, mixed finite/infinite
+// bounds, and occasional positive lower bounds. It returns the model and a
+// description sufficient to rebuild or check it.
+type randomCon struct {
+	sense Sense
+	rhs   float64
+	coefs []float64
+}
+
+type randomLP struct {
+	lo, hi, obj []float64
+	cons        []randomCon
+}
+
+func genRandomLP(rng *rand.Rand) randomLP {
+	nv := 2 + rng.Intn(5)
+	r := randomLP{
+		lo:  make([]float64, nv),
+		hi:  make([]float64, nv),
+		obj: make([]float64, nv),
+	}
+	for j := 0; j < nv; j++ {
+		r.lo[j] = 0
+		r.hi[j] = math.Inf(1)
+		switch rng.Intn(3) {
+		case 0:
+			r.hi[j] = float64(1 + rng.Intn(4))
+		case 1:
+			r.lo[j] = float64(rng.Intn(2))
+			r.hi[j] = r.lo[j] + float64(1+rng.Intn(4))
+		}
+		r.obj[j] = rng.NormFloat64()
+	}
+	nc := 1 + rng.Intn(6)
+	for i := 0; i < nc; i++ {
+		coefs := make([]float64, nv)
+		nonzero := false
+		for j := 0; j < nv; j++ {
+			if rng.Intn(2) == 0 {
+				continue
+			}
+			coefs[j] = float64(rng.Intn(7) - 3)
+			if coefs[j] != 0 {
+				nonzero = true
+			}
+		}
+		if !nonzero {
+			continue
+		}
+		r.cons = append(r.cons, randomCon{
+			sense: Sense(1 + rng.Intn(3)),
+			rhs:   float64(rng.Intn(11) - 3),
+			coefs: coefs,
+		})
+	}
+	return r
+}
+
+// build materializes the random LP with native variable bounds.
+func (r randomLP) build(t *testing.T) (*Model, []VarID) {
+	t.Helper()
+	m := NewModel("native-bounds")
+	vars := make([]VarID, len(r.lo))
+	for j := range r.lo {
+		vars[j] = addVar(t, m, "x", r.lo[j], r.hi[j], r.obj[j])
+	}
+	for _, c := range r.cons {
+		var terms []Term
+		for j, cf := range c.coefs {
+			if cf != 0 {
+				terms = append(terms, Term{Var: vars[j], Coef: cf})
+			}
+		}
+		addCon(t, m, "c", c.sense, c.rhs, terms...)
+	}
+	return m, vars
+}
+
+// buildRowBounds materializes the same LP in the old row-per-bound style:
+// every finite upper bound becomes an explicit x ≤ hi constraint and the
+// variable is declared with hi = ∞.
+func (r randomLP) buildRowBounds(t *testing.T) (*Model, []VarID) {
+	t.Helper()
+	m := NewModel("row-bounds")
+	vars := make([]VarID, len(r.lo))
+	for j := range r.lo {
+		vars[j] = addVar(t, m, "x", r.lo[j], math.Inf(1), r.obj[j])
+	}
+	for j := range r.lo {
+		if !math.IsInf(r.hi[j], 1) {
+			addCon(t, m, "ub", LE, r.hi[j], Term{Var: vars[j], Coef: 1})
+		}
+	}
+	for _, c := range r.cons {
+		var terms []Term
+		for j, cf := range c.coefs {
+			if cf != 0 {
+				terms = append(terms, Term{Var: vars[j], Coef: cf})
+			}
+		}
+		addCon(t, m, "c", c.sense, c.rhs, terms...)
+	}
+	return m, vars
+}
+
+// checkFeasible asserts sol satisfies the LP's constraints and bounds.
+func (r randomLP) checkFeasible(t *testing.T, trial int, sol *Solution) {
+	t.Helper()
+	for ci, c := range r.cons {
+		lhs := 0.0
+		for j, cf := range c.coefs {
+			lhs += cf * sol.Values[j]
+		}
+		viol := 0.0
+		switch c.sense {
+		case LE:
+			viol = lhs - c.rhs
+		case GE:
+			viol = c.rhs - lhs
+		case EQ:
+			viol = math.Abs(lhs - c.rhs)
+		}
+		if viol > 1e-6 {
+			t.Fatalf("trial %d: constraint %d (%v) violated by %v; values=%v",
+				trial, ci, c.sense, viol, sol.Values)
+		}
+	}
+	for j := range r.lo {
+		if sol.Values[j] < r.lo[j]-1e-6 || sol.Values[j] > r.hi[j]+1e-6 {
+			t.Fatalf("trial %d: var %d value %v outside [%v,%v]",
+				trial, j, sol.Values[j], r.lo[j], r.hi[j])
+		}
+	}
+}
+
+// TestDifferentialBoundsVsRows pits the bounded-variable formulation
+// against the row-per-bound formulation on ~500 random LPs: identical
+// statuses, identical optimal objectives within 1e-6, and every
+// claimed-optimal solution actually feasible.
+func TestDifferentialBoundsVsRows(t *testing.T) {
+	rng := rand.New(rand.NewSource(20260805))
+	optimal, infeasible, unbounded := 0, 0, 0
+	for trial := 0; trial < 500; trial++ {
+		r := genRandomLP(rng)
+		mNative, _ := r.build(t)
+		mRows, _ := r.buildRowBounds(t)
+		solN, errN := Solve(mNative)
+		solR, errR := Solve(mRows)
+		if (errN == nil) != (errR == nil) {
+			t.Fatalf("trial %d: native err=%v, rows err=%v", trial, errN, errR)
+		}
+		if errN != nil {
+			if solN.Status != solR.Status {
+				t.Fatalf("trial %d: native status %v, rows status %v", trial, solN.Status, solR.Status)
+			}
+			switch solN.Status {
+			case StatusInfeasible:
+				infeasible++
+			case StatusUnbounded:
+				unbounded++
+			}
+			continue
+		}
+		optimal++
+		if !almost(solN.Objective, solR.Objective) {
+			t.Fatalf("trial %d: native objective %v != rows objective %v",
+				trial, solN.Objective, solR.Objective)
+		}
+		r.checkFeasible(t, trial, &solN)
+	}
+	// The generator must actually exercise all outcome classes.
+	if optimal < 50 || infeasible < 20 {
+		t.Fatalf("generator degenerate: optimal=%d infeasible=%d unbounded=%d",
+			optimal, infeasible, unbounded)
+	}
+	t.Logf("optimal=%d infeasible=%d unbounded=%d", optimal, infeasible, unbounded)
+}
+
+// TestWarmStartMatchesCold applies random sequences of bound tightenings
+// and relaxations to random LPs, re-solving each step warm (Solver.ReSolve
+// from the previous basis) and cold (fresh solve of the same model), and
+// asserts both agree on status and optimal objective. It also checks the
+// warm path is genuinely exercised, not just falling back to cold solves.
+func TestWarmStartMatchesCold(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	warmHits := 0
+	for trial := 0; trial < 150; trial++ {
+		r := genRandomLP(rng)
+		m, vars := r.build(t)
+		s := NewSolver(m)
+		if _, err := s.Solve(); err != nil {
+			continue // start from feasible bases only
+		}
+		for step := 0; step < 6; step++ {
+			j := rng.Intn(len(vars))
+			lo, hi, err := m.Bounds(vars[j])
+			if err != nil {
+				t.Fatal(err)
+			}
+			var newLo, newHi float64
+			if rng.Intn(4) == 0 {
+				// Relax: widen the bounds.
+				newLo = math.Max(0, lo-float64(rng.Intn(2)))
+				newHi = math.Inf(1)
+			} else {
+				// Tighten toward a random finite window.
+				newLo = lo
+				span := 4.0
+				if !math.IsInf(hi, 1) {
+					span = hi - lo
+				}
+				newHi = lo + math.Ceil(rng.Float64()*span)
+			}
+			if err := s.SetBounds(vars[j], newLo, newHi); err != nil {
+				t.Fatal(err)
+			}
+			warm, warmErr := s.ReSolve()
+			cold, coldErr := Solve(m)
+			if (warmErr == nil) != (coldErr == nil) {
+				t.Fatalf("trial %d step %d: warm err=%v cold err=%v", trial, step, warmErr, coldErr)
+			}
+			if warmErr != nil {
+				if warm.Status != cold.Status {
+					t.Fatalf("trial %d step %d: warm status %v cold status %v",
+						trial, step, warm.Status, cold.Status)
+				}
+				continue
+			}
+			if !almost(warm.Objective, cold.Objective) {
+				t.Fatalf("trial %d step %d: warm objective %v != cold %v",
+					trial, step, warm.Objective, cold.Objective)
+			}
+			if warm.WarmStarted {
+				warmHits++
+			}
+		}
+	}
+	if warmHits < 100 {
+		t.Fatalf("only %d warm hits across all trials; warm path not exercised", warmHits)
+	}
+	t.Logf("warm hits: %d", warmHits)
+}
+
+// TestSolverSetUpperRepairPattern exercises the engine's exact usage: cap
+// an integer-ish variable below its LP value, warm re-solve, and on
+// infeasibility restore the bound and continue.
+func TestSolverSetUpperRepairPattern(t *testing.T) {
+	// min x+y s.t. x+y ≥ 3, both in [0,∞). Optimum 3 at any split.
+	m := NewModel("repair")
+	x := addVar(t, m, "x", 0, math.Inf(1), 1)
+	y := addVar(t, m, "y", 0, math.Inf(1), 1.001) // prefer x
+	addCon(t, m, "need", GE, 3, Term{Var: x, Coef: 1}, Term{Var: y, Coef: 1})
+	addCon(t, m, "ylim", LE, 2, Term{Var: y, Coef: 1})
+
+	s := NewSolver(m)
+	sol, err := s.Solve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Value(x), 3) {
+		t.Fatalf("x = %v, want 3", sol.Value(x))
+	}
+	// Cap x at 2: optimum moves to x=2, y=1.
+	if err := s.SetUpper(x, 2); err != nil {
+		t.Fatal(err)
+	}
+	sol, err = s.ReSolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sol.WarmStarted {
+		t.Error("expected a warm re-solve")
+	}
+	if !almost(sol.Value(x), 2) || !almost(sol.Value(y), 1) {
+		t.Fatalf("after cap: x=%v y=%v, want 2,1", sol.Value(x), sol.Value(y))
+	}
+	// Cap x at 0: y alone cannot reach 3 (y ≤ 2) — infeasible; restore and
+	// the next re-solve must return the previous optimum.
+	if err := s.SetUpper(x, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.ReSolve(); !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if err := s.SetUpper(x, 2); err != nil {
+		t.Fatal(err)
+	}
+	sol, err = s.ReSolve()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(sol.Value(x), 2) || !almost(sol.Value(y), 1) {
+		t.Fatalf("after restore: x=%v y=%v, want 2,1", sol.Value(x), sol.Value(y))
+	}
+}
+
+// TestSolveFailureReturnsZeroedSolution pins the Solve contract on
+// non-optimal outcomes: Objective 0, Values nil, status set — so callers
+// can never misread a failed solve as a priced solution.
+func TestSolveFailureReturnsZeroedSolution(t *testing.T) {
+	infeasible := NewModel("inf")
+	x := addVar(t, infeasible, "x", 0, 1, 5)
+	addCon(t, infeasible, "c", GE, 2, Term{Var: x, Coef: 1})
+	sol, err := Solve(infeasible)
+	if !errors.Is(err, ErrInfeasible) {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+	if sol.Status != StatusInfeasible || sol.Objective != 0 || sol.Values != nil {
+		t.Fatalf("infeasible solution not zeroed: %+v", sol)
+	}
+
+	unbounded := NewModel("unb")
+	y := addVar(t, unbounded, "y", 0, math.Inf(1), -1)
+	addCon(t, unbounded, "c", GE, 0, Term{Var: y, Coef: 1})
+	sol, err = Solve(unbounded)
+	if !errors.Is(err, ErrUnbounded) {
+		t.Fatalf("err = %v, want ErrUnbounded", err)
+	}
+	if sol.Status != StatusUnbounded || sol.Objective != 0 || sol.Values != nil {
+		t.Fatalf("unbounded solution not zeroed: %+v", sol)
+	}
+}

@@ -1,0 +1,107 @@
+package metrics
+
+import (
+	"fmt"
+	"sync/atomic"
+	"time"
+)
+
+// LPCounters aggregates solver activity across an entire run. The fields
+// are atomics so the parallel experiment drivers (and any future
+// multi-goroutine engine) can record without locks. The Optimization
+// Engine records into the package-level LP instance; the metrics package
+// deliberately knows nothing about the lp package — callers pass plain
+// numbers.
+type LPCounters struct {
+	Solves       atomic.Int64 // primary (cold) solves
+	WarmHits     atomic.Int64 // re-solves served from the previous basis
+	WarmMisses   atomic.Int64 // re-solves that fell back to a cold solve
+	Phase1Pivots atomic.Int64
+	Phase2Pivots atomic.Int64
+	DualPivots   atomic.Int64 // dual-simplex pivots of warm re-solves
+	Phase1Nanos  atomic.Int64
+	Phase2Nanos  atomic.Int64
+}
+
+// LP is the process-wide solver counter set.
+var LP LPCounters
+
+// RecordSolve adds one solve's pivot counts and phase timings. warmHit
+// distinguishes re-solves that reused the previous basis from ones that
+// fell back to (or started as) a cold solve; pass resolve=false for a
+// primary solve, which counts toward Solves instead of the hit/miss pair.
+func (c *LPCounters) RecordSolve(resolve, warmHit bool, phase1, phase2, dual int, t1, t2 time.Duration) {
+	if resolve {
+		if warmHit {
+			c.WarmHits.Add(1)
+		} else {
+			c.WarmMisses.Add(1)
+		}
+	} else {
+		c.Solves.Add(1)
+	}
+	c.Phase1Pivots.Add(int64(phase1))
+	c.Phase2Pivots.Add(int64(phase2))
+	c.DualPivots.Add(int64(dual))
+	c.Phase1Nanos.Add(int64(t1))
+	c.Phase2Nanos.Add(int64(t2))
+}
+
+// LPSnapshot is a point-in-time copy of the counters, cheap to diff.
+type LPSnapshot struct {
+	Solves       int64
+	WarmHits     int64
+	WarmMisses   int64
+	Phase1Pivots int64
+	Phase2Pivots int64
+	DualPivots   int64
+	Phase1Time   time.Duration
+	Phase2Time   time.Duration
+}
+
+// Snapshot reads the counters.
+func (c *LPCounters) Snapshot() LPSnapshot {
+	return LPSnapshot{
+		Solves:       c.Solves.Load(),
+		WarmHits:     c.WarmHits.Load(),
+		WarmMisses:   c.WarmMisses.Load(),
+		Phase1Pivots: c.Phase1Pivots.Load(),
+		Phase2Pivots: c.Phase2Pivots.Load(),
+		DualPivots:   c.DualPivots.Load(),
+		Phase1Time:   time.Duration(c.Phase1Nanos.Load()),
+		Phase2Time:   time.Duration(c.Phase2Nanos.Load()),
+	}
+}
+
+// Reset zeroes the counters (benchmark harness hygiene between phases).
+func (c *LPCounters) Reset() {
+	c.Solves.Store(0)
+	c.WarmHits.Store(0)
+	c.WarmMisses.Store(0)
+	c.Phase1Pivots.Store(0)
+	c.Phase2Pivots.Store(0)
+	c.DualPivots.Store(0)
+	c.Phase1Nanos.Store(0)
+	c.Phase2Nanos.Store(0)
+}
+
+// Sub returns the counter deltas accumulated between two snapshots.
+func (s LPSnapshot) Sub(prev LPSnapshot) LPSnapshot {
+	return LPSnapshot{
+		Solves:       s.Solves - prev.Solves,
+		WarmHits:     s.WarmHits - prev.WarmHits,
+		WarmMisses:   s.WarmMisses - prev.WarmMisses,
+		Phase1Pivots: s.Phase1Pivots - prev.Phase1Pivots,
+		Phase2Pivots: s.Phase2Pivots - prev.Phase2Pivots,
+		DualPivots:   s.DualPivots - prev.DualPivots,
+		Phase1Time:   s.Phase1Time - prev.Phase1Time,
+		Phase2Time:   s.Phase2Time - prev.Phase2Time,
+	}
+}
+
+// String renders the snapshot compactly for logs.
+func (s LPSnapshot) String() string {
+	return fmt.Sprintf("solves=%d warm=%d/%d pivots=%d+%d+%d p1=%v p2=%v",
+		s.Solves, s.WarmHits, s.WarmHits+s.WarmMisses,
+		s.Phase1Pivots, s.Phase2Pivots, s.DualPivots, s.Phase1Time, s.Phase2Time)
+}
