@@ -380,11 +380,11 @@ func provisionOnce(b *testing.B, reconfigure bool) time.Duration {
 	var ready time.Duration
 	onReady := func(_ *vnf.Instance, _ *host.Host) { ready = clock.Now() }
 	if reconfigure {
-		if _, err := orch.ReconfigureIdle(policy.Firewall, 0, onReady); err != nil {
+		if _, err := orch.ReconfigureIdle(policy.Firewall, 0, onReady, nil); err != nil {
 			b.Fatal(err)
 		}
 	} else {
-		if _, err := orch.Launch(policy.Firewall, 0, onReady); err != nil {
+		if _, err := orch.Launch(policy.Firewall, 0, onReady, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

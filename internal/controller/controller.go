@@ -128,6 +128,10 @@ type Config struct {
 	HostResourcesBySwitch map[topology.NodeID]policy.Resources
 	// Seed drives orchestrator boot-time jitter.
 	Seed int64
+	// Faults optionally injects lifecycle failures into the orchestrator
+	// (boot failures and timeouts, lost reconfigure/cancel RPCs, host
+	// crashes). Nil — or a zero plan — perturbs nothing.
+	Faults *orchestrator.FaultPlan
 }
 
 // New builds a controller, its switch pipelines, and one APPLE host per
@@ -146,6 +150,11 @@ func New(cfg Config) (*Controller, error) {
 	orch, err := orchestrator.New(cfg.Clock, orchestrator.DefaultLatencies(), cfg.Seed)
 	if err != nil {
 		return nil, fmt.Errorf("controller: %w", err)
+	}
+	if cfg.Faults != nil {
+		if err := orch.InjectFaults(*cfg.Faults); err != nil {
+			return nil, fmt.Errorf("controller: %w", err)
+		}
 	}
 	c := &Controller{
 		g:              cfg.Topology,
@@ -298,6 +307,40 @@ func (c *Controller) FlowHeader(id core.ClassID, sub uint32) (headerspace.Header
 		DstIP: dst,
 		Proto: headerspace.ProtoTCP,
 	}, nil
+}
+
+// poolAdd registers an instance under its switch/NF pool bucket.
+func (c *Controller) poolAdd(v topology.NodeID, nf policy.NF, inst *vnf.Instance) {
+	if c.instPool[v] == nil {
+		c.instPool[v] = make(map[policy.NF][]*vnf.Instance)
+	}
+	c.instPool[v][nf] = append(c.instPool[v][nf], inst)
+}
+
+// repoolInstance moves an instance at switch v to the pool bucket
+// matching its current NF type — the cleanup a ClickOS reconfiguration
+// needs, since the instance was pooled under the NF it had before. The
+// portion bookkeeping is keyed by ID and unaffected.
+func (c *Controller) repoolInstance(v topology.NodeID, inst *vnf.Instance) {
+	id := inst.ID()
+	for nf, insts := range c.instPool[v] {
+		if nf == inst.NF() {
+			continue
+		}
+		kept := insts[:0]
+		for _, other := range insts {
+			if other.ID() != id {
+				kept = append(kept, other)
+			}
+		}
+		c.instPool[v][nf] = kept
+	}
+	for _, other := range c.instPool[v][inst.NF()] {
+		if other.ID() == id {
+			return
+		}
+	}
+	c.poolAdd(v, inst.NF(), inst)
 }
 
 // findInstance locates a placed instance by ID.

@@ -7,9 +7,24 @@ import (
 
 	"github.com/apple-nfv/apple/internal/core"
 	"github.com/apple-nfv/apple/internal/host"
+	"github.com/apple-nfv/apple/internal/metrics"
+	"github.com/apple-nfv/apple/internal/orchestrator"
 	"github.com/apple-nfv/apple/internal/policy"
 	"github.com/apple-nfv/apple/internal/topology"
 	"github.com/apple-nfv/apple/internal/vnf"
+)
+
+// Dynamic Handler counter names (metrics.Counters keys).
+const (
+	CtrSpawns            = "spawns"
+	CtrActivations       = "activations"
+	CtrStaleActivations  = "stale_activations"
+	CtrSpawnAborts       = "spawn_aborts"
+	CtrSpawnFailures     = "spawn_failures"
+	CtrActivationUnwinds = "activation_unwinds"
+	CtrRollbacks         = "rollbacks"
+	CtrZombieCancels     = "zombie_cancels"
+	CtrZombiesReaped     = "zombies_reaped"
 )
 
 // Loads computes the offered load every instance would see given
@@ -108,8 +123,6 @@ type failoverState struct {
 	// spawned lists instances created for extra sub-classes, to cancel on
 	// rollback.
 	spawned []vnf.ID
-	// epoch invalidates in-flight spawn activations after a rollback.
-	epoch int
 }
 
 // DynamicHandler reacts to overload notifications with the §VI fast
@@ -118,6 +131,11 @@ type failoverState struct {
 // sub-classes with headroom, and when nothing can absorb it, bring up a
 // new ClickOS instance and a new sub-class. When the instance recovers,
 // everything rolls back and spawned instances are cancelled.
+//
+// Every mutation is transactional: a failed re-pin, activation, or rule
+// install unwinds all of its partial state (sub-class arrays, tags,
+// vSwitch rules, pool entries, core accounting), and CheckInvariants can
+// be asserted between any two events.
 type DynamicHandler struct {
 	c         *Controller
 	detectors map[vnf.ID]*vnf.Detector
@@ -127,11 +145,27 @@ type DynamicHandler struct {
 	spawnedSet map[vnf.ID]bool
 	// pending guards against spawning more than one failover instance per
 	// (switch, NF) at a time — Fig 4 shows one new ClickOS VM per
-	// overload, and the paper reports <17 additional cores in total.
-	pending map[spawnKey]bool
+	// overload, and the paper reports <17 additional cores in total. The
+	// value is the instance provisioning for the slot; the orchestrator's
+	// exactly-one-callback contract guarantees the slot is released.
+	pending map[spawnKey]vnf.ID
+	// spawnedCores records the cores accounted per failover launch;
+	// extraCores is always its sum, even across dropped activations,
+	// crashes, and failed cancels.
+	spawnedCores map[vnf.ID]int
+	// zombies are spawned instances whose Cancel RPC was lost: out of
+	// service but still holding (and accounting) their cores until a
+	// retried cancel succeeds.
+	zombies map[vnf.ID]bool
+	// epochs invalidate in-flight spawn activations after a rollback.
+	// They live on the handler — not the per-class failover state — so a
+	// fresh overload after a rollback cannot reuse an epoch an old
+	// in-flight activation captured.
+	epochs map[core.ClassID]int
 	// extraCores tracks hardware spent on failover instances.
 	extraCores int
 	peakExtra  int
+	counters   *metrics.Counters
 }
 
 // NewDynamicHandler attaches a handler to the controller, creating a
@@ -141,11 +175,15 @@ func NewDynamicHandler(c *Controller) (*DynamicHandler, error) {
 		return nil, errors.New("controller: nil controller")
 	}
 	d := &DynamicHandler{
-		c:          c,
-		detectors:  make(map[vnf.ID]*vnf.Detector),
-		states:     make(map[core.ClassID]*failoverState),
-		pending:    make(map[spawnKey]bool),
-		spawnedSet: make(map[vnf.ID]bool),
+		c:            c,
+		detectors:    make(map[vnf.ID]*vnf.Detector),
+		states:       make(map[core.ClassID]*failoverState),
+		pending:      make(map[spawnKey]vnf.ID),
+		spawnedSet:   make(map[vnf.ID]bool),
+		spawnedCores: make(map[vnf.ID]int),
+		zombies:      make(map[vnf.ID]bool),
+		epochs:       make(map[core.ClassID]int),
+		counters:     metrics.NewCounters(),
 	}
 	for _, byNF := range c.instPool {
 		for _, insts := range byNF {
@@ -169,10 +207,21 @@ func (d *DynamicHandler) PeakExtraCores() int { return d.peakExtra }
 // (the paper's Fig 12 metric is the average of this over the replay).
 func (d *DynamicHandler) ExtraCores() int { return d.extraCores }
 
+// PendingSpawns reports the (switch, NF) spawn slots currently occupied
+// by an in-flight provisioning.
+func (d *DynamicHandler) PendingSpawns() int { return len(d.pending) }
+
+// Zombies reports spawned instances whose cancel is still being retried.
+func (d *DynamicHandler) Zombies() int { return len(d.zombies) }
+
+// Counters returns the handler's failover activity counters.
+func (d *DynamicHandler) Counters() *metrics.Counters { return d.counters }
+
 // Observe feeds one snapshot of per-class rates: loads are recomputed,
 // detectors run, and overload/recovery transitions trigger fast failover
 // and rollback. It returns the number of transitions handled.
 func (d *DynamicHandler) Observe(rates map[core.ClassID]float64) (int, error) {
+	d.reapZombies()
 	// Pick up instances added since the handler was created (online
 	// classes, failover spawns from other handlers).
 	for _, byNF := range d.c.instPool {
@@ -207,12 +256,14 @@ func (d *DynamicHandler) Observe(rates map[core.ClassID]float64) (int, error) {
 		}
 		was := det.Overloaded()
 		now := det.Observe(loads[id])
+		handled := false
 		switch {
 		case !was && now:
 			if err := d.overload(id, rates); err != nil {
 				return transitions, err
 			}
 			transitions++
+			handled = true
 		case was && now:
 			// A sustained overload keeps re-balancing: one halving is not
 			// always enough when the surge lasts (new spawns remain
@@ -224,11 +275,22 @@ func (d *DynamicHandler) Observe(rates map[core.ClassID]float64) (int, error) {
 					return transitions, err
 				}
 				transitions++
+				handled = true
 			}
 		case was && !now:
 			// The detector cleared, but rollback is decided per class by
 			// the what-if pass below: restoring the base distribution
 			// must not re-overload anything.
+		}
+		if handled {
+			// Re-balancing moved traffic: refresh loads so later
+			// detectors judge the post-rebalance distribution instead of
+			// re-triggering failover on instances that were just
+			// relieved.
+			loads = d.c.Loads(rates)
+			if err := d.c.ApplyLoads(loads); err != nil {
+				return transitions, err
+			}
 		}
 	}
 	// Rollback pass: a class in failover state rolls back as soon as its
@@ -470,7 +532,9 @@ func (d *DynamicHandler) repin(a *Assignment, src, j int, remaining *float64, ra
 				a.SubTags = append(a.SubTags, tag)
 				target = len(a.Subclasses) - 1
 				if err := d.c.installVSwitchRules(a, target); err != nil {
-					// Roll the new sub-class back and stop re-pinning.
+					// Roll the new sub-class back — including any rules
+					// the partial install did land — and stop re-pinning.
+					d.c.removeVSwitchRules(a, target)
 					d.c.releaseSubTags(a, target)
 					a.Subclasses = a.Subclasses[:target]
 					a.Instances = a.Instances[:target]
@@ -557,26 +621,31 @@ func (d *DynamicHandler) spawnSubclass(a *Assignment, src, j int, weight, rate f
 		return errors.New("controller: leftover too small to justify an instance")
 	}
 	key := spawnKey{v: v, nf: nf}
-	if d.pending[key] {
+	if _, busy := d.pending[key]; busy {
 		return errors.New("controller: a failover instance is already being provisioned here")
 	}
-	d.pending[key] = true
 	st0 := d.states[a.Class.ID]
 	if st0 == nil {
 		st0 = &failoverState{triggers: make(map[vnf.ID]bool)}
 		d.states[a.Class.ID] = st0
 	}
-	epoch := st0.epoch
-	var newID vnf.ID
-	var err error
-	usedLaunch := false
+	epoch := d.epochs[a.Class.ID]
+	launched := false
+	// activate commits the new sub-class transactionally: every step that
+	// can fail either happens before any shared state is touched, or is
+	// followed by a full unwind (arrays, tags, rules, pool, accounting).
 	activate := func(inst *vnf.Instance, h *host.Host) {
-		delete(d.pending, key)
-		st := d.states[a.Class.ID]
-		if st == nil || st.epoch != epoch || src >= len(a.Weights) {
+		_ = h
+		if d.pending[key] == inst.ID() {
+			delete(d.pending, key)
+		}
+		if d.epochs[a.Class.ID] != epoch || src >= len(a.Weights) {
 			// The overload rolled back while the instance was booting;
-			// drop the late activation (the instance is cancelled by the
-			// rollback path or stays idle for reuse).
+			// drop the late activation. A launched instance is cancelled
+			// (reclaiming its cores); a reconfigured VM returns to the
+			// idle pool under its current NF type.
+			d.counters.Inc(CtrStaleActivations)
+			d.dropSpawned(v, inst)
 			return
 		}
 		s2 := len(a.Subclasses)
@@ -586,58 +655,123 @@ func (d *DynamicHandler) spawnSubclass(a *Assignment, src, j int, weight, rate f
 		newInsts[j] = inst.ID()
 		tag, tagErr := d.c.allocSubTagFor(a, subclassHosts(a.Class, sub.Hops))
 		if tagErr != nil {
+			d.counters.Inc(CtrSpawnFailures)
+			d.dropSpawned(v, inst)
 			return
+		}
+		if launched {
+			d.c.poolAdd(v, nf, inst)
+		} else {
+			// The reconfigured VM changed NF type; move it to the
+			// matching pool bucket so lookups stay consistent.
+			d.c.repoolInstance(v, inst)
+		}
+		if det, derr := vnf.DefaultDetector(inst.Spec().CapacityMbps); derr == nil {
+			d.detectors[inst.ID()] = det
 		}
 		a.SubTags = append(a.SubTags, tag)
 		a.Subclasses = append(a.Subclasses, sub)
-		a.Weights = append(a.Weights, weight)
-		if a.Weights[src] > weight {
-			a.Weights[src] -= weight
-		} else {
-			a.Weights[src] = 0
-		}
 		a.Instances = append(a.Instances, newInsts)
-		if d.c.instPool[v] == nil {
-			d.c.instPool[v] = make(map[policy.NF][]*vnf.Instance)
-		}
-		d.c.instPool[v][nf] = append(d.c.instPool[v][nf], inst)
-		det, derr := vnf.DefaultDetector(inst.Spec().CapacityMbps)
-		if derr == nil {
-			d.detectors[inst.ID()] = det
+		a.Weights = append(a.Weights, 0)
+		unwind := func() {
+			d.counters.Inc(CtrActivationUnwinds)
+			d.c.removeVSwitchRules(a, s2)
+			d.c.releaseSubTags(a, s2)
+			a.SubTags = a.SubTags[:s2]
+			a.Subclasses = a.Subclasses[:s2]
+			a.Instances = a.Instances[:s2]
+			a.Weights = a.Weights[:s2]
+			delete(d.detectors, inst.ID())
+			d.dropSpawned(v, inst)
 		}
 		if err := d.c.installVSwitchRules(a, s2); err != nil {
+			unwind()
 			return
 		}
+		// Exact weight transfer: never move more than src still carries,
+		// so the class total stays conserved even if src shrank while the
+		// VM was booting.
+		moved := weight
+		if a.Weights[src] < moved {
+			moved = a.Weights[src]
+		}
+		a.Weights[src] -= moved
+		a.Weights[s2] = moved
 		if err := d.c.installClassification(a); err != nil {
+			a.Weights[src] += moved
+			unwind()
+			// installClassification removed the class's old rules before
+			// failing; reinstall from the restored weights (same rule
+			// count as before the attempt, so this fits where the
+			// original did).
+			_ = d.c.installClassification(a)
 			return
+		}
+		d.counters.Inc(CtrActivations)
+	}
+	// abort releases the spawn slot when the provisioning never delivers
+	// an instance: a boot failure, a failed reconfiguration, or an abort
+	// after the slot's instance was cancelled or crashed.
+	abort := func(id vnf.ID, aerr error) {
+		if d.pending[key] == id {
+			delete(d.pending, key)
+		}
+		if errors.Is(aerr, orchestrator.ErrAborted) {
+			d.counters.Inc(CtrSpawnAborts)
+		} else {
+			d.counters.Inc(CtrSpawnFailures)
+		}
+		if cores, ok := d.spawnedCores[id]; ok {
+			// The orchestrator already freed (or lost) the VM; drop our
+			// core accounting for it.
+			d.extraCores -= cores
+			delete(d.spawnedCores, id)
+			delete(d.spawnedSet, id)
+			delete(d.zombies, id)
 		}
 	}
+	var newID vnf.ID
+	var err error
 	if spec.ClickOS {
-		newID, err = d.c.orch.ReconfigureIdle(nf, v, activate)
+		newID, err = d.c.orch.ReconfigureIdle(nf, v, activate, abort)
 	} else {
 		err = errors.New("full-VM NF cannot be reconfigured")
 	}
 	if err != nil {
-		newID, err = d.c.orch.Launch(nf, v, activate)
+		newID, err = d.c.orch.Launch(nf, v, activate, abort)
 		if err != nil {
-			delete(d.pending, key)
 			return fmt.Errorf("controller: failover spawn at switch %d: %w", v, err)
 		}
-		usedLaunch = true
+		launched = true
 	}
-	st := st0
-	if usedLaunch {
+	d.pending[key] = newID
+	d.counters.Inc(CtrSpawns)
+	if launched {
 		// Only launched instances are torn down (and their cores
 		// reclaimed) at rollback; a reconfigured VM simply returns to the
 		// idle pool.
-		st.spawned = append(st.spawned, newID)
+		st0.spawned = append(st0.spawned, newID)
 		d.spawnedSet[newID] = true
+		d.spawnedCores[newID] = spec.Cores
 		d.extraCores += spec.Cores
 		if d.extraCores > d.peakExtra {
 			d.peakExtra = d.extraCores
 		}
 	}
 	return nil
+}
+
+// dropSpawned disposes of a provisioned instance whose activation cannot
+// commit: a failover launch is cancelled (reclaiming its cores), while a
+// reconfigured idle VM is re-bucketed under its current NF type and left
+// for reuse.
+func (d *DynamicHandler) dropSpawned(v topology.NodeID, inst *vnf.Instance) {
+	id := inst.ID()
+	if d.spawnedSet[id] || d.zombies[id] {
+		d.cancelSpawned(id)
+		return
+	}
+	d.c.repoolInstance(v, inst)
 }
 
 // rollback restores one class's base distribution and cancels its
@@ -650,45 +784,81 @@ func (d *DynamicHandler) rollback(classID core.ClassID) error {
 		return nil
 	}
 	a := d.c.assign[classID]
-	st.epoch++
-	// Drop re-pinned and spawned sub-classes (they occupy the tail).
+	// Bump the class epoch before touching anything: every in-flight
+	// activation captured the old value and will drop itself instead of
+	// committing against the restored distribution.
+	d.epochs[classID]++
+	// Drop re-pinned and spawned sub-classes (they occupy the tail),
+	// removing their steering rules first — a leaked rule would shadow
+	// the reinstall when a later failover reuses the same sub-class slot.
 	base := len(a.Base)
+	for s := base; s < len(a.Subclasses); s++ {
+		d.c.removeVSwitchRules(a, s)
+	}
 	d.c.releaseSubTags(a, base)
 	a.Subclasses = a.Subclasses[:base]
 	a.Instances = a.Instances[:base]
 	a.Weights = append(a.Weights[:0], a.Base...)
 	a.SubTags = a.SubTags[:base]
 	for _, spawnedID := range st.spawned {
-		if err := d.cancelSpawned(spawnedID); err != nil {
-			return err
-		}
+		d.cancelSpawned(spawnedID)
 	}
 	st.spawned = nil
 	delete(d.states, classID)
+	d.counters.Inc(CtrRollbacks)
 	return d.c.installClassification(a)
 }
 
-// cancelSpawned removes a failover instance from pools and cancels it.
-func (d *DynamicHandler) cancelSpawned(id vnf.ID) error {
+// cancelSpawned tears down a failover launch: the instance leaves the
+// pool and detectors immediately; its cores stay accounted until the
+// orchestrator confirms the cancel. An instance that is already gone
+// (cancelled earlier, boot failed, or lost in a host crash) just has its
+// accounting cleared; a lost cancel RPC turns it into a zombie retried
+// on the next Observe.
+func (d *DynamicHandler) cancelSpawned(id vnf.ID) {
 	delete(d.detectors, id)
 	delete(d.spawnedSet, id)
-	for v, byNF := range d.c.instPool {
-		for nf, insts := range byNF {
-			kept := insts[:0]
-			for _, inst := range insts {
-				if inst.ID() == id {
-					d.extraCores -= inst.Spec().Cores
-					continue
-				}
-				kept = append(kept, inst)
-			}
-			d.c.instPool[v][nf] = kept
+	d.c.dropFromPool(id)
+	cores, accounted := d.spawnedCores[id]
+	err := d.c.orch.Cancel(id)
+	switch {
+	case err == nil, errors.Is(err, orchestrator.ErrUnknownInstance):
+		if accounted {
+			d.extraCores -= cores
+			delete(d.spawnedCores, id)
 		}
+		delete(d.zombies, id)
+	default:
+		// The cancel RPC was lost: the VM still runs and holds its
+		// cores, so the accounting stays truthful until a retry lands.
+		d.zombies[id] = true
+		d.counters.Inc(CtrZombieCancels)
 	}
-	if err := d.c.orch.Cancel(id); err != nil {
-		return fmt.Errorf("controller: %w", err)
+}
+
+// reapZombies retries cancels that previously failed, keeping ExtraCores
+// truthful until the orchestrator confirms each instance is gone.
+func (d *DynamicHandler) reapZombies() {
+	if len(d.zombies) == 0 {
+		return
 	}
-	return nil
+	ids := make([]vnf.ID, 0, len(d.zombies))
+	for id := range d.zombies {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		err := d.c.orch.Cancel(id)
+		if err != nil && !errors.Is(err, orchestrator.ErrUnknownInstance) {
+			continue
+		}
+		if cores, ok := d.spawnedCores[id]; ok {
+			d.extraCores -= cores
+			delete(d.spawnedCores, id)
+		}
+		delete(d.zombies, id)
+		d.counters.Inc(CtrZombiesReaped)
+	}
 }
 
 // spawnKey identifies a (switch, NF) spawn slot.

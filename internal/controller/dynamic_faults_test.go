@@ -1,0 +1,258 @@
+package controller
+
+import (
+	"testing"
+	"time"
+
+	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/orchestrator"
+	"github.com/apple-nfv/apple/internal/policy"
+	"github.com/apple-nfv/apple/internal/sim"
+)
+
+// faultySetup is overloadedSetup with an injected fault plan.
+func faultySetup(t *testing.T, plan orchestrator.FaultPlan) (*Controller, *DynamicHandler, *sim.Simulation) {
+	t.Helper()
+	g := lineTopo(t, 4)
+	clock := sim.New()
+	c, err := New(Config{Topology: g, Clock: clock, Seed: 7, Faults: &plan})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	classes := []core.Class{
+		{ID: 0, Path: linePath(4), Chain: policy.Chain{policy.Firewall}, RateMbps: 450},
+	}
+	prob := &core.Problem{Topo: g, Classes: classes, Avail: c.Avail()}
+	pl, err := core.NewEngine(core.EngineOptions{}).Solve(prob)
+	if err != nil {
+		t.Fatalf("Solve: %v", err)
+	}
+	if err := c.InstallPlacement(prob, pl); err != nil {
+		t.Fatalf("InstallPlacement: %v", err)
+	}
+	d, err := NewDynamicHandler(c)
+	if err != nil {
+		t.Fatalf("NewDynamicHandler: %v", err)
+	}
+	return c, d, clock
+}
+
+func assertInvariants(t *testing.T, d *DynamicHandler) {
+	t.Helper()
+	if err := d.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestSpawnBootFailureFreesSlot: a spawn whose boot dies must release
+// its pending (switch, NF) slot and accounting so the next surge round
+// can retry — the seed leaked the slot forever.
+func TestSpawnBootFailureFreesSlot(t *testing.T) {
+	c, d, clock := faultySetup(t, orchestrator.FaultPlan{BootFailOn: []int{1}})
+	surge := map[core.ClassID]float64{0: 1600}
+	if _, err := d.Observe(surge); err != nil {
+		t.Fatal(err)
+	}
+	if d.PendingSpawns() != 1 || d.ExtraCores() == 0 {
+		t.Fatalf("spawn not in flight: pending=%d extra=%d", d.PendingSpawns(), d.ExtraCores())
+	}
+	if err := clock.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// The boot failed: slot free, cores released, class unchanged.
+	if d.PendingSpawns() != 0 {
+		t.Fatalf("pending slot leaked after boot failure: %d", d.PendingSpawns())
+	}
+	if d.ExtraCores() != 0 {
+		t.Fatalf("extra cores leaked after boot failure: %d", d.ExtraCores())
+	}
+	if d.Counters().Get(CtrSpawnFailures) != 1 {
+		t.Fatalf("counters: %s", d.Counters())
+	}
+	assertInvariants(t, d)
+	// The surge persists: the handler must be able to retry (launch #2
+	// is unscripted and succeeds).
+	if _, err := d.Observe(surge); err != nil {
+		t.Fatal(err)
+	}
+	if d.PendingSpawns() != 1 {
+		t.Fatal("no respawn after the failed boot freed the slot")
+	}
+	if err := clock.AdvanceTo(clock.Now() + 6*time.Second); err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Assignment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Subclasses) != 2 {
+		t.Fatalf("retry did not activate: %d sub-classes", len(a.Subclasses))
+	}
+	assertInvariants(t, d)
+}
+
+// TestRollbackDuringBoot: recovery arrives while the spawned instance is
+// still booting. The rollback cancels it mid-boot; the boot callback
+// fires as an abort; nothing leaks and the class is back on base.
+func TestRollbackDuringBoot(t *testing.T) {
+	c, d, clock := faultySetup(t, orchestrator.FaultPlan{})
+	if _, err := d.Observe(map[core.ClassID]float64{0: 1600}); err != nil {
+		t.Fatal(err)
+	}
+	if d.PendingSpawns() != 1 {
+		t.Fatalf("pending = %d, want 1", d.PendingSpawns())
+	}
+	// Recovery before the 3.9 s boot completes.
+	if err := clock.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	n, err := d.Observe(map[core.ClassID]float64{0: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("rollback not detected")
+	}
+	a, err := c.Assignment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Subclasses) != len(a.Base) {
+		t.Fatalf("class not rolled back: %d sub-classes", len(a.Subclasses))
+	}
+	// The cancelled boot's callback has not fired yet, so its slot is
+	// legitimately busy; it must clear once the callback lands.
+	assertInvariants(t, d)
+	if err := clock.AdvanceTo(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d.PendingSpawns() != 0 || d.ExtraCores() != 0 || d.Zombies() != 0 {
+		t.Fatalf("leak after aborted boot: pending=%d extra=%d zombies=%d",
+			d.PendingSpawns(), d.ExtraCores(), d.Zombies())
+	}
+	if d.Counters().Get(CtrSpawnAborts) != 1 {
+		t.Fatalf("counters: %s", d.Counters())
+	}
+	assertInvariants(t, d)
+}
+
+// TestRollbackWithLostCancelGoesStale: rollback during boot whose cancel
+// RPC is lost. The instance keeps booting as a zombie (cores truthfully
+// accounted), its activation is dropped as stale, and the retried cancel
+// finally frees everything.
+func TestRollbackWithLostCancelGoesStale(t *testing.T) {
+	c, d, clock := faultySetup(t, orchestrator.FaultPlan{CancelFailOn: []int{1}})
+	if _, err := d.Observe(map[core.ClassID]float64{0: 1600}); err != nil {
+		t.Fatal(err)
+	}
+	if err := clock.Run(time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Observe(map[core.ClassID]float64{0: 100}); err != nil {
+		t.Fatal(err)
+	}
+	// The cancel was lost: the spawn is a zombie, still booting, still
+	// holding its cores.
+	if d.Zombies() != 1 {
+		t.Fatalf("zombies = %d, want 1", d.Zombies())
+	}
+	if d.ExtraCores() == 0 {
+		t.Fatal("zombie cores not accounted")
+	}
+	if d.Counters().Get(CtrZombieCancels) != 1 {
+		t.Fatalf("counters: %s", d.Counters())
+	}
+	assertInvariants(t, d)
+	// The boot completes → activation fires → dropped as stale (the
+	// rollback bumped the class epoch) → cancel retried and succeeds.
+	if err := clock.AdvanceTo(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if d.Counters().Get(CtrStaleActivations) != 1 {
+		t.Fatalf("stale activation not recorded: %s", d.Counters())
+	}
+	if d.PendingSpawns() != 0 || d.ExtraCores() != 0 || d.Zombies() != 0 {
+		t.Fatalf("leak after stale activation: pending=%d extra=%d zombies=%d",
+			d.PendingSpawns(), d.ExtraCores(), d.Zombies())
+	}
+	a, err := c.Assignment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Subclasses) != len(a.Base) {
+		t.Fatalf("stale activation resurrected a sub-class: %d", len(a.Subclasses))
+	}
+	assertInvariants(t, d)
+}
+
+// TestZombieReapedOnNextObserve: a cancel lost during a normal (post-
+// activation) rollback leaves a zombie that the next Observe reaps.
+func TestZombieReapedOnNextObserve(t *testing.T) {
+	_, d, clock := faultySetup(t, orchestrator.FaultPlan{CancelFailOn: []int{1}})
+	if _, err := d.Observe(map[core.ClassID]float64{0: 1600}); err != nil {
+		t.Fatal(err)
+	}
+	if err := clock.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Observe(map[core.ClassID]float64{0: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Zombies() != 1 || d.ExtraCores() == 0 {
+		t.Fatalf("no zombie after lost cancel: zombies=%d extra=%d", d.Zombies(), d.ExtraCores())
+	}
+	assertInvariants(t, d)
+	// Next observation retries the cancel (ordinal 2, unscripted).
+	if _, err := d.Observe(map[core.ClassID]float64{0: 100}); err != nil {
+		t.Fatal(err)
+	}
+	if d.Zombies() != 0 || d.ExtraCores() != 0 {
+		t.Fatalf("zombie not reaped: zombies=%d extra=%d", d.Zombies(), d.ExtraCores())
+	}
+	if d.Counters().Get(CtrZombiesReaped) != 1 {
+		t.Fatalf("counters: %s", d.Counters())
+	}
+	assertInvariants(t, d)
+}
+
+// TestLoadsRefreshedAfterTransition: after Observe handles a transition,
+// instance offered loads must reflect the post-rebalance weights — the
+// seed applied loads computed before the detector loop, so every
+// instance kept its pre-failover load until the next observation.
+func TestLoadsRefreshedAfterTransition(t *testing.T) {
+	c, d, _ := overloadedSetup(t)
+	clock := cClock(c)
+	surge := map[core.ClassID]float64{0: 1600}
+	if _, err := d.Observe(surge); err != nil {
+		t.Fatal(err)
+	}
+	if err := clock.Run(6 * time.Second); err != nil {
+		t.Fatal(err)
+	}
+	// Sustained surge: the second Observe re-balances again (the spawned
+	// sibling absorbs weight). Offered loads must match the weights as
+	// they stand after that re-balance.
+	if _, err := d.Observe(surge); err != nil {
+		t.Fatal(err)
+	}
+	a, err := c.Assignment(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Subclasses) < 2 {
+		t.Fatalf("no spawned sub-class: %d", len(a.Subclasses))
+	}
+	loads := c.Loads(surge)
+	for s := range a.Subclasses {
+		for _, id := range a.Instances[s] {
+			inst, err := c.findInstance(id)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if got, want := inst.Offered(), loads[id]; got != want {
+				t.Fatalf("instance %s offered %v, current weights say %v (stale loads applied)", id, got, want)
+			}
+		}
+	}
+	assertInvariants(t, d)
+}

@@ -3,6 +3,7 @@ package controller
 import (
 	"fmt"
 
+	"github.com/apple-nfv/apple/internal/core"
 	"github.com/apple-nfv/apple/internal/flowtable"
 	"github.com/apple-nfv/apple/internal/headerspace"
 	"github.com/apple-nfv/apple/internal/host"
@@ -106,45 +107,55 @@ func (c *Controller) InstanceNF(id vnf.ID) (policy.NF, error) {
 	return inst.NF(), nil
 }
 
-// CheckEnforcement forwards a probe packet for every class from its
+// CheckClassEnforcement forwards probe packets for one class from its
 // ingress and verifies the visited NF sequence equals the policy chain —
-// the end-to-end policy-enforcement property. It returns the first
-// violation found.
-func (c *Controller) CheckEnforcement() error {
-	for _, id := range c.Classes() {
-		a := c.assign[id]
-		// Probe several source addresses so multiple sub-classes are
-		// exercised.
-		for sub := uint32(0); sub < 8; sub++ {
-			hdr, err := c.FlowHeader(id, sub<<4)
+// the end-to-end policy-enforcement property for that class. Several
+// source addresses are probed so multiple sub-classes are exercised.
+func (c *Controller) CheckClassEnforcement(id core.ClassID) error {
+	a, ok := c.assign[id]
+	if !ok {
+		return fmt.Errorf("controller: class %d not installed", id)
+	}
+	for sub := uint32(0); sub < 8; sub++ {
+		hdr, err := c.FlowHeader(id, sub<<4)
+		if err != nil {
+			return err
+		}
+		tr, err := c.Forward(hdr, a.Class.Path[0])
+		if err != nil {
+			return fmt.Errorf("controller: class %d probe %d: %w", id, sub, err)
+		}
+		if !tr.Delivered {
+			return fmt.Errorf("controller: class %d probe %d not delivered", id, sub)
+		}
+		if len(tr.Instances) != len(a.Class.Chain) {
+			return fmt.Errorf("controller: class %d probe %d visited %d instances, chain has %d",
+				id, sub, len(tr.Instances), len(a.Class.Chain))
+		}
+		for j, instID := range tr.Instances {
+			nf, err := c.InstanceNF(instID)
 			if err != nil {
 				return err
 			}
-			tr, err := c.Forward(hdr, a.Class.Path[0])
-			if err != nil {
-				return fmt.Errorf("controller: class %d probe %d: %w", id, sub, err)
+			if nf != a.Class.Chain[j] {
+				return fmt.Errorf("controller: class %d probe %d position %d: visited %v, chain says %v",
+					id, sub, j, nf, a.Class.Chain[j])
 			}
-			if !tr.Delivered {
-				return fmt.Errorf("controller: class %d probe %d not delivered", id, sub)
-			}
-			if len(tr.Instances) != len(a.Class.Chain) {
-				return fmt.Errorf("controller: class %d probe %d visited %d instances, chain has %d",
-					id, sub, len(tr.Instances), len(a.Class.Chain))
-			}
-			for j, instID := range tr.Instances {
-				nf, err := c.InstanceNF(instID)
-				if err != nil {
-					return err
-				}
-				if nf != a.Class.Chain[j] {
-					return fmt.Errorf("controller: class %d probe %d position %d: visited %v, chain says %v",
-						id, sub, j, nf, a.Class.Chain[j])
-				}
-			}
-			if tr.FinalHostTag != flowtable.HostTagFin {
-				return fmt.Errorf("controller: class %d probe %d delivered with host tag %d, want Fin",
-					id, sub, tr.FinalHostTag)
-			}
+		}
+		if tr.FinalHostTag != flowtable.HostTagFin {
+			return fmt.Errorf("controller: class %d probe %d delivered with host tag %d, want Fin",
+				id, sub, tr.FinalHostTag)
+		}
+	}
+	return nil
+}
+
+// CheckEnforcement runs CheckClassEnforcement for every installed class
+// and returns the first violation found.
+func (c *Controller) CheckEnforcement() error {
+	for _, id := range c.Classes() {
+		if err := c.CheckClassEnforcement(id); err != nil {
+			return err
 		}
 	}
 	return nil

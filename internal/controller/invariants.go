@@ -1,0 +1,206 @@
+package controller
+
+import (
+	"fmt"
+	"math"
+
+	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/vnf"
+)
+
+// weightTol is the float tolerance for weight-conservation checks.
+const weightTol = 1e-6
+
+// CheckInvariants audits the controller and handler state that the
+// transactional failover discipline promises to keep consistent. It is
+// meant to hold between any two simulation events — the churn-replay
+// harness asserts it after every event — and returns the first violation
+// found:
+//
+//   - per class: sub-class arrays (Subclasses, Weights, Instances,
+//     SubTags) stay the same length, never shorter than Base, with
+//     non-negative weights summing to the Base total (weight
+//     conservation);
+//   - tags: local classes use SubTags[s] == s; header-rewriting classes
+//     use distinct upper-half tags registered on every visited host, and
+//     no host carries an orphaned global-tag registration;
+//   - vSwitch rules: every live sub-class has its steering rules on
+//     every host it visits, and no host carries a stale "vsw-*" rule for
+//     a sub-class that no longer exists;
+//   - core accounting: ExtraCores equals the summed cores of tracked
+//     spawned instances, each of which the orchestrator still manages
+//     (or lost to a crash whose abort callback is still in flight);
+//   - pending spawn slots: every occupied (switch, NF) slot names an
+//     instance with a lifecycle callback still scheduled — no orphans;
+//   - pools: every pooled instance sits in the bucket of its current NF
+//     type (unless mid-reconfiguration or dead), exactly once.
+func (d *DynamicHandler) CheckInvariants() error {
+	c := d.c
+	// Per-class structural and conservation checks.
+	for _, id := range c.Classes() {
+		a := c.assign[id]
+		n := len(a.Subclasses)
+		if len(a.Weights) != n || len(a.Instances) != n || len(a.SubTags) != n {
+			return fmt.Errorf("invariant: class %d arrays disagree: %d subclasses, %d weights, %d instance rows, %d tags",
+				id, n, len(a.Weights), len(a.Instances), len(a.SubTags))
+		}
+		if n < len(a.Base) {
+			return fmt.Errorf("invariant: class %d has %d sub-classes, fewer than its %d base sub-classes", id, n, len(a.Base))
+		}
+		wsum, bsum := 0.0, 0.0
+		for s, w := range a.Weights {
+			if w < -weightTol {
+				return fmt.Errorf("invariant: class %d sub-class %d has negative weight %v", id, s, w)
+			}
+			wsum += w
+		}
+		for _, b := range a.Base {
+			bsum += b
+		}
+		if math.Abs(wsum-bsum) > weightTol {
+			return fmt.Errorf("invariant: class %d weight sum %v != base sum %v (conservation broken)", id, wsum, bsum)
+		}
+		// Tag discipline.
+		seen := make(map[uint8]bool, n)
+		for s, tag := range a.SubTags {
+			if !a.Global {
+				if int(tag) != s {
+					return fmt.Errorf("invariant: class %d sub-class %d carries local tag %d", id, s, tag)
+				}
+				continue
+			}
+			if tag < globalTagBase {
+				return fmt.Errorf("invariant: global class %d sub-class %d carries lower-half tag %d", id, s, tag)
+			}
+			if seen[tag] {
+				return fmt.Errorf("invariant: global class %d reuses tag %d", id, tag)
+			}
+			seen[tag] = true
+			for _, v := range subclassHosts(a.Class, a.Subclasses[s].Hops) {
+				if !c.hostGlobalTags[v][tag] {
+					return fmt.Errorf("invariant: global class %d tag %d not registered at host %d", id, tag, v)
+				}
+			}
+		}
+		// Steering rules present for every live sub-class.
+		for s := range a.Subclasses {
+			name := fmt.Sprintf("vsw-%d-%d", id, s)
+			for _, v := range subclassHosts(a.Class, a.Subclasses[s].Hops) {
+				h, ok := c.hosts[v]
+				if !ok {
+					return fmt.Errorf("invariant: class %d sub-class %d visits switch %d with no host", id, s, v)
+				}
+				steer, err := h.VSwitch().Table(0)
+				if err != nil {
+					return fmt.Errorf("invariant: %w", err)
+				}
+				if !steer.Has(name) {
+					return fmt.Errorf("invariant: rule %q missing at host %d", name, v)
+				}
+			}
+		}
+		// Classification present at the ingress.
+		ingress, err := c.switches[a.Class.Path[0]].Pipeline.Table(TableAPPLE)
+		if err != nil {
+			return fmt.Errorf("invariant: %w", err)
+		}
+		if !ingress.Has(fmt.Sprintf("cls-%d", id)) {
+			return fmt.Errorf("invariant: class %d has no classification rules at its ingress", id)
+		}
+	}
+	// No stale steering rules: every "vsw-<class>-<s>" on any host must
+	// name a live sub-class that visits that host.
+	for v, h := range c.hosts {
+		steer, err := h.VSwitch().Table(0)
+		if err != nil {
+			return fmt.Errorf("invariant: %w", err)
+		}
+		for _, name := range steer.Names() {
+			var cid, s int
+			if k, _ := fmt.Sscanf(name, "vsw-%d-%d", &cid, &s); k != 2 {
+				continue
+			}
+			a, ok := c.assign[core.ClassID(cid)]
+			if !ok || s >= len(a.Subclasses) {
+				return fmt.Errorf("invariant: stale rule %q at host %d (sub-class gone)", name, v)
+			}
+			visits := false
+			for _, hv := range subclassHosts(a.Class, a.Subclasses[s].Hops) {
+				if hv == v {
+					visits = true
+					break
+				}
+			}
+			if !visits {
+				return fmt.Errorf("invariant: stale rule %q at host %d (sub-class does not visit it)", name, v)
+			}
+		}
+	}
+	// No orphaned global-tag registrations.
+	type vtag struct {
+		v   int
+		tag uint8
+	}
+	used := make(map[vtag]bool)
+	for _, id := range c.Classes() {
+		a := c.assign[id]
+		if !a.Global {
+			continue
+		}
+		for s, tag := range a.SubTags {
+			for _, v := range subclassHosts(a.Class, a.Subclasses[s].Hops) {
+				used[vtag{int(v), tag}] = true
+			}
+		}
+	}
+	for v, tags := range c.hostGlobalTags {
+		for tag, on := range tags {
+			if on && !used[vtag{int(v), tag}] {
+				return fmt.Errorf("invariant: host %d holds orphaned global tag %d", v, tag)
+			}
+		}
+	}
+	// Core accounting: ExtraCores is exactly the summed cores of tracked
+	// spawns, each still known to the orchestrator (or crashed with its
+	// abort callback still in flight), each tracked as live or zombie.
+	sum := 0
+	for id, cores := range d.spawnedCores {
+		sum += cores
+		if !c.orch.Known(id) && !c.orch.Crashed(id) {
+			return fmt.Errorf("invariant: spawned instance %s accounted (%d cores) but unknown to the orchestrator", id, cores)
+		}
+		if !d.spawnedSet[id] && !d.zombies[id] {
+			return fmt.Errorf("invariant: spawned instance %s accounted but tracked neither live nor zombie", id)
+		}
+	}
+	if sum != d.extraCores {
+		return fmt.Errorf("invariant: ExtraCores=%d but tracked spawned cores sum to %d", d.extraCores, sum)
+	}
+	if d.extraCores < 0 || d.peakExtra < d.extraCores {
+		return fmt.Errorf("invariant: ExtraCores=%d, PeakExtraCores=%d out of range", d.extraCores, d.peakExtra)
+	}
+	// Pending spawn slots: the exactly-one-callback contract means every
+	// occupied slot has its callback still scheduled.
+	for key, id := range d.pending {
+		if !c.orch.InFlight(id) {
+			return fmt.Errorf("invariant: pending spawn slot (switch %d, %v) orphaned: %s has no callback in flight", key.v, key.nf, id)
+		}
+	}
+	// Pool discipline: each instance pooled once, in its NF's bucket
+	// (mid-reconfiguration and crash-killed instances excepted).
+	pooled := make(map[vnf.ID]bool)
+	for v, byNF := range c.instPool {
+		for nf, insts := range byNF {
+			for _, inst := range insts {
+				if pooled[inst.ID()] {
+					return fmt.Errorf("invariant: instance %s pooled more than once", inst.ID())
+				}
+				pooled[inst.ID()] = true
+				if inst.NF() != nf && !c.orch.InFlight(inst.ID()) && inst.State() != vnf.StateFailed {
+					return fmt.Errorf("invariant: instance %s (NF %v) pooled under %v at switch %d", inst.ID(), inst.NF(), nf, v)
+				}
+			}
+		}
+	}
+	return nil
+}

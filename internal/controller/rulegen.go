@@ -237,9 +237,11 @@ func (c *Controller) install(pl *flowtable.Pipeline, table int, r flowtable.Rule
 }
 
 // installClassification (re)installs the ingress classification rules of
-// a class from its current weights (Table III rows 2–3). Existing rules
-// for the class are removed first, so the Dynamic Handler can call this
-// after reshaping weights.
+// a class from its current weights (Table III rows 2–3). The full rule
+// set is built before the table is touched, so a bad weight vector or
+// tag lookup fails without disturbing the installed rules; only then are
+// the class's existing rules swapped for the new ones. The Dynamic
+// Handler calls this after reshaping weights.
 func (c *Controller) installClassification(a *Assignment) error {
 	ingress := a.Class.Path[0]
 	sw := c.switches[ingress]
@@ -248,7 +250,6 @@ func (c *Controller) installClassification(a *Assignment) error {
 		return fmt.Errorf("controller: %w", err)
 	}
 	name := fmt.Sprintf("cls-%d", a.Class.ID)
-	table.Remove(name)
 	// Normalize defensively: weights are relative shares.
 	wsum := 0.0
 	for _, w := range a.Weights {
@@ -265,6 +266,7 @@ func (c *Controller) installClassification(a *Assignment) error {
 	if err != nil {
 		return fmt.Errorf("controller: class %d classification: %w", a.Class.ID, err)
 	}
+	var rules []flowtable.Rule
 	for s, bs := range blocks {
 		subTag, err := a.tagOf(s)
 		if err != nil {
@@ -289,7 +291,7 @@ func (c *Controller) installClassification(a *Assignment) error {
 					flowtable.Action{Type: flowtable.ActSetHostTag, Tag: hostTag},
 					flowtable.Action{Type: flowtable.ActGotoTable, Table: TableRouting})
 			}
-			if err := c.install(sw.Pipeline, TableAPPLE, flowtable.Rule{
+			rules = append(rules, flowtable.Rule{
 				Name:     name,
 				Priority: prioClassify,
 				Match: flowtable.Match{
@@ -297,9 +299,13 @@ func (c *Controller) installClassification(a *Assignment) error {
 					Src:     flowtable.PrefixPtr(pfx),
 				},
 				Actions: actions,
-			}); err != nil {
-				return err
-			}
+			})
+		}
+	}
+	table.Remove(name)
+	for _, r := range rules {
+		if err := c.install(sw.Pipeline, TableAPPLE, r); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -417,6 +423,28 @@ func (c *Controller) installVSwitchRules(a *Assignment, s int) error {
 		c.ruleUpdates++
 	}
 	return nil
+}
+
+// removeVSwitchRules deletes sub-class s's steering rules from every
+// host its hop vector visits — the inverse of installVSwitchRules, used
+// by rollback and unwind paths. Rules missing on a host are fine: a
+// partially failed install removes whatever made it in.
+func (c *Controller) removeVSwitchRules(a *Assignment, s int) {
+	if s < 0 || s >= len(a.Subclasses) {
+		return
+	}
+	name := fmt.Sprintf("vsw-%d-%d", a.Class.ID, s)
+	for _, v := range subclassHosts(a.Class, a.Subclasses[s].Hops) {
+		h, ok := c.hosts[v]
+		if !ok {
+			continue
+		}
+		steer, err := h.VSwitch().Table(host.TableSteering)
+		if err != nil {
+			continue
+		}
+		steer.Remove(name)
+	}
 }
 
 // expandForCapacity implements §IV-B's load distribution across multiple

@@ -1,0 +1,346 @@
+// Churn replay: a deterministic fast-failover torture harness. It
+// drives repeated overload → recovery waves through the Dynamic Handler
+// on a small synthetic topology, optionally under an injected
+// orchestrator.FaultPlan, and asserts DynamicHandler.CheckInvariants
+// after every single simulation event. The produced trace is fully
+// deterministic, so a zero fault plan must replay byte-identically to a
+// run with no plan at all — the regression guard for the fault layer
+// itself.
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"github.com/apple-nfv/apple/internal/controller"
+	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/orchestrator"
+	"github.com/apple-nfv/apple/internal/policy"
+	"github.com/apple-nfv/apple/internal/sim"
+	"github.com/apple-nfv/apple/internal/topology"
+)
+
+// ChurnConfig parameterizes one churn replay. The zero value is usable:
+// withChurnDefaults fills every field.
+type ChurnConfig struct {
+	// Switches is the length of the line topology (default 4).
+	Switches int
+	// Classes is how many traffic classes share the line (default 1).
+	// Odd-numbered classes run the line in reverse.
+	Classes int
+	// Waves is the number of surge → recovery cycles (default 3).
+	Waves int
+	// SurgeObserves / CoolObserves are Observe calls per phase, each
+	// followed by a StepSeconds clock advance (defaults 2 and 2).
+	SurgeObserves int
+	CoolObserves  int
+	// StepSeconds is the virtual time between observations (default 3 —
+	// shorter than a 4.6 s worst-case boot, so activations land between
+	// observations, not conveniently before them).
+	StepSeconds int
+	// PlannedMbps is the per-class rate the LP provisions for (default
+	// 450). SurgeMbps (default 1600) overloads the planned instance;
+	// BaseMbps (default 100) sits below the rollback threshold.
+	PlannedMbps float64
+	SurgeMbps   float64
+	BaseMbps    float64
+	// HostCores caps every host's core count (0 keeps the 64-core
+	// default). Tight hosts force spawns onto a different switch than
+	// the base instance — the setup a targeted host-crash plan needs.
+	HostCores int
+	// Seed drives the controller's boot-time jitter.
+	Seed int64
+	// Faults, when non-nil, is injected into the orchestrator.
+	Faults *orchestrator.FaultPlan
+	// Probe runs CheckEnforcement after the final quiesce (leave off for
+	// plans that crash hosts serving base sub-classes).
+	Probe bool
+}
+
+func (cfg ChurnConfig) withChurnDefaults() ChurnConfig {
+	if cfg.Switches == 0 {
+		cfg.Switches = 4
+	}
+	if cfg.Classes == 0 {
+		cfg.Classes = 1
+	}
+	if cfg.Waves == 0 {
+		cfg.Waves = 3
+	}
+	if cfg.SurgeObserves == 0 {
+		cfg.SurgeObserves = 2
+	}
+	if cfg.CoolObserves == 0 {
+		cfg.CoolObserves = 2
+	}
+	if cfg.StepSeconds == 0 {
+		cfg.StepSeconds = 3
+	}
+	if cfg.PlannedMbps == 0 {
+		cfg.PlannedMbps = 450
+	}
+	if cfg.SurgeMbps == 0 {
+		cfg.SurgeMbps = 1600
+	}
+	if cfg.BaseMbps == 0 {
+		cfg.BaseMbps = 100
+	}
+	return cfg
+}
+
+// ChurnResult is the deterministic outcome of one replay.
+type ChurnResult struct {
+	// Trace holds one line per observation step plus quiesce steps —
+	// the byte-identity artifact.
+	Trace []string
+	// InvariantErr is the first CheckInvariants violation seen at any
+	// simulation event (nil when the discipline held throughout).
+	InvariantErr error
+	// InvariantChecks counts how many post-event audits ran.
+	InvariantChecks int
+	// EnforceErr is the final CheckEnforcement verdict (nil when not
+	// probed or clean).
+	EnforceErr error
+	// FinalExtraCores, PendingSpawns and Zombies are the post-quiesce
+	// leak gauges: all must be zero after every class rolled back.
+	FinalExtraCores int
+	PeakExtraCores  int
+	PendingSpawns   int
+	Zombies         int
+	// Transitions totals the state-machine transitions Observe reported.
+	Transitions int
+	// Events is the simulation's fired-event count.
+	Events uint64
+	// SpawnSwitches lists every switch that ever hosted a beyond-base
+	// sub-class — the candidates for a targeted host-crash plan.
+	// BaseSwitches lists the switches hosting base sub-classes (crash
+	// those and the classes they serve lose enforcement entirely).
+	SpawnSwitches []topology.NodeID
+	BaseSwitches  []topology.NodeID
+	// OrchCounters and HandlerCounters snapshot the lifecycle counters.
+	OrchCounters    map[string]uint64
+	HandlerCounters map[string]uint64
+}
+
+// TraceString flattens the replay into one deterministic string: the
+// per-step trace followed by sorted counter values. Two replays of the
+// same config must produce equal TraceStrings; a zero fault plan must
+// produce the TraceString of a fault-free run.
+func (r *ChurnResult) TraceString() string {
+	var b strings.Builder
+	for _, line := range r.Trace {
+		b.WriteString(line)
+		b.WriteByte('\n')
+	}
+	fmt.Fprintf(&b, "final extra=%d peak=%d pending=%d zombies=%d transitions=%d events=%d\n",
+		r.FinalExtraCores, r.PeakExtraCores, r.PendingSpawns, r.Zombies, r.Transitions, r.Events)
+	for _, set := range []struct {
+		name string
+		vals map[string]uint64
+	}{{"orch", r.OrchCounters}, {"handler", r.HandlerCounters}} {
+		keys := make([]string, 0, len(set.vals))
+		for k := range set.vals {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		for _, k := range keys {
+			fmt.Fprintf(&b, "%s.%s=%d\n", set.name, k, set.vals[k])
+		}
+	}
+	return b.String()
+}
+
+// churnLine builds the harness topology: a line of n backbone switches.
+func churnLine(n int) (*topology.Graph, error) {
+	g := topology.NewGraph("churn-line")
+	var prev topology.NodeID
+	for i := 0; i < n; i++ {
+		id := g.AddNode(fmt.Sprintf("s%d", i), topology.KindBackbone)
+		if i > 0 {
+			if err := g.AddLink(prev, id, 10_000, 1); err != nil {
+				return nil, err
+			}
+		}
+		prev = id
+	}
+	return g, nil
+}
+
+// churnClasses lays cfg.Classes firewall classes along the line,
+// odd-numbered ones in reverse, each planned at cfg.PlannedMbps.
+func churnClasses(cfg ChurnConfig) []core.Class {
+	fwd := make([]topology.NodeID, cfg.Switches)
+	for i := range fwd {
+		fwd[i] = topology.NodeID(i)
+	}
+	rev := make([]topology.NodeID, cfg.Switches)
+	for i := range rev {
+		rev[i] = fwd[cfg.Switches-1-i]
+	}
+	classes := make([]core.Class, cfg.Classes)
+	for i := range classes {
+		path := fwd
+		if i%2 == 1 {
+			path = rev
+		}
+		classes[i] = core.Class{
+			ID:       core.ClassID(i),
+			Path:     path,
+			Chain:    policy.Chain{policy.Firewall},
+			RateMbps: cfg.PlannedMbps,
+		}
+	}
+	return classes
+}
+
+// ChurnReplay builds the synthetic deployment, injects cfg.Faults, and
+// replays cfg.Waves surge/recovery cycles with an invariant audit after
+// every simulation event. It returns an error only for setup problems or
+// an Observe that fails outright; lifecycle faults and invariant
+// violations are reported in the result.
+func ChurnReplay(cfg ChurnConfig) (*ChurnResult, error) {
+	cfg = cfg.withChurnDefaults()
+	g, err := churnLine(cfg.Switches)
+	if err != nil {
+		return nil, fmt.Errorf("churn: %w", err)
+	}
+	clock := sim.New()
+	var hostRes policy.Resources
+	if cfg.HostCores > 0 {
+		hostRes = policy.Resources{Cores: cfg.HostCores, MemoryMB: 128 * 1024}
+	}
+	ctrl, err := controller.New(controller.Config{
+		Topology:      g,
+		Clock:         clock,
+		HostResources: hostRes,
+		Seed:          cfg.Seed,
+		Faults:        cfg.Faults,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("churn: %w", err)
+	}
+	classes := churnClasses(cfg)
+	prob := &core.Problem{Topo: g, Classes: classes, Avail: ctrl.Avail()}
+	pl, err := core.NewEngine(core.EngineOptions{}).Solve(prob)
+	if err != nil {
+		return nil, fmt.Errorf("churn: solve: %w", err)
+	}
+	if err := ctrl.InstallPlacement(prob, pl); err != nil {
+		return nil, fmt.Errorf("churn: install: %w", err)
+	}
+	handler, err := controller.NewDynamicHandler(ctrl)
+	if err != nil {
+		return nil, fmt.Errorf("churn: %w", err)
+	}
+
+	res := &ChurnResult{}
+	baseHosts := make(map[topology.NodeID]bool)
+	for i := 0; i < cfg.Classes; i++ {
+		a, err := ctrl.Assignment(core.ClassID(i))
+		if err != nil {
+			return nil, fmt.Errorf("churn: %w", err)
+		}
+		for s := 0; s < len(a.Base) && s < len(a.Subclasses); s++ {
+			for _, hop := range a.Subclasses[s].Hops {
+				baseHosts[a.Class.Path[hop]] = true
+			}
+		}
+	}
+	for v := range baseHosts {
+		res.BaseSwitches = append(res.BaseSwitches, v)
+	}
+	sort.Slice(res.BaseSwitches, func(i, j int) bool { return res.BaseSwitches[i] < res.BaseSwitches[j] })
+	// The tentpole hook: audit the full transactional-failover invariant
+	// set after every fired event — boot completions, aborted callbacks,
+	// scheduled host crashes — not just at observation boundaries.
+	clock.OnEvent(func(now time.Duration) {
+		res.InvariantChecks++
+		if res.InvariantErr == nil {
+			if err := handler.CheckInvariants(); err != nil {
+				res.InvariantErr = fmt.Errorf("after event at t=%v: %w", now, err)
+			}
+		}
+	})
+
+	surge := make(map[core.ClassID]float64, cfg.Classes)
+	base := make(map[core.ClassID]float64, cfg.Classes)
+	for i := 0; i < cfg.Classes; i++ {
+		surge[core.ClassID(i)] = cfg.SurgeMbps
+		base[core.ClassID(i)] = cfg.BaseMbps
+	}
+
+	spawnHosts := make(map[topology.NodeID]bool)
+	now := time.Duration(0)
+	step := func(rates map[core.ClassID]float64, label string) error {
+		n, err := handler.Observe(rates)
+		if err != nil {
+			return fmt.Errorf("churn: observe at t=%v: %w", now, err)
+		}
+		res.Transitions += n
+		now += time.Duration(cfg.StepSeconds) * time.Second
+		if err := clock.AdvanceTo(now); err != nil {
+			return fmt.Errorf("churn: advance: %w", err)
+		}
+		subs := make([]string, 0, cfg.Classes)
+		for i := 0; i < cfg.Classes; i++ {
+			a, err := ctrl.Assignment(core.ClassID(i))
+			if err != nil {
+				return fmt.Errorf("churn: %w", err)
+			}
+			subs = append(subs, fmt.Sprintf("c%d:%d/%d", i, len(a.Subclasses), len(a.Base)))
+			for s := len(a.Base); s < len(a.Subclasses); s++ {
+				for _, hop := range a.Subclasses[s].Hops {
+					spawnHosts[a.Class.Path[hop]] = true
+				}
+			}
+		}
+		res.Trace = append(res.Trace, fmt.Sprintf(
+			"t=%-4v %-12s trans=%d extra=%d pending=%d zombies=%d subs=%s",
+			now, label, n, handler.ExtraCores(), handler.PendingSpawns(),
+			handler.Zombies(), strings.Join(subs, " ")))
+		return nil
+	}
+
+	for wave := 0; wave < cfg.Waves; wave++ {
+		for i := 0; i < cfg.SurgeObserves; i++ {
+			if err := step(surge, fmt.Sprintf("wave%d-surge%d", wave, i)); err != nil {
+				return nil, err
+			}
+		}
+		for i := 0; i < cfg.CoolObserves; i++ {
+			if err := step(base, fmt.Sprintf("wave%d-cool%d", wave, i)); err != nil {
+				return nil, err
+			}
+		}
+	}
+	// Quiesce: keep observing at base rates until late boots have fired,
+	// every pending slot has been released by its callback, and zombie
+	// cancels have been reaped. Bounded, so a plan with CancelFailProb=1
+	// terminates (and reports the zombies it could not reap).
+	for i := 0; i < 32; i++ {
+		if i >= 2 && handler.PendingSpawns() == 0 && handler.Zombies() == 0 {
+			break
+		}
+		if err := step(base, fmt.Sprintf("quiesce%d", i)); err != nil {
+			return nil, err
+		}
+	}
+
+	res.FinalExtraCores = handler.ExtraCores()
+	res.PeakExtraCores = handler.PeakExtraCores()
+	res.PendingSpawns = handler.PendingSpawns()
+	res.Zombies = handler.Zombies()
+	res.Events = clock.Fired()
+	res.OrchCounters = ctrl.Orchestrator().Counters().Snapshot()
+	res.HandlerCounters = handler.Counters().Snapshot()
+	for v := range spawnHosts {
+		res.SpawnSwitches = append(res.SpawnSwitches, v)
+	}
+	sort.Slice(res.SpawnSwitches, func(i, j int) bool { return res.SpawnSwitches[i] < res.SpawnSwitches[j] })
+	if cfg.Probe {
+		res.EnforceErr = ctrl.CheckEnforcement()
+	}
+	return res, nil
+}

@@ -259,6 +259,21 @@ func (t *Table) Remove(name string) int {
 // table consumes.
 func (t *Table) Size() int { return len(t.rules) }
 
+// Names returns the distinct rule names present in the table, in rule
+// order. Audits use it to detect stale entries left behind by a
+// partially unwound update.
+func (t *Table) Names() []string {
+	seen := make(map[string]bool, len(t.rules))
+	var out []string
+	for _, r := range t.rules {
+		if !seen[r.Name] {
+			seen[r.Name] = true
+			out = append(out, r.Name)
+		}
+	}
+	return out
+}
+
 // Rules returns a copy of the rules in match order.
 func (t *Table) Rules() []Rule {
 	out := make([]Rule, len(t.rules))

@@ -131,6 +131,28 @@ func (h *Host) Detach(id vnf.ID) error {
 	return nil
 }
 
+// Crash models the host's physical machine dying and rebooting: every
+// attached instance is marked Failed and detached, releasing all reserved
+// resources. The vSwitch pipeline survives (rules live on the controller's
+// model of the host and are the rule generator's job to clean up). The
+// failed instance IDs are returned sorted for deterministic handling.
+func (h *Host) Crash() []vnf.ID {
+	ids := make([]vnf.ID, 0, len(h.byID))
+	for id := range h.byID {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
+		inst := h.ports[h.byID[id]]
+		if st := inst.State(); st == vnf.StateBooting || st == vnf.StateRunning {
+			// Booting→Failed and Running→Failed are always legal.
+			_ = inst.SetState(vnf.StateFailed)
+		}
+		_ = h.Detach(id)
+	}
+	return ids
+}
+
 // PortOf returns the vSwitch port of an attached instance.
 func (h *Host) PortOf(id vnf.ID) (PortID, error) {
 	port, ok := h.byID[id]

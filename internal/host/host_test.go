@@ -310,3 +310,40 @@ func TestNATRewritesSource(t *testing.T) {
 		t.Fatal("different instances should map to different pools")
 	}
 }
+
+func TestCrash(t *testing.T) {
+	h := newHost(t)
+	running := newInstance(t, "fw-1@h", policy.Firewall)
+	if _, err := h.Attach(running); err != nil {
+		t.Fatal(err)
+	}
+	booting, err := vnf.New("nat-2@h", policy.NAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Attach(booting); err != nil {
+		t.Fatal(err)
+	}
+	lost := h.Crash()
+	if len(lost) != 2 || lost[0] != "fw-1@h" || lost[1] != "nat-2@h" {
+		t.Fatalf("lost = %v, want both instances sorted", lost)
+	}
+	if running.State() != vnf.StateFailed || booting.State() != vnf.StateFailed {
+		t.Fatalf("states after crash: %v, %v, want Failed", running.State(), booting.State())
+	}
+	// The machine reboots empty: resources free, ports vacant.
+	if h.Available() != DefaultResources() {
+		t.Fatalf("available = %+v after crash, want everything", h.Available())
+	}
+	if _, err := h.PortOf("fw-1@h"); err == nil {
+		t.Fatal("crashed instance still has a port")
+	}
+	// Crashing an empty host loses nothing.
+	if again := h.Crash(); len(again) != 0 {
+		t.Fatalf("second crash lost %v", again)
+	}
+	// The rebooted host accepts new work.
+	if _, err := h.Attach(newInstance(t, "fw-3@h", policy.Firewall)); err != nil {
+		t.Fatalf("attach after crash: %v", err)
+	}
+}

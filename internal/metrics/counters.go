@@ -1,0 +1,65 @@
+package metrics
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Counters is an ordered set of named monotonic counters. The failure
+// model uses one per component (orchestrator lifecycle outcomes, Dynamic
+// Handler spawn/rollback activity) so experiment reports can print a
+// stable, deterministic line of what happened during a replay.
+//
+// Names keep their first-increment order, which makes String output
+// reproducible without sorting surprises when new counters appear.
+type Counters struct {
+	order []string
+	vals  map[string]uint64
+}
+
+// NewCounters returns an empty counter set.
+func NewCounters() *Counters {
+	return &Counters{vals: make(map[string]uint64)}
+}
+
+// Inc adds one to the named counter, creating it at zero first if needed.
+func (c *Counters) Inc(name string) { c.Add(name, 1) }
+
+// Add adds n to the named counter, creating it at zero first if needed.
+func (c *Counters) Add(name string, n uint64) {
+	if _, ok := c.vals[name]; !ok {
+		c.order = append(c.order, name)
+	}
+	c.vals[name] += n
+}
+
+// Get returns the named counter's value (zero if never incremented).
+func (c *Counters) Get(name string) uint64 { return c.vals[name] }
+
+// Names returns the counter names in first-increment order.
+func (c *Counters) Names() []string {
+	out := make([]string, len(c.order))
+	copy(out, c.order)
+	return out
+}
+
+// Snapshot copies the current values.
+func (c *Counters) Snapshot() map[string]uint64 {
+	out := make(map[string]uint64, len(c.vals))
+	for k, v := range c.vals {
+		out[k] = v
+	}
+	return out
+}
+
+// String renders "name=value" pairs in first-increment order.
+func (c *Counters) String() string {
+	var b strings.Builder
+	for i, name := range c.order {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", name, c.vals[name])
+	}
+	return b.String()
+}

@@ -18,6 +18,7 @@ import (
 	"time"
 
 	"github.com/apple-nfv/apple/internal/host"
+	"github.com/apple-nfv/apple/internal/metrics"
 	"github.com/apple-nfv/apple/internal/policy"
 	"github.com/apple-nfv/apple/internal/sim"
 	"github.com/apple-nfv/apple/internal/topology"
@@ -88,12 +89,21 @@ func BootSteps() []Step {
 // Orchestrator manages hosts and instance lifecycles on a simulation
 // clock.
 type Orchestrator struct {
-	clock   *sim.Simulation
-	lat     Latencies
-	rng     *rand.Rand
-	hosts   map[topology.NodeID][]*host.Host
-	hostOf  map[vnf.ID]*host.Host
-	nextSeq int
+	clock    *sim.Simulation
+	lat      Latencies
+	rng      *rand.Rand
+	hosts    map[topology.NodeID][]*host.Host
+	hostOf   map[vnf.ID]*host.Host
+	nextSeq  int
+	faults   *faultState
+	counters *metrics.Counters
+	// inflight marks instances with a lifecycle callback still scheduled
+	// (boot completion or reconfiguration). Controllers use it to
+	// distinguish legitimately transitional state from leaks.
+	inflight map[vnf.ID]bool
+	// crashed remembers instances lost to host crashes, so callers can
+	// tell "never existed" from "died in a crash".
+	crashed map[vnf.ID]bool
 }
 
 // New creates an orchestrator driving instances on the given simulation
@@ -106,16 +116,77 @@ func New(clock *sim.Simulation, lat Latencies, seed int64) (*Orchestrator, error
 		return nil, err
 	}
 	return &Orchestrator{
-		clock:  clock,
-		lat:    lat,
-		rng:    rand.New(rand.NewSource(seed)),
-		hosts:  make(map[topology.NodeID][]*host.Host),
-		hostOf: make(map[vnf.ID]*host.Host),
+		clock:    clock,
+		lat:      lat,
+		rng:      rand.New(rand.NewSource(seed)),
+		hosts:    make(map[topology.NodeID][]*host.Host),
+		hostOf:   make(map[vnf.ID]*host.Host),
+		counters: metrics.NewCounters(),
+		inflight: make(map[vnf.ID]bool),
+		crashed:  make(map[vnf.ID]bool),
 	}, nil
 }
 
 // Latencies returns the configured timings.
 func (o *Orchestrator) Latencies() Latencies { return o.lat }
+
+// Counters returns the lifecycle outcome counters (launches, boots,
+// injected failures, cancels, crashes).
+func (o *Orchestrator) Counters() *metrics.Counters { return o.counters }
+
+// InjectFaults installs a fault plan and schedules its host crashes on
+// the simulation clock. Call it once, before running the simulation; a
+// zero plan is accepted and perturbs nothing.
+func (o *Orchestrator) InjectFaults(plan FaultPlan) error {
+	if err := plan.validate(); err != nil {
+		return err
+	}
+	if o.faults != nil {
+		return errors.New("orchestrator: fault plan already installed")
+	}
+	o.faults = newFaultState(plan)
+	for _, c := range plan.Crashes {
+		c := c
+		if _, err := o.clock.At(c.At, func(time.Duration) {
+			o.Crash(c.Switch)
+		}); err != nil {
+			return fmt.Errorf("orchestrator: scheduling crash at %v: %w", c.At, err)
+		}
+	}
+	return nil
+}
+
+// InFlight reports whether a lifecycle callback (boot completion or
+// reconfiguration) is still scheduled for the instance.
+func (o *Orchestrator) InFlight(id vnf.ID) bool { return o.inflight[id] }
+
+// Crashed reports whether the instance was lost to a host crash.
+func (o *Orchestrator) Crashed(id vnf.ID) bool { return o.crashed[id] }
+
+// Known reports whether the orchestrator currently manages the instance.
+func (o *Orchestrator) Known(id vnf.ID) bool {
+	_, ok := o.hostOf[id]
+	return ok
+}
+
+// Crash kills every host at switch v: all attached instances fail and
+// their resources are freed (the machine reboots empty). In-flight boot
+// and reconfigure callbacks for the lost instances still fire — as
+// ErrAborted failures — preserving the exactly-one-callback contract.
+func (o *Orchestrator) Crash(v topology.NodeID) []vnf.ID {
+	var lost []vnf.ID
+	for _, h := range o.hosts[v] {
+		o.counters.Inc(CtrHostCrashes)
+		for _, id := range h.Crash() {
+			delete(o.hostOf, id)
+			o.crashed[id] = true
+			o.counters.Inc(CtrCrashedInstances)
+			lost = append(lost, id)
+		}
+	}
+	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	return lost
+}
 
 // AddHost registers an APPLE host.
 func (o *Orchestrator) AddHost(h *host.Host) error {
@@ -195,9 +266,14 @@ func (o *Orchestrator) pickHost(v topology.NodeID, need policy.Resources) (*host
 // Launch starts a new VNF instance of type nf at switch v through the full
 // orchestrated pipeline. Resources are reserved immediately (the VM
 // exists from step 6), but the instance only reaches Running after the
-// boot delay; onReady, if non-nil, fires at that moment on the simulation
-// clock. The returned ID is usable immediately for bookkeeping.
-func (o *Orchestrator) Launch(nf policy.NF, v topology.NodeID, onReady func(*vnf.Instance, *host.Host)) (vnf.ID, error) {
+// boot delay. The returned ID is usable immediately for bookkeeping.
+//
+// Callback contract: when Launch returns nil, exactly one of onReady or
+// onFail fires later on the simulation clock — onReady at boot
+// completion, onFail if the boot fails (ErrBootFailed), or if the
+// instance was cancelled or lost to a host crash before the boot
+// completed (ErrAborted). Either callback may be nil.
+func (o *Orchestrator) Launch(nf policy.NF, v topology.NodeID, onReady func(*vnf.Instance, *host.Host), onFail func(vnf.ID, error)) (vnf.ID, error) {
 	spec, err := policy.SpecOf(nf)
 	if err != nil {
 		return "", fmt.Errorf("orchestrator: %w", err)
@@ -216,19 +292,58 @@ func (o *Orchestrator) Launch(nf policy.NF, v topology.NodeID, onReady func(*vnf
 		return "", fmt.Errorf("orchestrator: %w", err)
 	}
 	o.hostOf[id] = h
+	o.inflight[id] = true
+	o.counters.Inc(CtrLaunches)
 	boot := o.bootTime()
+	var bootErr error
+	if o.faults != nil {
+		o.faults.launches++
+		n := o.faults.launches
+		p := o.faults.plan
+		if o.faults.fires(p.BootFailProb, p.BootFailOn, n) {
+			bootErr = ErrBootFailed
+		} else if o.faults.fires(p.BootTimeoutProb, p.BootTimeoutOn, n) {
+			boot = time.Duration(float64(boot) * o.faults.timeoutFactor())
+			o.counters.Inc(CtrBootTimeouts)
+		}
+	}
 	if _, err := o.clock.After(boot, func(time.Duration) {
+		delete(o.inflight, id)
 		if inst.State() != vnf.StateBooting {
-			return // cancelled while booting
+			// Cancelled or crashed while booting: the callback still
+			// fires so the caller can release its pending slot.
+			o.counters.Inc(CtrAborts)
+			if onFail != nil {
+				onFail(id, ErrAborted)
+			}
+			return
+		}
+		if bootErr != nil {
+			// The pipeline died mid-boot; the VM never comes up and its
+			// reserved resources are released.
+			_ = inst.SetState(vnf.StateFailed)
+			_ = h.Detach(id)
+			delete(o.hostOf, id)
+			o.counters.Inc(CtrBootFailures)
+			if onFail != nil {
+				onFail(id, bootErr)
+			}
+			return
 		}
 		if err := inst.SetState(vnf.StateRunning); err != nil {
 			// Unreachable: Booting→Running is always legal.
 			panic(err)
 		}
+		o.counters.Inc(CtrBoots)
 		if onReady != nil {
 			onReady(inst, h)
 		}
 	}); err != nil {
+		// Unwind the reservation: without this the instance would stay
+		// attached (holding cores) with no callback ever coming.
+		delete(o.inflight, id)
+		delete(o.hostOf, id)
+		_ = h.Detach(id)
 		return "", fmt.Errorf("orchestrator: scheduling boot completion: %w", err)
 	}
 	return id, nil
@@ -265,9 +380,14 @@ func (o *Orchestrator) PlaceNow(nf policy.NF, v topology.NodeID) (*vnf.Instance,
 
 // ReconfigureIdle finds an idle (zero offered load) running ClickOS
 // instance at switch v and repurposes it into nf within the 30 ms
-// reconfiguration window — the fast-failover path of §VIII-D. onReady
-// fires when the reconfigured instance is usable.
-func (o *Orchestrator) ReconfigureIdle(nf policy.NF, v topology.NodeID, onReady func(*vnf.Instance, *host.Host)) (vnf.ID, error) {
+// reconfiguration window — the fast-failover path of §VIII-D.
+//
+// Callback contract: when ReconfigureIdle returns nil, exactly one of
+// onReady or onFail fires later on the simulation clock — onFail if the
+// reconfiguration fails (ErrReconfigureFailed; the instance reverts to
+// its previous NF type) or the instance was lost before the window ended
+// (ErrAborted). Either callback may be nil.
+func (o *Orchestrator) ReconfigureIdle(nf policy.NF, v topology.NodeID, onReady func(*vnf.Instance, *host.Host), onFail func(vnf.ID, error)) (vnf.ID, error) {
 	spec, err := policy.SpecOf(nf)
 	if err != nil {
 		return "", fmt.Errorf("orchestrator: %w", err)
@@ -283,18 +403,52 @@ func (o *Orchestrator) ReconfigureIdle(nf policy.NF, v topology.NodeID, onReady 
 			if inst.NF() == nf || inst.Offered() > 0 {
 				continue
 			}
+			oldNF := inst.NF()
 			if err := inst.Reconfigure(nf); err != nil {
 				return "", fmt.Errorf("orchestrator: %w", err)
 			}
+			id := inst.ID()
+			var reconfErr error
+			if o.faults != nil {
+				o.faults.reconfs++
+				p := o.faults.plan
+				if o.faults.fires(p.ReconfigureFailProb, p.ReconfigureFailOn, o.faults.reconfs) {
+					reconfErr = ErrReconfigureFailed
+				}
+			}
+			o.counters.Inc(CtrReconfigures)
+			o.inflight[id] = true
 			h := h
 			if _, err := o.clock.After(o.lat.Reconfigure, func(time.Duration) {
+				delete(o.inflight, id)
+				if inst.State() != vnf.StateRunning {
+					// Crashed or cancelled inside the window.
+					o.counters.Inc(CtrAborts)
+					if onFail != nil {
+						onFail(id, ErrAborted)
+					}
+					return
+				}
+				if reconfErr != nil {
+					// The reconfiguration did not take: revert to the
+					// previous ClickOS image.
+					_ = inst.Reconfigure(oldNF)
+					o.counters.Inc(CtrReconfFailures)
+					if onFail != nil {
+						onFail(id, reconfErr)
+					}
+					return
+				}
 				if onReady != nil {
 					onReady(inst, h)
 				}
 			}); err != nil {
+				// Unwind the speculative reconfigure before reporting.
+				_ = inst.Reconfigure(oldNF)
+				delete(o.inflight, id)
 				return "", fmt.Errorf("orchestrator: scheduling reconfigure: %w", err)
 			}
-			return inst.ID(), nil
+			return id, nil
 		}
 	}
 	return "", fmt.Errorf("orchestrator: no idle ClickOS instance at switch %d", v)
@@ -302,11 +456,22 @@ func (o *Orchestrator) ReconfigureIdle(nf policy.NF, v topology.NodeID, onReady 
 
 // Cancel stops an instance and releases its resources — used when fast
 // failover rolls back and "the newly installed ClickOS instances are
-// cancelled to save hardware resources" (§VI).
+// cancelled to save hardware resources" (§VI). An unknown instance
+// (already cancelled, or lost in a host crash) reports
+// ErrUnknownInstance; an injected RPC loss reports ErrCancelFailed and
+// leaves the instance untouched, so callers can retry.
 func (o *Orchestrator) Cancel(id vnf.ID) error {
 	h, ok := o.hostOf[id]
 	if !ok {
-		return fmt.Errorf("orchestrator: unknown instance %s", id)
+		return fmt.Errorf("%w: %s", ErrUnknownInstance, id)
+	}
+	if o.faults != nil {
+		o.faults.cancels++
+		p := o.faults.plan
+		if o.faults.fires(p.CancelFailProb, p.CancelFailOn, o.faults.cancels) {
+			o.counters.Inc(CtrCancelFailures)
+			return fmt.Errorf("cancelling %s: %w", id, ErrCancelFailed)
+		}
 	}
 	port, err := h.PortOf(id)
 	if err != nil {
@@ -325,6 +490,7 @@ func (o *Orchestrator) Cancel(id vnf.ID) error {
 		return fmt.Errorf("orchestrator: %w", err)
 	}
 	delete(o.hostOf, id)
+	o.counters.Inc(CtrCancels)
 	return nil
 }
 

@@ -1,6 +1,7 @@
 package orchestrator
 
 import (
+	"errors"
 	"math"
 	"testing"
 	"time"
@@ -134,7 +135,7 @@ func TestLaunchBootTiming(t *testing.T) {
 	id, err := o.Launch(policy.Firewall, 0, func(i *vnf.Instance, h *host.Host) {
 		readyAt = clock.Now()
 		readyInst = i
-	})
+	}, nil)
 	if err != nil {
 		t.Fatalf("Launch: %v", err)
 	}
@@ -163,10 +164,10 @@ func TestLaunchBootTiming(t *testing.T) {
 
 func TestLaunchNoCapacity(t *testing.T) {
 	o, _ := newOrch(t)
-	if _, err := o.Launch(policy.Firewall, 5, nil); err == nil {
+	if _, err := o.Launch(policy.Firewall, 5, nil, nil); err == nil {
 		t.Fatal("launch at switch with no hosts should fail")
 	}
-	if _, err := o.Launch(policy.NF(99), 0, nil); err == nil {
+	if _, err := o.Launch(policy.NF(99), 0, nil, nil); err == nil {
 		t.Fatal("unknown NF should fail")
 	}
 }
@@ -181,7 +182,7 @@ func TestLaunchPicksLeastLoadedHost(t *testing.T) {
 	}
 	// The IDS went to one host; the next instance must go to the other.
 	first := h1.NumInstances()
-	id, err := o.Launch(policy.NAT, 0, nil)
+	id, err := o.Launch(policy.NAT, 0, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -229,7 +230,7 @@ func TestReconfigureIdleFastPath(t *testing.T) {
 	var readyAt time.Duration
 	id, err := o.ReconfigureIdle(policy.Firewall, 0, func(i *vnf.Instance, h *host.Host) {
 		readyAt = clock.Now()
-	})
+	}, nil)
 	if err != nil {
 		t.Fatalf("ReconfigureIdle: %v", err)
 	}
@@ -251,11 +252,11 @@ func TestReconfigureIdleConstraints(t *testing.T) {
 	o, _ := newOrch(t)
 	addHost(t, o, "h1", 0)
 	// Full-VM NFs cannot be targets.
-	if _, err := o.ReconfigureIdle(policy.IDS, 0, nil); err == nil {
+	if _, err := o.ReconfigureIdle(policy.IDS, 0, nil, nil); err == nil {
 		t.Fatal("IDS is not ClickOS; must fail")
 	}
 	// No instances at all.
-	if _, err := o.ReconfigureIdle(policy.Firewall, 0, nil); err == nil {
+	if _, err := o.ReconfigureIdle(policy.Firewall, 0, nil, nil); err == nil {
 		t.Fatal("no idle instance should fail")
 	}
 	// A busy ClickOS instance must not be repurposed.
@@ -266,14 +267,14 @@ func TestReconfigureIdleConstraints(t *testing.T) {
 	if err := inst.SetOffered(100); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o.ReconfigureIdle(policy.Firewall, 0, nil); err == nil {
+	if _, err := o.ReconfigureIdle(policy.Firewall, 0, nil, nil); err == nil {
 		t.Fatal("busy instance must not be reconfigured")
 	}
 	// Same-type idle instance is not a reconfiguration target either.
 	if err := inst.SetOffered(0); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := o.ReconfigureIdle(policy.NAT, 0, nil); err == nil {
+	if _, err := o.ReconfigureIdle(policy.NAT, 0, nil, nil); err == nil {
 		t.Fatal("same-NF reconfigure should fail")
 	}
 }
@@ -309,9 +310,15 @@ func TestCancelWhileBooting(t *testing.T) {
 	o, clock := newOrch(t)
 	addHost(t, o, "h1", 0)
 	fired := false
-	id, err := o.Launch(policy.Firewall, 0, func(*vnf.Instance, *host.Host) { fired = true })
+	var failErr error
+	id, err := o.Launch(policy.Firewall, 0,
+		func(*vnf.Instance, *host.Host) { fired = true },
+		func(_ vnf.ID, err error) { failErr = err })
 	if err != nil {
 		t.Fatal(err)
+	}
+	if !o.InFlight(id) {
+		t.Fatal("booting instance should be in flight")
 	}
 	if err := o.Cancel(id); err != nil {
 		t.Fatalf("Cancel while booting: %v", err)
@@ -321,6 +328,14 @@ func TestCancelWhileBooting(t *testing.T) {
 	}
 	if fired {
 		t.Fatal("onReady fired for a cancelled instance")
+	}
+	// The callback contract still holds: onFail reports the abort so the
+	// caller can release any pending slot keyed to this launch.
+	if !errors.Is(failErr, ErrAborted) {
+		t.Fatalf("onFail got %v, want ErrAborted", failErr)
+	}
+	if o.InFlight(id) {
+		t.Fatal("in-flight flag should clear once the callback fires")
 	}
 }
 

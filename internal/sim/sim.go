@@ -85,11 +85,12 @@ func (h Handle) Cancel() bool {
 //
 // The zero value is not usable; construct with New.
 type Simulation struct {
-	now     time.Duration
-	queue   eventQueue
-	seq     uint64
-	stopped bool
-	fired   uint64
+	now      time.Duration
+	queue    eventQueue
+	seq      uint64
+	stopped  bool
+	fired    uint64
+	observer Event
 }
 
 // New returns an empty simulation with the clock at zero.
@@ -102,6 +103,12 @@ func (s *Simulation) Now() time.Duration { return s.now }
 
 // Fired returns the number of events executed so far.
 func (s *Simulation) Fired() uint64 { return s.fired }
+
+// OnEvent registers an observer invoked after every fired event with the
+// clock still at that event's time. Passing nil clears it. Harnesses use
+// it to assert system invariants between events — e.g. the churn replay
+// checks the Dynamic Handler after every boot completion and crash.
+func (s *Simulation) OnEvent(fn Event) { s.observer = fn }
 
 // Pending returns the number of live events still queued.
 func (s *Simulation) Pending() int {
@@ -209,6 +216,9 @@ func (s *Simulation) Run(horizon time.Duration) error {
 		it.dead = true
 		s.fired++
 		it.fn(s.now)
+		if s.observer != nil {
+			s.observer(s.now)
+		}
 	}
 	return nil
 }
@@ -259,6 +269,9 @@ func (s *Simulation) RunUntil(horizon time.Duration, done func() bool) error {
 		it.dead = true
 		s.fired++
 		it.fn(s.now)
+		if s.observer != nil {
+			s.observer(s.now)
+		}
 	}
 	return nil
 }

@@ -260,3 +260,28 @@ func TestAdvanceTo(t *testing.T) {
 		t.Fatal("advancing into the past should fail")
 	}
 }
+
+func TestOnEventObserver(t *testing.T) {
+	s := New()
+	var events []time.Duration
+	s.OnEvent(func(now time.Duration) { events = append(events, now) })
+	fired := 0
+	for _, at := range []time.Duration{time.Second, 2 * time.Second, 3 * time.Second} {
+		if _, err := s.At(at, func(time.Duration) { fired++ }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Run(2500 * time.Millisecond); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 2 || events[0] != time.Second || events[1] != 2*time.Second {
+		t.Fatalf("observer saw %v, want [1s 2s]", events)
+	}
+	// RunUntil drives the observer too.
+	if err := s.RunUntil(time.Minute, func() bool { return fired == 3 }); err != nil {
+		t.Fatal(err)
+	}
+	if len(events) != 3 || events[2] != 3*time.Second {
+		t.Fatalf("observer saw %v, want the 3s event appended", events)
+	}
+}

@@ -25,6 +25,11 @@ const (
 	StateBooting State = iota + 1
 	StateRunning
 	StateStopped
+	// StateFailed marks an instance that died rather than being cancelled:
+	// an injected boot failure or a host crash. Like Stopped it is
+	// terminal, but it distinguishes involuntary death in counters and
+	// invariant checks.
+	StateFailed
 )
 
 // String returns the state name.
@@ -36,6 +41,8 @@ func (s State) String() string {
 		return "running"
 	case StateStopped:
 		return "stopped"
+	case StateFailed:
+		return "failed"
 	default:
 		return fmt.Sprintf("State(%d)", int(s))
 	}
@@ -74,11 +81,12 @@ func (i *Instance) Spec() policy.Spec { return i.spec }
 func (i *Instance) State() State { return i.state }
 
 // SetState transitions the lifecycle state. Valid transitions are
-// Booting→Running, Running→Stopped, and Booting→Stopped.
+// Booting→Running, Booting→Stopped, Booting→Failed, Running→Stopped, and
+// Running→Failed; Stopped and Failed are terminal.
 func (i *Instance) SetState(s State) error {
 	switch {
-	case i.state == StateBooting && (s == StateRunning || s == StateStopped):
-	case i.state == StateRunning && s == StateStopped:
+	case i.state == StateBooting && (s == StateRunning || s == StateStopped || s == StateFailed):
+	case i.state == StateRunning && (s == StateStopped || s == StateFailed):
 	default:
 		return fmt.Errorf("vnf: invalid transition %v → %v for %s", i.state, s, i.id)
 	}

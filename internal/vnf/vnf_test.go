@@ -225,3 +225,36 @@ func TestDefaultDetector(t *testing.T) {
 		t.Fatalf("default thresholds = %v/%v", high, low)
 	}
 }
+
+func TestFailedTransitions(t *testing.T) {
+	// Booting → Failed (boot dies or the host crashes mid-boot).
+	i, err := New("x", policy.NAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := i.SetState(StateFailed); err != nil {
+		t.Fatalf("Booting→Failed: %v", err)
+	}
+	// Failed is terminal.
+	for _, s := range []State{StateBooting, StateRunning, StateStopped, StateFailed} {
+		if err := i.SetState(s); err == nil {
+			t.Fatalf("Failed→%v should fail", s)
+		}
+	}
+	// Running → Failed (host crash).
+	j := newRunning(t, policy.NAT)
+	if err := j.SetState(StateFailed); err != nil {
+		t.Fatalf("Running→Failed: %v", err)
+	}
+	// Stopped is also terminal: a cancelled instance cannot fail again.
+	k := newRunning(t, policy.NAT)
+	if err := k.SetState(StateStopped); err != nil {
+		t.Fatal(err)
+	}
+	if err := k.SetState(StateFailed); err == nil {
+		t.Fatal("Stopped→Failed should fail")
+	}
+	if StateFailed.String() == "" {
+		t.Fatal("StateFailed has no name")
+	}
+}
