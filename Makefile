@@ -1,7 +1,9 @@
 GO ?= go
 BENCHTIME ?= 5x
+FUZZTIME ?= 20s
+FUZZ_TARGETS := FuzzMatchLookup FuzzSubsumes FuzzPrefixContains
 
-.PHONY: build test race vet bench check clean
+.PHONY: build test race vet bench fuzz cover check clean
 
 build:
 	$(GO) build ./...
@@ -22,8 +24,23 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTableV' -benchtime $(BENCHTIME) .
 	$(GO) run ./cmd/benchlp -out BENCH_lp.json
 
+# fuzz runs each flow-table fuzz target for FUZZTIME. Go's fuzzer accepts
+# one -fuzz pattern per invocation, so targets run back to back; any
+# counterexample is minimized into internal/flowtable/testdata/fuzz/.
+fuzz:
+	@for t in $(FUZZ_TARGETS); do \
+		echo "--- fuzz $$t ($(FUZZTIME))"; \
+		$(GO) test -run '^$$' -fuzz "^$$t$$" -fuzztime $(FUZZTIME) ./internal/flowtable || exit 1; \
+	done
+
+# cover writes a whole-repo coverage profile and prints the per-function
+# summary (the artifact CI uploads).
+cover:
+	$(GO) test -cover -coverprofile=coverage.out ./...
+	$(GO) tool cover -func=coverage.out | tail -n 1
+
 check: build vet test race
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_lp.json
+	rm -f BENCH_lp.json coverage.out

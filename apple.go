@@ -119,6 +119,14 @@ func (f *Framework) CheckEnforcement() error {
 	return f.ctrl.CheckEnforcement()
 }
 
+// CheckTables scans every physical-switch and vSwitch flow table for
+// shadowed rules — entries an earlier rule subsumes, which can never
+// match. The Rule Generator must never produce any; a non-empty result
+// means some sub-class silently lost its rules.
+func (f *Framework) CheckTables() error {
+	return f.ctrl.CheckTables()
+}
+
 // FlowHeader builds a concrete probe header for a deployed class; sub
 // varies the source host within the class prefix.
 func (f *Framework) FlowHeader(id ClassID, sub uint32) (Header, error) {

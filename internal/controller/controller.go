@@ -14,7 +14,7 @@ package controller
 import (
 	"errors"
 	"fmt"
-	"sort"
+	"sync/atomic"
 
 	"github.com/apple-nfv/apple/internal/core"
 	"github.com/apple-nfv/apple/internal/flowtable"
@@ -95,15 +95,19 @@ type Controller struct {
 	switches map[topology.NodeID]*Switch
 	hosts    map[topology.NodeID]*host.Host
 	nbrPort  map[topology.NodeID]map[topology.NodeID]int
-	assign   map[core.ClassID]*Assignment
+	// assign partitions per-class data-plane state across lock-striped
+	// shards (consistent hashing over class IDs), so concurrent readers
+	// of different classes never contend on one lock.
+	assign *assignStore
 	// instPool[v][nf] lists the running instances available at v.
 	instPool map[topology.NodeID]map[policy.NF][]*vnf.Instance
 	// instPortion tracks the total traffic portion×rate assigned per
 	// instance, for least-loaded selection.
 	instPortion map[vnf.ID]float64
 	// ruleUpdates counts TCAM rule (re)installations, each costing the
-	// measured 70 ms when driven through the clock.
-	ruleUpdates int
+	// measured 70 ms when driven through the clock. Atomic: the batch
+	// pipeline's install stage counts from several workers.
+	ruleUpdates atomic.Int64
 	// hostGlobalTags tracks, per hosting switch, the global sub-class
 	// tags in use by header-rewriting classes steered through its APPLE
 	// host (§X). Their vSwitch rules match ⟨in-port, tag⟩ without a
@@ -132,6 +136,10 @@ type Config struct {
 	// (boot failures and timeouts, lost reconfigure/cancel RPCs, host
 	// crashes). Nil — or a zero plan — perturbs nothing.
 	Faults *orchestrator.FaultPlan
+	// SetupShards is the lock-stripe count of the per-class assignment
+	// store and the default worker count of AddClassBatch; 0 means
+	// DefaultSetupShards.
+	SetupShards int
 }
 
 // New builds a controller, its switch pipelines, and one APPLE host per
@@ -164,7 +172,7 @@ func New(cfg Config) (*Controller, error) {
 		switches:       make(map[topology.NodeID]*Switch),
 		hosts:          make(map[topology.NodeID]*host.Host),
 		nbrPort:        make(map[topology.NodeID]map[topology.NodeID]int),
-		assign:         make(map[core.ClassID]*Assignment),
+		assign:         newAssignStore(cfg.SetupShards),
 		instPool:       make(map[topology.NodeID]map[policy.NF][]*vnf.Instance),
 		instPortion:    make(map[vnf.ID]float64),
 		hostGlobalTags: make(map[topology.NodeID]map[uint8]bool),
@@ -244,11 +252,11 @@ func (c *Controller) Avail() map[topology.NodeID]policy.Resources {
 }
 
 // RuleUpdates returns the number of TCAM rule installations performed.
-func (c *Controller) RuleUpdates() int { return c.ruleUpdates }
+func (c *Controller) RuleUpdates() int { return int(c.ruleUpdates.Load()) }
 
 // Assignment returns the data-plane assignment of a class.
 func (c *Controller) Assignment(id core.ClassID) (*Assignment, error) {
-	a, ok := c.assign[id]
+	a, ok := c.assign.get(id)
 	if !ok {
 		return nil, fmt.Errorf("controller: class %d not installed", id)
 	}
@@ -257,12 +265,7 @@ func (c *Controller) Assignment(id core.ClassID) (*Assignment, error) {
 
 // Classes returns the installed class IDs, sorted.
 func (c *Controller) Classes() []core.ClassID {
-	out := make([]core.ClassID, 0, len(c.assign))
-	for id := range c.assign {
-		out = append(out, id)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
-	return out
+	return c.assign.ids()
 }
 
 // ClassPrefix returns the srcIP prefix identifying class id's flows in

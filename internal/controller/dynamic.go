@@ -31,7 +31,7 @@ const (
 // per-class traffic rates (Mbps), using the current sub-class weights.
 func (c *Controller) Loads(rates map[core.ClassID]float64) map[vnf.ID]float64 {
 	out := make(map[vnf.ID]float64)
-	for id, a := range c.assign {
+	for id, a := range c.assign.snapshot() {
 		rate, ok := rates[id]
 		if !ok {
 			rate = a.Class.RateMbps
@@ -86,7 +86,7 @@ func (c *Controller) LossRate(rates map[core.ClassID]float64) (float64, error) {
 		}
 	}
 	totalRate, totalLost := 0.0, 0.0
-	for id, a := range c.assign {
+	for id, a := range c.assign.snapshot() {
 		rate, ok := rates[id]
 		if !ok {
 			rate = a.Class.RateMbps
@@ -320,7 +320,7 @@ func (d *DynamicHandler) Observe(rates map[core.ClassID]float64) (int, error) {
 // everything else's current loads and reports whether every instance
 // stays below its overload threshold.
 func (d *DynamicHandler) baseWouldFit(classID core.ClassID, rates map[core.ClassID]float64) (bool, error) {
-	a := d.c.assign[classID]
+	a, _ := d.c.assign.get(classID)
 	rate, ok := rates[classID]
 	if !ok {
 		rate = a.Class.RateMbps
@@ -372,7 +372,7 @@ func (d *DynamicHandler) baseWouldFit(classID core.ClassID, rates map[core.Class
 func (d *DynamicHandler) overload(instID vnf.ID, rates map[core.ClassID]float64) error {
 	loads := d.c.Loads(rates)
 	for _, classID := range d.c.Classes() {
-		a := d.c.assign[classID]
+		a, _ := d.c.assign.get(classID)
 		rate, ok := rates[classID]
 		if !ok {
 			rate = a.Class.RateMbps
@@ -783,7 +783,7 @@ func (d *DynamicHandler) rollback(classID core.ClassID) error {
 	if st == nil {
 		return nil
 	}
-	a := d.c.assign[classID]
+	a, _ := d.c.assign.get(classID)
 	// Bump the class epoch before touching anything: every in-flight
 	// activation captured the old value and will drop itself instead of
 	// committing against the restored distribution.

@@ -112,7 +112,7 @@ func (c *Controller) InstanceNF(id vnf.ID) (policy.NF, error) {
 // the end-to-end policy-enforcement property for that class. Several
 // source addresses are probed so multiple sub-classes are exercised.
 func (c *Controller) CheckClassEnforcement(id core.ClassID) error {
-	a, ok := c.assign[id]
+	a, ok := c.assign.get(id)
 	if !ok {
 		return fmt.Errorf("controller: class %d not installed", id)
 	}

@@ -38,7 +38,7 @@ func (d *DynamicHandler) CheckInvariants() error {
 	c := d.c
 	// Per-class structural and conservation checks.
 	for _, id := range c.Classes() {
-		a := c.assign[id]
+		a, _ := c.assign.get(id)
 		n := len(a.Subclasses)
 		if len(a.Weights) != n || len(a.Instances) != n || len(a.SubTags) != n {
 			return fmt.Errorf("invariant: class %d arrays disagree: %d subclasses, %d weights, %d instance rows, %d tags",
@@ -120,7 +120,7 @@ func (d *DynamicHandler) CheckInvariants() error {
 			if k, _ := fmt.Sscanf(name, "vsw-%d-%d", &cid, &s); k != 2 {
 				continue
 			}
-			a, ok := c.assign[core.ClassID(cid)]
+			a, ok := c.assign.get(core.ClassID(cid))
 			if !ok || s >= len(a.Subclasses) {
 				return fmt.Errorf("invariant: stale rule %q at host %d (sub-class gone)", name, v)
 			}
@@ -143,7 +143,7 @@ func (d *DynamicHandler) CheckInvariants() error {
 	}
 	used := make(map[vtag]bool)
 	for _, id := range c.Classes() {
-		a := c.assign[id]
+		a, _ := c.assign.get(id)
 		if !a.Global {
 			continue
 		}

@@ -22,15 +22,52 @@ import (
 // enforcement, tagging, and fast failover all apply to online classes
 // too.
 func (c *Controller) AddClass(cl core.Class) error {
-	if err := cl.Validate(c.g); err != nil {
-		return fmt.Errorf("controller: %w", err)
-	}
-	if _, exists := c.assign[cl.ID]; exists {
-		return fmt.Errorf("controller: class %d already installed", cl.ID)
-	}
-	if err := c.ensurePassBy(); err != nil {
+	a, provisioned, err := c.admitArrival(cl)
+	if err != nil {
 		return err
 	}
+	ops, err := c.emitClassRules(a)
+	if err == nil {
+		err = c.applyStaged(ops)
+	}
+	if err != nil {
+		c.unwindProvisioned(provisioned)
+		return err
+	}
+	return nil
+}
+
+// admitArrival runs the sequential stage of online flow setup for one
+// arrival: validation, greedy placement (planClass), and class admission.
+// No rules are installed; the returned provisioned IDs let the caller
+// unwind orchestrated instances if the later stages fail.
+func (c *Controller) admitArrival(cl core.Class) (*Assignment, []vnf.ID, error) {
+	if err := cl.Validate(c.g); err != nil {
+		return nil, nil, fmt.Errorf("controller: %w", err)
+	}
+	if c.assign.has(cl.ID) {
+		return nil, nil, fmt.Errorf("controller: class %d already installed", cl.ID)
+	}
+	if err := c.ensurePassBy(); err != nil {
+		return nil, nil, err
+	}
+	subs, provisioned, err := c.planClass(cl)
+	if err != nil {
+		return nil, nil, err
+	}
+	a, err := c.admitClass(cl, subs)
+	if err != nil {
+		c.unwindProvisioned(provisioned)
+		return nil, nil, err
+	}
+	return a, provisioned, nil
+}
+
+// planClass greedily places one class against live capacity and returns
+// its sub-classes plus any instances provisioned along the way. On
+// failure the provisioned instances are already cancelled (all-or-
+// nothing).
+func (c *Controller) planClass(cl core.Class) ([]core.Subclass, []vnf.ID, error) {
 	// Eligible hops: path switches with an APPLE host.
 	var hops []int
 	for i, v := range cl.Path {
@@ -39,7 +76,7 @@ func (c *Controller) AddClass(cl core.Class) error {
 		}
 	}
 	if len(hops) == 0 {
-		return fmt.Errorf("controller: class %d has no APPLE host on its path", cl.ID)
+		return nil, nil, fmt.Errorf("controller: class %d has no APPLE host on its path", cl.ID)
 	}
 	// Planned headroom per (switch, NF) from the instPortion bookkeeping.
 	slack := func(v topology.NodeID, nf policy.NF) float64 {
@@ -76,7 +113,7 @@ func (c *Controller) AddClass(cl core.Class) error {
 	for j, nf := range cl.Chain {
 		spec, err := policy.SpecOf(nf)
 		if err != nil {
-			return fail(fmt.Errorf("controller: %w", err))
+			return nil, nil, fail(fmt.Errorf("controller: %w", err))
 		}
 		remaining := 1.0
 		cum := 0.0
@@ -122,7 +159,7 @@ func (c *Controller) AddClass(cl core.Class) error {
 			remaining -= frac
 		}
 		if remaining > 1e-9 {
-			return fail(fmt.Errorf("controller: class %d position %d: %.3f of the class cannot be placed online (insufficient capacity on the path)",
+			return nil, nil, fail(fmt.Errorf("controller: class %d position %d: %.3f of the class cannot be placed online (insufficient capacity on the path)",
 				cl.ID, j, remaining))
 		}
 		// Normalize exactly and refresh the dominance bound.
@@ -141,12 +178,9 @@ func (c *Controller) AddClass(cl core.Class) error {
 	}
 	subs, err := core.Subclasses(cl, dist)
 	if err != nil {
-		return fail(fmt.Errorf("controller: %w", err))
+		return nil, nil, fail(fmt.Errorf("controller: %w", err))
 	}
-	if err := c.installClass(cl, subs); err != nil {
-		return fail(err)
-	}
-	return nil
+	return subs, provisioned, nil
 }
 
 // dropFromPool removes a cancelled instance from the placement pools.

@@ -1,0 +1,360 @@
+package controller
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/flowtable"
+	"github.com/apple-nfv/apple/internal/policy"
+	"github.com/apple-nfv/apple/internal/sim"
+	"github.com/apple-nfv/apple/internal/topology"
+)
+
+// Property-based enforcement testing: random small topologies, random
+// policies and paths, random rates — for every class the controller
+// accepts, every forwarded probe must walk the class's chain in order and
+// leave at the class's original egress, and that packet-level verdict must
+// agree with CheckClassEnforcement. A failing seed is shrunk to a minimal
+// class set and logged so the exact case can be replayed.
+
+// propSeeds is the number of random scenarios each property test runs.
+const propSeeds = 200
+
+// randTopo builds a random connected graph: a random spanning tree plus a
+// few extra links.
+func randTopo(rng *rand.Rand) *topology.Graph {
+	n := 3 + rng.Intn(6)
+	g := topology.NewGraph("prop")
+	ids := make([]topology.NodeID, n)
+	for i := range ids {
+		ids[i] = g.AddNode(fmt.Sprintf("s%d", i), topology.KindBackbone)
+	}
+	for i := 1; i < n; i++ {
+		j := rng.Intn(i)
+		if err := g.AddLink(ids[j], ids[i], 10_000, 1); err != nil {
+			panic(err)
+		}
+	}
+	for k := rng.Intn(n); k > 0; k-- {
+		a, b := rng.Intn(n), rng.Intn(n)
+		if a != b {
+			_ = g.AddLink(ids[a], ids[b], 10_000, 1) // duplicate links are fine to reject
+		}
+	}
+	return g
+}
+
+// randPath walks the graph without revisiting switches.
+func randPath(rng *rand.Rand, g *topology.Graph) []topology.NodeID {
+	start := topology.NodeID(rng.Intn(g.NumNodes()))
+	path := []topology.NodeID{start}
+	seen := map[topology.NodeID]bool{start: true}
+	for len(path) < g.NumNodes() {
+		nbrs, err := g.Neighbors(path[len(path)-1])
+		if err != nil {
+			panic(err)
+		}
+		var cand []topology.NodeID
+		for _, nb := range nbrs {
+			if !seen[nb] {
+				cand = append(cand, nb)
+			}
+		}
+		if len(cand) == 0 || (len(path) >= 2 && rng.Intn(3) == 0) {
+			break
+		}
+		next := cand[rng.Intn(len(cand))]
+		path = append(path, next)
+		seen[next] = true
+	}
+	return path
+}
+
+// randChain picks a policy chain: one of the paper's common chains, or a
+// random repetition-free NF sequence (which may include the
+// header-rewriting NAT, exercising the global-tag path).
+func randChain(rng *rand.Rand) policy.Chain {
+	if rng.Intn(2) == 0 {
+		chains := policy.CommonChains()
+		return chains[rng.Intn(len(chains))]
+	}
+	nfs := policy.AllNFs()
+	perm := rng.Perm(len(nfs))
+	m := 1 + rng.Intn(3)
+	chain := make(policy.Chain, 0, m)
+	for _, idx := range perm[:m] {
+		chain = append(chain, nfs[idx])
+	}
+	return chain
+}
+
+// genClasses derives a random workload from the seed. Topology generation
+// consumes the same rng, so a seed fully determines the scenario.
+func genClasses(rng *rand.Rand, g *topology.Graph) []core.Class {
+	k := 1 + rng.Intn(5)
+	classes := make([]core.Class, 0, k)
+	for i := 0; i < k; i++ {
+		classes = append(classes, core.Class{
+			ID:       core.ClassID(i),
+			Path:     randPath(rng, g),
+			Chain:    randChain(rng),
+			RateMbps: 10 + rng.Float64()*290,
+		})
+	}
+	return classes
+}
+
+// newPropController builds a controller with an APPLE host at every switch.
+func newPropController(t *testing.T, g *topology.Graph, shards int) *Controller {
+	t.Helper()
+	c, err := New(Config{Topology: g, Clock: sim.New(), Seed: 7, SetupShards: shards})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	return c
+}
+
+// checkClassTraces verifies the packet-level property for one installed
+// class and returns a descriptive error on violation: all eight probes
+// delivered at the path egress having visited the chain's NF types in
+// order, with the Fin tag set.
+func checkClassTraces(c *Controller, id core.ClassID) error {
+	a, err := c.Assignment(id)
+	if err != nil {
+		return err
+	}
+	egress := a.Class.Path[len(a.Class.Path)-1]
+	for sub := uint32(0); sub < 8; sub++ {
+		hdr, err := c.FlowHeader(id, sub<<4)
+		if err != nil {
+			return err
+		}
+		tr, err := c.Forward(hdr, a.Class.Path[0])
+		if err != nil {
+			return fmt.Errorf("class %d probe %d: %w", id, sub, err)
+		}
+		if !tr.Delivered {
+			return fmt.Errorf("class %d probe %d not delivered", id, sub)
+		}
+		if last := tr.Switches[len(tr.Switches)-1]; last != egress {
+			return fmt.Errorf("class %d probe %d left at switch %d, egress is %d", id, sub, last, egress)
+		}
+		if len(tr.Instances) != len(a.Class.Chain) {
+			return fmt.Errorf("class %d probe %d visited %d instances, chain has %d",
+				id, sub, len(tr.Instances), len(a.Class.Chain))
+		}
+		for j, instID := range tr.Instances {
+			nf, err := c.InstanceNF(instID)
+			if err != nil {
+				return err
+			}
+			if nf != a.Class.Chain[j] {
+				return fmt.Errorf("class %d probe %d position %d: visited %v, chain says %v",
+					id, sub, j, nf, a.Class.Chain[j])
+			}
+		}
+		if tr.FinalHostTag != flowtable.HostTagFin {
+			return fmt.Errorf("class %d probe %d final host tag %d, want Fin", id, sub, tr.FinalHostTag)
+		}
+	}
+	return nil
+}
+
+// runEnforcementCase installs the classes serially (skipping ones the
+// online planner rejects for capacity) and checks the enforcement property
+// for every accepted class, including agreement with
+// CheckClassEnforcement.
+func runEnforcementCase(t *testing.T, seed int64, drop map[int]bool) error {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	g := randTopo(rng)
+	classes := genClasses(rng, g)
+	c := newPropController(t, g, 0)
+	for i, cl := range classes {
+		if drop[i] {
+			continue
+		}
+		if err := c.AddClass(cl); err != nil {
+			continue // unplaceable under random capacity; not a violation
+		}
+		traceErr := checkClassTraces(c, cl.ID)
+		checkErr := c.CheckClassEnforcement(cl.ID)
+		if (traceErr == nil) != (checkErr == nil) {
+			return fmt.Errorf("class %d: trace verdict (%v) disagrees with CheckClassEnforcement (%v)",
+				cl.ID, traceErr, checkErr)
+		}
+		if traceErr != nil {
+			return traceErr
+		}
+	}
+	if err := c.CheckTables(); err != nil {
+		return fmt.Errorf("shadowed rules: %w", err)
+	}
+	return nil
+}
+
+// shrinkCase drops classes one at a time while the failure persists and
+// returns the minimal dropped-set complement description.
+func shrinkCase(t *testing.T, seed int64, total int) (map[int]bool, error) {
+	t.Helper()
+	drop := make(map[int]bool)
+	err := runEnforcementCase(t, seed, drop)
+	if err == nil {
+		return drop, nil
+	}
+	for changed := true; changed; {
+		changed = false
+		for i := 0; i < total; i++ {
+			if drop[i] {
+				continue
+			}
+			drop[i] = true
+			if e := runEnforcementCase(t, seed, drop); e != nil {
+				err = e
+				changed = true
+			} else {
+				delete(drop, i)
+			}
+		}
+	}
+	return drop, err
+}
+
+// TestPropertyEnforcement is the randomized enforcement property over
+// propSeeds scenarios.
+func TestPropertyEnforcement(t *testing.T) {
+	for seed := int64(0); seed < propSeeds; seed++ {
+		if err := runEnforcementCase(t, seed, nil); err != nil {
+			drop, minErr := shrinkCase(t, seed, 8)
+			t.Fatalf("seed %d fails: %v\nshrunk: rerun with seed %d dropping classes %v → %v",
+				seed, err, seed, drop, minErr)
+		}
+	}
+}
+
+// gatherTables snapshots every rule of every switch and vSwitch table.
+func gatherTables(t *testing.T, c *Controller, g *topology.Graph) map[string][]flowtable.Rule {
+	t.Helper()
+	out := make(map[string][]flowtable.Rule)
+	for _, n := range g.Nodes() {
+		sw, err := c.Switch(n.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for ti := 0; ti < sw.Pipeline.NumTables(); ti++ {
+			tb, err := sw.Pipeline.Table(ti)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[fmt.Sprintf("sw%d/t%d", n.ID, ti)] = tb.Rules()
+		}
+		h, err := c.Host(n.ID)
+		if err != nil {
+			continue
+		}
+		for ti := 0; ti < h.VSwitch().NumTables(); ti++ {
+			tb, err := h.VSwitch().Table(ti)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out[fmt.Sprintf("host%d/t%d", n.ID, ti)] = tb.Rules()
+		}
+	}
+	return out
+}
+
+// TestPropertyBatchMatchesSerial is the sharded-vs-serial differential
+// property: for every random scenario, installing the same accepted
+// workload through AddClassBatch (8 shards, parallel emit/apply/verify)
+// must leave byte-identical controller state — every table's rules in
+// order, assignments, tags, rule-update counts — and identical Forward
+// traces and enforcement verdicts.
+func TestPropertyBatchMatchesSerial(t *testing.T) {
+	for seed := int64(0); seed < propSeeds; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := randTopo(rng)
+		classes := genClasses(rng, g)
+
+		// Filter to the classes the serial planner accepts, using a
+		// scratch controller; acceptance only widens as rejects drop out.
+		scratch := newPropController(t, g, 0)
+		var accepted []core.Class
+		for _, cl := range classes {
+			if err := scratch.AddClass(cl); err == nil {
+				accepted = append(accepted, cl)
+			}
+		}
+		if len(accepted) == 0 {
+			continue
+		}
+
+		serial := newPropController(t, g, 0)
+		for _, cl := range accepted {
+			if err := serial.AddClass(cl); err != nil {
+				t.Fatalf("seed %d: serial AddClass(%d) rejected a pre-accepted class: %v", seed, cl.ID, err)
+			}
+		}
+		batch := newPropController(t, g, 8)
+		if err := batch.AddClassBatch(accepted, BatchOptions{Workers: 8, Verify: true}); err != nil {
+			t.Fatalf("seed %d: AddClassBatch: %v", seed, err)
+		}
+
+		if got, want := batch.RuleUpdates(), serial.RuleUpdates(); got != want {
+			t.Fatalf("seed %d: batch made %d rule updates, serial %d", seed, got, want)
+		}
+		if got, want := batch.Classes(), serial.Classes(); !reflect.DeepEqual(got, want) {
+			t.Fatalf("seed %d: batch classes %v, serial %v", seed, got, want)
+		}
+		for _, cl := range accepted {
+			as, err := serial.Assignment(cl.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ab, err := batch.Assignment(cl.ID)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(as, ab) {
+				t.Fatalf("seed %d: class %d assignment differs\nserial: %+v\nbatch:  %+v", seed, cl.ID, as, ab)
+			}
+		}
+		st, bt := gatherTables(t, serial, g), gatherTables(t, batch, g)
+		if !reflect.DeepEqual(st, bt) {
+			for k := range st {
+				if !reflect.DeepEqual(st[k], bt[k]) {
+					t.Fatalf("seed %d: table %s differs\nserial: %v\nbatch:  %v", seed, k, st[k], bt[k])
+				}
+			}
+			t.Fatalf("seed %d: table sets differ", seed)
+		}
+		// Packet-level identity: traces of every probe must match
+		// exactly, and enforcement verdicts must agree.
+		for _, cl := range accepted {
+			for sub := uint32(0); sub < 8; sub++ {
+				hs, err1 := serial.FlowHeader(cl.ID, sub<<4)
+				hb, err2 := batch.FlowHeader(cl.ID, sub<<4)
+				if err1 != nil || err2 != nil {
+					t.Fatalf("seed %d: FlowHeader: %v / %v", seed, err1, err2)
+				}
+				ts, errS := serial.Forward(hs, cl.Path[0])
+				tb, errB := batch.Forward(hb, cl.Path[0])
+				if (errS == nil) != (errB == nil) {
+					t.Fatalf("seed %d class %d probe %d: serial err %v, batch err %v", seed, cl.ID, sub, errS, errB)
+				}
+				if !reflect.DeepEqual(ts, tb) {
+					t.Fatalf("seed %d class %d probe %d: traces differ\nserial: %+v\nbatch:  %+v",
+						seed, cl.ID, sub, ts, tb)
+				}
+			}
+		}
+		if errS, errB := serial.CheckEnforcement(), batch.CheckEnforcement(); (errS == nil) != (errB == nil) {
+			t.Fatalf("seed %d: enforcement verdicts differ: serial %v, batch %v", seed, errS, errB)
+		}
+		if errS, errB := serial.CheckTables(), batch.CheckTables(); (errS == nil) != (errB == nil) {
+			t.Fatalf("seed %d: shadow verdicts differ: serial %v, batch %v", seed, errS, errB)
+		}
+	}
+}

@@ -6,6 +6,7 @@ import (
 
 	"github.com/apple-nfv/apple/internal/core"
 	"github.com/apple-nfv/apple/internal/flowtable"
+	"github.com/apple-nfv/apple/internal/headerspace"
 	"github.com/apple-nfv/apple/internal/host"
 	"github.com/apple-nfv/apple/internal/policy"
 	"github.com/apple-nfv/apple/internal/topology"
@@ -95,20 +96,39 @@ func (c *Controller) ensurePassBy() error {
 // Routing and host-match rules are installed idempotently, so the method
 // serves both the global InstallPlacement path and online AddClass.
 func (c *Controller) installClass(cl core.Class, subs []core.Subclass) error {
-	if _, exists := c.assign[cl.ID]; exists {
-		return fmt.Errorf("controller: class %d already installed", cl.ID)
-	}
-	subs, err := expandForCapacity(cl, subs)
-	if err != nil {
-		return fmt.Errorf("controller: %w", err)
-	}
-	prefix, err := ClassPrefix(cl.ID)
+	a, err := c.admitClass(cl, subs)
 	if err != nil {
 		return err
 	}
+	ops, err := c.emitClassRules(a)
+	if err != nil {
+		return err
+	}
+	return c.applyStaged(ops)
+}
+
+// admitClass runs the sequential half of flow setup for one class: it
+// expands sub-classes for capacity, picks concrete instances, allocates
+// every tag the class will ever reference — sub-class tags and, crucially,
+// host tags in the exact first-touch order the serial rule emitter uses —
+// and registers the assignment in the sharded store. After admitClass
+// returns, emitClassRules is a pure function of the assignment and the
+// allocator's (now read-only for this class) tag tables.
+func (c *Controller) admitClass(cl core.Class, subs []core.Subclass) (*Assignment, error) {
+	if c.assign.has(cl.ID) {
+		return nil, fmt.Errorf("controller: class %d already installed", cl.ID)
+	}
+	subs, err := expandForCapacity(cl, subs)
+	if err != nil {
+		return nil, fmt.Errorf("controller: %w", err)
+	}
+	prefix, err := ClassPrefix(cl.ID)
+	if err != nil {
+		return nil, err
+	}
 	rewrites, err := cl.Chain.RewritesHeader()
 	if err != nil {
-		return fmt.Errorf("controller: %w", err)
+		return nil, fmt.Errorf("controller: %w", err)
 	}
 	a := &Assignment{
 		Class:      cl,
@@ -128,7 +148,7 @@ func (c *Controller) installClass(cl core.Class, subs []core.Subclass) error {
 			v := cl.Path[sub.Hops[j]]
 			inst, err := c.pickInstance(v, nf)
 			if err != nil {
-				return fmt.Errorf("controller: class %d sub %d position %d: %w", cl.ID, s, j, err)
+				return nil, fmt.Errorf("controller: class %d sub %d position %d: %w", cl.ID, s, j, err)
 			}
 			a.Instances[s][j] = inst.ID()
 			c.instPortion[inst.ID()] += cl.RateMbps * sub.Portion
@@ -137,72 +157,124 @@ func (c *Controller) installClass(cl core.Class, subs []core.Subclass) error {
 	for s := range subs {
 		tag, err := c.allocSubTagFor(a, subclassHosts(cl, subs[s].Hops))
 		if err != nil {
-			return err
+			return nil, err
 		}
 		a.SubTags = append(a.SubTags, tag)
 	}
-	c.assign[cl.ID] = a
+	if err := c.preallocHostTags(a); err != nil {
+		return nil, err
+	}
+	c.assign.put(cl.ID, a)
+	return a, nil
+}
+
+// preallocHostTags touches every host tag the class's rules will carry, in
+// the exact order the serial rule emitter first touches them: host-match
+// targets, then classification next-host tags, then vSwitch exit tags per
+// sub-class. The allocator memoizes, so repeat touches are no-ops and the
+// resulting tag table is byte-identical to the serial install path — which
+// is what lets the emit stage run in parallel without allocating.
+func (c *Controller) preallocHostTags(a *Assignment) error {
+	cl := a.Class
+	for _, sub := range a.Subclasses {
+		for _, h := range sub.Hops {
+			if _, err := c.alloc.HostTag(cl.Path[h]); err != nil {
+				return fmt.Errorf("controller: %w", err)
+			}
+		}
+	}
+	// Classification: a sub-class whose first hop is off-ingress carries a
+	// SetHostTag action, but only when it received prefix blocks (zero
+	// weights get none).
+	blocks, _, err := a.classificationBlocks()
+	if err != nil {
+		return err
+	}
+	ingress := cl.Path[0]
+	for s, bs := range blocks {
+		if len(bs) == 0 {
+			continue
+		}
+		if first := cl.Path[a.Subclasses[s].Hops[0]]; first != ingress {
+			if _, err := c.alloc.HostTag(first); err != nil {
+				return fmt.Errorf("controller: %w", err)
+			}
+		}
+	}
+	// vSwitch exit rules rewrite the tag toward the next run's switch.
+	for s := range a.Subclasses {
+		runs := chainRuns(a.Subclasses[s].Hops)
+		for ri := 0; ri+1 < len(runs); ri++ {
+			if _, err := c.alloc.HostTag(cl.Path[runs[ri+1].hop]); err != nil {
+				return fmt.Errorf("controller: %w", err)
+			}
+		}
+	}
+	return nil
+}
+
+// emitClassRules compiles an admitted class into staged rule operations in
+// the serial install order: routing along the path, host-match at
+// processing switches (both skip-if-present, as the serial path's Has
+// checks), ingress classification (remove-then-install), and vSwitch
+// steering per sub-class. Pure with respect to controller state — safe to
+// run concurrently for different classes.
+func (c *Controller) emitClassRules(a *Assignment) ([]stagedOp, error) {
+	cl := a.Class
+	var ops []stagedOp
 	// Routing along the class path (skip rules already present).
 	dst := cl.Path[len(cl.Path)-1]
 	routeName := fmt.Sprintf("route-%d", dst)
 	for i, v := range cl.Path {
-		t, err := c.switches[v].Pipeline.Table(TableRouting)
-		if err != nil {
-			return fmt.Errorf("controller: %w", err)
-		}
-		if t.Has(routeName) {
-			continue
-		}
 		port := PortDeliver
 		if i < len(cl.Path)-1 {
 			p, ok := c.nbrPort[v][cl.Path[i+1]]
 			if !ok {
-				return fmt.Errorf("controller: class %d path hop %d-%d is not a link", cl.ID, v, cl.Path[i+1])
+				return nil, fmt.Errorf("controller: class %d path hop %d-%d is not a link", cl.ID, v, cl.Path[i+1])
 			}
 			port = p
 		}
-		if err := c.install(c.switches[v].Pipeline, TableRouting, flowtable.Rule{
-			Name: routeName, Priority: 10,
-			Match:   flowtable.Match{Dst: flowtable.PrefixPtr(dstPrefix(dst))},
-			Actions: []flowtable.Action{{Type: flowtable.ActForward, Port: port}},
-		}); err != nil {
-			return err
-		}
+		ops = append(ops, stagedOp{
+			dev: device{node: v}, table: TableRouting,
+			op: flowtable.BatchOp{SkipIfPresent: true, Rule: flowtable.Rule{
+				Name: routeName, Priority: 10,
+				Match:   flowtable.Match{Dst: flowtable.PrefixPtr(dstPrefix(dst))},
+				Actions: []flowtable.Action{{Type: flowtable.ActForward, Port: port}},
+			}},
+		})
 	}
 	// Host-match rules at processing switches (idempotent).
-	for _, sub := range subs {
+	for _, sub := range a.Subclasses {
 		for _, h := range sub.Hops {
 			v := cl.Path[h]
-			t, err := c.switches[v].Pipeline.Table(TableAPPLE)
-			if err != nil {
-				return fmt.Errorf("controller: %w", err)
-			}
-			if t.Has("host-match") {
-				continue
-			}
 			tag, err := c.alloc.HostTag(v)
 			if err != nil {
-				return fmt.Errorf("controller: %w", err)
+				return nil, fmt.Errorf("controller: %w", err)
 			}
-			if err := c.install(c.switches[v].Pipeline, TableAPPLE, flowtable.Rule{
-				Name: "host-match", Priority: prioHostMatch,
-				Match:   flowtable.Match{HostTag: flowtable.U16(tag)},
-				Actions: []flowtable.Action{{Type: flowtable.ActForward, Port: PortHost}},
-			}); err != nil {
-				return err
-			}
+			ops = append(ops, stagedOp{
+				dev: device{node: v}, table: TableAPPLE,
+				op: flowtable.BatchOp{SkipIfPresent: true, Rule: flowtable.Rule{
+					Name: "host-match", Priority: prioHostMatch,
+					Match:   flowtable.Match{HostTag: flowtable.U16(tag)},
+					Actions: []flowtable.Action{{Type: flowtable.ActForward, Port: PortHost}},
+				}},
+			})
 		}
 	}
 	// Classification at the ingress, and vSwitch steering everywhere.
-	if err := c.installClassification(a); err != nil {
-		return err
+	clsOps, err := c.emitClassification(a)
+	if err != nil {
+		return nil, err
 	}
-	for s := range subs {
-		if err := c.installVSwitchRules(a, s); err != nil {
-			return err
+	ops = append(ops, clsOps...)
+	for s := range a.Subclasses {
+		vswOps, err := c.emitVSwitchRules(a, s)
+		if err != nil {
+			return nil, err
 		}
+		ops = append(ops, vswOps...)
 	}
-	return nil
+	return ops, nil
 }
 
 // pickInstance returns the least-loaded running instance of nf at v.
@@ -232,8 +304,30 @@ func (c *Controller) install(pl *flowtable.Pipeline, table int, r flowtable.Rule
 	if err := t.Install(r); err != nil {
 		return fmt.Errorf("controller: %w", err)
 	}
-	c.ruleUpdates++
+	c.ruleUpdates.Add(1)
 	return nil
+}
+
+// classificationBlocks normalizes the class's current weights and splits
+// them onto the address grid — the shared core of classification emission
+// and admit-stage tag preallocation.
+func (a *Assignment) classificationBlocks() ([][]headerspace.PrefixBlock, []float64, error) {
+	wsum := 0.0
+	for _, w := range a.Weights {
+		wsum += w
+	}
+	if wsum <= 0 {
+		return nil, nil, fmt.Errorf("controller: class %d has no positive weight", a.Class.ID)
+	}
+	norm := make([]float64, len(a.Weights))
+	for i, w := range a.Weights {
+		norm[i] = w / wsum
+	}
+	blocks, err := flowtable.SplitPortions(norm, splitBits)
+	if err != nil {
+		return nil, nil, fmt.Errorf("controller: class %d classification: %w", a.Class.ID, err)
+	}
+	return blocks, norm, nil
 }
 
 // installClassification (re)installs the ingress classification rules of
@@ -243,38 +337,32 @@ func (c *Controller) install(pl *flowtable.Pipeline, table int, r flowtable.Rule
 // the class's existing rules swapped for the new ones. The Dynamic
 // Handler calls this after reshaping weights.
 func (c *Controller) installClassification(a *Assignment) error {
+	ops, err := c.emitClassification(a)
+	if err != nil {
+		return err
+	}
+	return c.applyStaged(ops)
+}
+
+// emitClassification compiles the ingress classification stage into staged
+// operations: one removal of the class's existing rules, then the fresh
+// rule set from the current weights.
+func (c *Controller) emitClassification(a *Assignment) ([]stagedOp, error) {
 	ingress := a.Class.Path[0]
-	sw := c.switches[ingress]
-	table, err := sw.Pipeline.Table(TableAPPLE)
-	if err != nil {
-		return fmt.Errorf("controller: %w", err)
-	}
 	name := fmt.Sprintf("cls-%d", a.Class.ID)
-	// Normalize defensively: weights are relative shares.
-	wsum := 0.0
-	for _, w := range a.Weights {
-		wsum += w
-	}
-	if wsum <= 0 {
-		return fmt.Errorf("controller: class %d has no positive weight", a.Class.ID)
-	}
-	norm := make([]float64, len(a.Weights))
-	for i, w := range a.Weights {
-		norm[i] = w / wsum
-	}
-	blocks, err := flowtable.SplitPortions(norm, splitBits)
+	blocks, _, err := a.classificationBlocks()
 	if err != nil {
-		return fmt.Errorf("controller: class %d classification: %w", a.Class.ID, err)
+		return nil, err
 	}
 	var rules []flowtable.Rule
 	for s, bs := range blocks {
 		subTag, err := a.tagOf(s)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		prefixes, err := flowtable.SuffixRules(a.Prefix, bs, splitBits)
 		if err != nil {
-			return fmt.Errorf("controller: class %d: %w", a.Class.ID, err)
+			return nil, fmt.Errorf("controller: class %d: %w", a.Class.ID, err)
 		}
 		first := a.Class.Path[a.Subclasses[s].Hops[0]]
 		for _, pfx := range prefixes {
@@ -285,7 +373,7 @@ func (c *Controller) installClassification(a *Assignment) error {
 			} else {
 				hostTag, err := c.alloc.HostTag(first)
 				if err != nil {
-					return fmt.Errorf("controller: %w", err)
+					return nil, fmt.Errorf("controller: %w", err)
 				}
 				actions = append(actions,
 					flowtable.Action{Type: flowtable.ActSetHostTag, Tag: hostTag},
@@ -302,13 +390,18 @@ func (c *Controller) installClassification(a *Assignment) error {
 			})
 		}
 	}
-	table.Remove(name)
+	ops := make([]stagedOp, 0, len(rules)+1)
+	ops = append(ops, stagedOp{
+		dev: device{node: ingress}, table: TableAPPLE,
+		op: flowtable.BatchOp{Remove: name},
+	})
 	for _, r := range rules {
-		if err := c.install(sw.Pipeline, TableAPPLE, r); err != nil {
-			return err
-		}
+		ops = append(ops, stagedOp{
+			dev: device{node: ingress}, table: TableAPPLE,
+			op: flowtable.BatchOp{Rule: r},
+		})
 	}
-	return nil
+	return ops, nil
 }
 
 // tagOf returns the data-plane tag of sub-class s.
@@ -319,39 +412,54 @@ func (a *Assignment) tagOf(s int) (uint8, error) {
 	return a.SubTags[s], nil
 }
 
-// installVSwitchRules programs the ⟨InPort, class, sub-class⟩ steering of
-// §V-B for sub-class s on every host it visits.
-func (c *Controller) installVSwitchRules(a *Assignment, s int) error {
-	sub := a.Subclasses[s]
-	subTag, err := a.tagOf(s)
-	if err != nil {
-		return err
-	}
-	// Group consecutive chain positions by hop (non-decreasing hops make
-	// runs contiguous).
-	type run struct {
-		hop        int
-		start, end int // chain positions [start, end]
-	}
-	var runs []run
-	for j := 0; j < len(sub.Hops); j++ {
-		if len(runs) > 0 && runs[len(runs)-1].hop == sub.Hops[j] {
+// chainRun is a maximal group of consecutive chain positions served at
+// the same hop (non-decreasing hop vectors make such runs contiguous).
+type chainRun struct {
+	hop        int
+	start, end int // chain positions [start, end]
+}
+
+// chainRuns groups a hop vector into runs.
+func chainRuns(hops []int) []chainRun {
+	var runs []chainRun
+	for j := 0; j < len(hops); j++ {
+		if len(runs) > 0 && runs[len(runs)-1].hop == hops[j] {
 			runs[len(runs)-1].end = j
 			continue
 		}
-		runs = append(runs, run{hop: sub.Hops[j], start: j, end: j})
+		runs = append(runs, chainRun{hop: hops[j], start: j, end: j})
 	}
+	return runs
+}
+
+// installVSwitchRules programs the ⟨InPort, class, sub-class⟩ steering of
+// §V-B for sub-class s on every host it visits.
+func (c *Controller) installVSwitchRules(a *Assignment, s int) error {
+	ops, err := c.emitVSwitchRules(a, s)
+	if err != nil {
+		return err
+	}
+	return c.applyStaged(ops)
+}
+
+// emitVSwitchRules compiles sub-class s's steering rules into staged
+// operations on the visited hosts' steering tables.
+func (c *Controller) emitVSwitchRules(a *Assignment, s int) ([]stagedOp, error) {
+	sub := a.Subclasses[s]
+	subTag, err := a.tagOf(s)
+	if err != nil {
+		return nil, err
+	}
+	runs := chainRuns(sub.Hops)
 	name := fmt.Sprintf("vsw-%d-%d", a.Class.ID, s)
+	var ops []stagedOp
 	for ri, r := range runs {
 		v := a.Class.Path[r.hop]
 		h, ok := c.hosts[v]
 		if !ok {
-			return fmt.Errorf("controller: class %d needs a host at switch %d", a.Class.ID, v)
+			return nil, fmt.Errorf("controller: class %d needs a host at switch %d", a.Class.ID, v)
 		}
-		steer, err := h.VSwitch().Table(host.TableSteering)
-		if err != nil {
-			return fmt.Errorf("controller: %w", err)
-		}
+		steerDev := device{vswitch: true, node: v}
 		match := func(inPort host.PortID) flowtable.Match {
 			m := flowtable.Match{
 				InPort: flowtable.IntPtr(int(inPort)),
@@ -371,58 +479,58 @@ func (c *Controller) installVSwitchRules(a *Assignment, s int) error {
 		// Entry from the uplink to the first instance of the run.
 		firstPort, err := portOf(r.start)
 		if err != nil {
-			return fmt.Errorf("controller: %w", err)
+			return nil, fmt.Errorf("controller: %w", err)
 		}
-		if err := steer.Install(flowtable.Rule{
-			Name: name, Priority: 10, Match: match(host.UplinkPort),
-			Actions: []flowtable.Action{{Type: flowtable.ActForward, Port: int(firstPort)}},
-		}); err != nil {
-			return fmt.Errorf("controller: %w", err)
-		}
-		c.ruleUpdates++
+		ops = append(ops, stagedOp{
+			dev: steerDev, table: host.TableSteering,
+			op: flowtable.BatchOp{Rule: flowtable.Rule{
+				Name: name, Priority: 10, Match: match(host.UplinkPort),
+				Actions: []flowtable.Action{{Type: flowtable.ActForward, Port: int(firstPort)}},
+			}},
+		})
 		// Chain hops within the host.
 		for j := r.start; j < r.end; j++ {
 			from, err := portOf(j)
 			if err != nil {
-				return fmt.Errorf("controller: %w", err)
+				return nil, fmt.Errorf("controller: %w", err)
 			}
 			to, err := portOf(j + 1)
 			if err != nil {
-				return fmt.Errorf("controller: %w", err)
+				return nil, fmt.Errorf("controller: %w", err)
 			}
-			if err := steer.Install(flowtable.Rule{
-				Name: name, Priority: 10, Match: match(from),
-				Actions: []flowtable.Action{{Type: flowtable.ActForward, Port: int(to)}},
-			}); err != nil {
-				return fmt.Errorf("controller: %w", err)
-			}
-			c.ruleUpdates++
+			ops = append(ops, stagedOp{
+				dev: steerDev, table: host.TableSteering,
+				op: flowtable.BatchOp{Rule: flowtable.Rule{
+					Name: name, Priority: 10, Match: match(from),
+					Actions: []flowtable.Action{{Type: flowtable.ActForward, Port: int(to)}},
+				}},
+			})
 		}
 		// Exit: rewrite the host tag toward the next run (or Fin) and
 		// return to the physical network.
 		lastPort, err := portOf(r.end)
 		if err != nil {
-			return fmt.Errorf("controller: %w", err)
+			return nil, fmt.Errorf("controller: %w", err)
 		}
 		nextTag := flowtable.HostTagFin
 		if ri+1 < len(runs) {
 			nextTag, err = c.alloc.HostTag(a.Class.Path[runs[ri+1].hop])
 			if err != nil {
-				return fmt.Errorf("controller: %w", err)
+				return nil, fmt.Errorf("controller: %w", err)
 			}
 		}
-		if err := steer.Install(flowtable.Rule{
-			Name: name, Priority: 10, Match: match(lastPort),
-			Actions: []flowtable.Action{
-				{Type: flowtable.ActSetHostTag, Tag: nextTag},
-				{Type: flowtable.ActForward, Port: int(host.UplinkPort)},
-			},
-		}); err != nil {
-			return fmt.Errorf("controller: %w", err)
-		}
-		c.ruleUpdates++
+		ops = append(ops, stagedOp{
+			dev: steerDev, table: host.TableSteering,
+			op: flowtable.BatchOp{Rule: flowtable.Rule{
+				Name: name, Priority: 10, Match: match(lastPort),
+				Actions: []flowtable.Action{
+					{Type: flowtable.ActSetHostTag, Tag: nextTag},
+					{Type: flowtable.ActForward, Port: int(host.UplinkPort)},
+				},
+			}},
+		})
 	}
-	return nil
+	return ops, nil
 }
 
 // removeVSwitchRules deletes sub-class s's steering rules from every

@@ -1,62 +1,12 @@
 package experiments
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "github.com/apple-nfv/apple/internal/pool"
 
 // runIndexed runs fn(0), …, fn(n-1) on a bounded worker pool and blocks
-// until all scheduled work finishes. Results are communicated by index
-// (callers write into pre-sized slices), so the output is deterministic
-// regardless of scheduling. On failure the lowest-index error is returned
-// and not-yet-started items are skipped. workers ≤ 0 means GOMAXPROCS.
+// until all scheduled work finishes. It is a thin alias for the shared
+// pool.RunIndexed primitive, kept so the experiment drivers read the same
+// as before the pool was promoted to its own package (PR 3 reuses it from
+// the controller's flow-setup pipeline too).
 func runIndexed(n, workers int, fn func(i int) error) error {
-	if n <= 0 {
-		return nil
-	}
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
-	}
-	if workers > n {
-		workers = n
-	}
-	if workers == 1 {
-		for i := 0; i < n; i++ {
-			if err := fn(i); err != nil {
-				return err
-			}
-		}
-		return nil
-	}
-	errs := make([]error, n)
-	var failed atomic.Bool
-	idx := make(chan int)
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for i := range idx {
-				if failed.Load() {
-					continue
-				}
-				if err := fn(i); err != nil {
-					errs[i] = err
-					failed.Store(true)
-				}
-			}
-		}()
-	}
-	for i := 0; i < n; i++ {
-		idx <- i
-	}
-	close(idx)
-	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
-		}
-	}
-	return nil
+	return pool.RunIndexed(n, workers, fn)
 }

@@ -10,8 +10,10 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/apple-nfv/apple/internal/headerspace"
+	"github.com/apple-nfv/apple/internal/metrics"
 )
 
 // Tag field conventions. The paper uses unused header bits — the 12-bit
@@ -187,8 +189,13 @@ type Rule struct {
 }
 
 // Table is one flow table: an ordered rule list, optionally bounded by a
-// TCAM capacity.
+// TCAM capacity. Tables are safe for concurrent use: lookups take a read
+// lock, so the data plane keeps forwarding while the controller installs
+// rules (Lookup-while-Install), and installs serialize on a write lock.
+// Batched installs (ApplyBatch) coalesce a whole update into one critical
+// section.
 type Table struct {
+	mu    sync.RWMutex
 	rules []Rule
 	// capacity is the maximum rule count; 0 means unbounded.
 	capacity int
@@ -210,12 +217,8 @@ func NewBoundedTable(capacity int) (*Table, error) {
 // ErrTCAMFull is returned by Install when a bounded table is at capacity.
 var ErrTCAMFull = errors.New("flowtable: TCAM full")
 
-// Install adds a rule, keeping rules sorted by descending priority
-// (stable, so equal priorities keep install order).
-func (t *Table) Install(r Rule) error {
-	if t.capacity > 0 && len(t.rules) >= t.capacity {
-		return fmt.Errorf("%w: %d entries", ErrTCAMFull, t.capacity)
-	}
+// validate checks a rule before installation.
+func validateRule(r Rule) error {
 	if len(r.Actions) == 0 {
 		return fmt.Errorf("flowtable: rule %q has no actions", r.Name)
 	}
@@ -232,6 +235,29 @@ func (t *Table) Install(r Rule) error {
 			return fmt.Errorf("flowtable: rule %q sets host tag %d beyond %d", r.Name, a.Tag, HostTagFin)
 		}
 	}
+	return nil
+}
+
+// lock acquires the write lock, counting acquisitions that had to wait as
+// contention events (the TryLock fast path succeeds on an uncontended
+// table).
+func (t *Table) lock() {
+	if t.mu.TryLock() {
+		return
+	}
+	metrics.FlowSetup.TableContention.Add(1)
+	t.mu.Lock()
+}
+
+// installLocked adds a rule, keeping rules sorted by descending priority
+// (stable, so equal priorities keep install order). Callers hold mu.
+func (t *Table) installLocked(r Rule) error {
+	if t.capacity > 0 && len(t.rules) >= t.capacity {
+		return fmt.Errorf("%w: %d entries", ErrTCAMFull, t.capacity)
+	}
+	if err := validateRule(r); err != nil {
+		return err
+	}
 	idx := sort.Search(len(t.rules), func(i int) bool { return t.rules[i].Priority < r.Priority })
 	t.rules = append(t.rules, Rule{})
 	copy(t.rules[idx+1:], t.rules[idx:])
@@ -239,9 +265,24 @@ func (t *Table) Install(r Rule) error {
 	return nil
 }
 
+// Install adds a rule, keeping rules sorted by descending priority
+// (stable, so equal priorities keep install order).
+func (t *Table) Install(r Rule) error {
+	t.lock()
+	defer t.mu.Unlock()
+	return t.installLocked(r)
+}
+
 // Remove deletes all rules with the given name and reports how many were
 // removed.
 func (t *Table) Remove(name string) int {
+	t.lock()
+	defer t.mu.Unlock()
+	return t.removeLocked(name)
+}
+
+// removeLocked deletes all rules with the given name. Callers hold mu.
+func (t *Table) removeLocked(name string) int {
 	kept := t.rules[:0]
 	removed := 0
 	for _, r := range t.rules {
@@ -255,14 +296,65 @@ func (t *Table) Remove(name string) int {
 	return removed
 }
 
+// BatchOp is one step of an ApplyBatch. A non-empty Remove deletes every
+// rule of that name first; a rule with actions is then installed, unless
+// SkipIfPresent is set and a rule of the same name is already in the
+// table (the idempotent install the Rule Generator uses for shared
+// routing, host-match, and pass-by rows).
+type BatchOp struct {
+	Remove        string
+	Rule          Rule
+	SkipIfPresent bool
+}
+
+// ApplyBatch applies the operations in order inside a single critical
+// section — the per-table coalescing that turns N rule updates into one
+// TCAM transaction. It returns how many rules were actually installed
+// (skip-if-present hits and removes are not counted). On a validation or
+// capacity error, operations already applied remain in place and the
+// error is returned; callers treat a mid-batch failure as a broken
+// generator, not a recoverable state.
+func (t *Table) ApplyBatch(ops []BatchOp) (installed int, err error) {
+	if len(ops) == 0 {
+		return 0, nil
+	}
+	t.lock()
+	defer t.mu.Unlock()
+	metrics.FlowSetup.BatchInstalls.Add(1)
+	for _, op := range ops {
+		if op.Remove != "" {
+			t.removeLocked(op.Remove)
+		}
+		if len(op.Rule.Actions) == 0 && op.Rule.Name == "" {
+			continue // remove-only op
+		}
+		if op.SkipIfPresent && t.hasLocked(op.Rule.Name) {
+			metrics.FlowSetup.SkippedRules.Add(1)
+			continue
+		}
+		if err := t.installLocked(op.Rule); err != nil {
+			return installed, err
+		}
+		installed++
+	}
+	metrics.FlowSetup.InstalledRules.Add(int64(installed))
+	return installed, nil
+}
+
 // Size returns the number of installed rules — the TCAM entry count this
 // table consumes.
-func (t *Table) Size() int { return len(t.rules) }
+func (t *Table) Size() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return len(t.rules)
+}
 
 // Names returns the distinct rule names present in the table, in rule
 // order. Audits use it to detect stale entries left behind by a
 // partially unwound update.
 func (t *Table) Names() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	seen := make(map[string]bool, len(t.rules))
 	var out []string
 	for _, r := range t.rules {
@@ -276,6 +368,8 @@ func (t *Table) Names() []string {
 
 // Rules returns a copy of the rules in match order.
 func (t *Table) Rules() []Rule {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	out := make([]Rule, len(t.rules))
 	copy(out, t.rules)
 	return out
@@ -283,6 +377,8 @@ func (t *Table) Rules() []Rule {
 
 // Lookup returns the highest-priority matching rule.
 func (t *Table) Lookup(p Packet) (Rule, bool) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	for _, r := range t.rules {
 		if r.Match.Matches(p) {
 			return r, true
@@ -401,6 +497,14 @@ func (pl *Pipeline) Process(p *Packet) (Result, error) {
 
 // Has reports whether any rule with the given name is installed.
 func (t *Table) Has(name string) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return t.hasLocked(name)
+}
+
+// hasLocked reports whether any rule with the given name is installed.
+// Callers hold mu (read or write).
+func (t *Table) hasLocked(name string) bool {
 	for _, r := range t.rules {
 		if r.Name == name {
 			return true
@@ -414,6 +518,8 @@ func (t *Table) Has(name string) bool {
 // match. The Rule Generator uses it as a sanity check: a shadowed
 // classification rule silently breaks a sub-class.
 func (t *Table) Shadowed() []string {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
 	var out []string
 	for i, r := range t.rules {
 		for _, earlier := range t.rules[:i] {

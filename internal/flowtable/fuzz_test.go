@@ -1,0 +1,218 @@
+package flowtable
+
+import (
+	"fmt"
+	"testing"
+)
+
+// Native fuzz targets for the TCAM model. Each derives structured rules,
+// matches, and packets from the raw fuzz input and checks the semantic
+// properties the Rule Generator and the enforcement checker rely on:
+// Lookup respects priority order, Subsumes is a genuine partial order that
+// implies match containment, and Shadowed never flags a rule that can win
+// a lookup.
+
+// fuzzRules decodes up to 32 rules from the input, consuming 8 bytes per
+// rule, and returns the undecoded tail. Rule names are unique by
+// construction so shadow/lookup cross-checks can identify rules.
+func fuzzRules(data []byte) ([]Rule, []byte) {
+	var rules []Rule
+	i := 0
+	for len(data)-i >= 8 && len(rules) < 32 {
+		b := data[i : i+8]
+		i += 8
+		var m Match
+		mask := b[1]
+		if mask&1 != 0 {
+			m.HostTag = U16(uint16(b[2]) & 0xFFF)
+		}
+		if mask&2 != 0 {
+			m.SubTag = U8(b[3] & MaxSubTag)
+		}
+		if mask&4 != 0 {
+			m.InPort = IntPtr(int(b[4] % 8))
+		}
+		if mask&8 != 0 {
+			m.Src = &Prefix{Addr: uint32(b[5])<<24 | uint32(b[6])<<16, Len: int(b[7] % 33)}
+		}
+		if mask&16 != 0 {
+			m.Dst = &Prefix{Addr: uint32(b[6])<<24 | uint32(b[5])<<8, Len: int(b[2] % 33)}
+		}
+		if mask&32 != 0 {
+			m.Proto = U8(b[3] % 3)
+		}
+		rules = append(rules, Rule{
+			Name:     fmt.Sprintf("r%d", len(rules)),
+			Priority: int(b[0] % 16),
+			Match:    m,
+			Actions:  []Action{{Type: ActForward, Port: int(b[4])}},
+		})
+	}
+	return rules, data[i:]
+}
+
+// fuzzPacket decodes one packet, consuming up to 8 bytes. Field values are
+// biased toward the small ranges the decoded rules use so matches happen.
+func fuzzPacket(data []byte) Packet {
+	var b [8]byte
+	copy(b[:], data)
+	var pkt Packet
+	pkt.Hdr.SrcIP = uint32(b[1])<<24 | uint32(b[2])<<16 | uint32(b[3])
+	pkt.Hdr.DstIP = uint32(b[4])<<24 | uint32(b[5])<<8
+	pkt.Hdr.Proto = b[0] % 3
+	pkt.HostTag = uint16(b[6]) & 0xFFF
+	pkt.SubTag = b[7] & MaxSubTag
+	pkt.InPort = int(b[0] % 8)
+	return pkt
+}
+
+// FuzzMatchLookup checks that Lookup always returns the highest-priority
+// matching rule (ties to the earlier install), that the winner actually
+// matches, and that Shadowed never flags a rule that just won a lookup.
+func FuzzMatchLookup(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{5, 9, 1, 2, 3, 10, 20, 24, 200, 100, 10, 1, 2, 3, 4, 5})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 7, 7, 7})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		rules, rest := fuzzRules(data)
+		tbl := NewTable()
+		for _, r := range rules {
+			if err := tbl.Install(r); err != nil {
+				t.Fatalf("install %q: %v", r.Name, err)
+			}
+		}
+		pkt := fuzzPacket(rest)
+		got, ok := tbl.Lookup(pkt)
+		// Reference: first match over the priority-ordered rule copy.
+		var want Rule
+		wantOK := false
+		for _, r := range tbl.Rules() {
+			if r.Match.Matches(pkt) {
+				want, wantOK = r, true
+				break
+			}
+		}
+		if ok != wantOK {
+			t.Fatalf("Lookup ok=%v, reference scan ok=%v", ok, wantOK)
+		}
+		if !ok {
+			return
+		}
+		if got.Name != want.Name || got.Priority != want.Priority {
+			t.Fatalf("Lookup returned %q prio %d, reference scan %q prio %d",
+				got.Name, got.Priority, want.Name, want.Priority)
+		}
+		if !got.Match.Matches(pkt) {
+			t.Fatalf("Lookup winner %q does not match the packet", got.Name)
+		}
+		for _, r := range tbl.Rules() {
+			if r.Priority > got.Priority && r.Match.Matches(pkt) {
+				t.Fatalf("rule %q (prio %d) matches but Lookup returned %q (prio %d)",
+					r.Name, r.Priority, got.Name, got.Priority)
+			}
+		}
+		// A rule that wins a lookup is reachable, so the shadow analysis
+		// must never have flagged it.
+		for _, name := range tbl.Shadowed() {
+			if name == got.Name {
+				t.Fatalf("Shadowed flagged %q, which just won a lookup", name)
+			}
+		}
+	})
+}
+
+// fuzzMatch decodes a single match from 8 bytes.
+func fuzzMatch(b []byte) Match {
+	var buf [8]byte
+	copy(buf[:], b)
+	rules, _ := fuzzRules(buf[:])
+	if len(rules) == 0 {
+		return Match{}
+	}
+	return rules[0].Match
+}
+
+// FuzzSubsumes checks that Subsumes is reflexive and transitive, and that
+// it soundly implies match containment: if m subsumes o, every packet o
+// matches is also matched by m.
+func FuzzSubsumes(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 15, 3, 4, 5, 6, 7, 8, 1, 8, 3, 4, 5, 6, 7, 16, 0, 0, 0, 0, 0, 0, 0, 0, 9, 9})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var bufs [3][]byte
+		for i := range bufs {
+			if len(data) >= 8 {
+				bufs[i], data = data[:8], data[8:]
+			}
+		}
+		a, b, c := fuzzMatch(bufs[0]), fuzzMatch(bufs[1]), fuzzMatch(bufs[2])
+		for _, m := range []Match{a, b, c} {
+			if !m.Subsumes(m) {
+				t.Fatalf("Subsumes is not reflexive for %+v", m)
+			}
+		}
+		if a.Subsumes(b) && b.Subsumes(c) && !a.Subsumes(c) {
+			t.Fatalf("Subsumes is not transitive: a⊇b, b⊇c, but !(a⊇c)")
+		}
+		pkt := fuzzPacket(data)
+		if a.Subsumes(b) && b.Matches(pkt) && !a.Matches(pkt) {
+			t.Fatalf("a subsumes b and b matches packet %+v, but a does not", pkt)
+		}
+	})
+}
+
+// FuzzPrefixContains checks prefix-match algebra: a prefix contains its
+// own base address, shortening a prefix only widens it, out-of-range
+// lengths behave as documented, and prefix subsumption implies
+// containment.
+func FuzzPrefixContains(f *testing.F) {
+	f.Add(uint32(0x0A010100), 24, uint32(0x0A0101FF))
+	f.Add(uint32(0), 0, uint32(0xFFFFFFFF))
+	f.Add(uint32(0xDEADBEEF), 32, uint32(0xDEADBEEF))
+	f.Fuzz(func(t *testing.T, addr uint32, length int, v uint32) {
+		length %= 40
+		if length < 0 {
+			length = -length
+		}
+		p := Prefix{Addr: addr, Len: length}
+		if !p.Contains(p.Addr) {
+			t.Fatalf("%v does not contain its own base address", p)
+		}
+		if p.Len <= 0 && !p.Contains(v) {
+			t.Fatalf("zero-length prefix %v must contain %#x", p, v)
+		}
+		// Reference semantics: top min(Len,32) bits equal.
+		want := true
+		if p.Len >= 32 {
+			want = p.Addr == v
+		} else if p.Len > 0 {
+			shift := uint(32 - p.Len)
+			want = p.Addr>>shift == v>>shift
+		}
+		if got := p.Contains(v); got != want {
+			t.Fatalf("%v.Contains(%#x) = %v, want %v", p, v, got, want)
+		}
+		// Shortening widens.
+		if p.Contains(v) && p.Len > 0 {
+			q := Prefix{Addr: addr, Len: p.Len - 1}
+			if !q.Contains(v) {
+				t.Fatalf("%v contains %#x but the shorter %v does not", p, v, q)
+			}
+		}
+		// Prefix subsumption (the genPfx rule in Match.Subsumes) implies
+		// containment.
+		q := Prefix{Addr: v, Len: length/2 + length%2}
+		if q.Len >= p.Len && p.Contains(q.Addr) {
+			m := Match{Src: &p}
+			o := Match{Src: &q}
+			if !m.Subsumes(o) {
+				t.Fatalf("match on %v should subsume match on %v", p, q)
+			}
+			pkt := Packet{}
+			pkt.Hdr.SrcIP = q.Addr
+			if o.Matches(pkt) && !m.Matches(pkt) {
+				t.Fatalf("%v matched a packet %v did not", q, p)
+			}
+		}
+	})
+}

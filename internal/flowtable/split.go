@@ -146,14 +146,15 @@ func CrossProduct(t1, t2 *Table) (*Table, error) {
 		return nil, fmt.Errorf("flowtable: nil table")
 	}
 	out := NewTable()
+	rules1, rules2 := t1.Rules(), t2.Rules()
 	maxP2 := 0
-	for _, r2 := range t2.rules {
+	for _, r2 := range rules2 {
 		if r2.Priority > maxP2 {
 			maxP2 = r2.Priority
 		}
 	}
 	stride := maxP2 + 2
-	for _, r1 := range t1.rules {
+	for _, r1 := range rules1 {
 		gotoIdx := -1
 		for i, a := range r1.Actions {
 			if a.Type == ActGotoTable {
@@ -169,7 +170,7 @@ func CrossProduct(t1, t2 *Table) (*Table, error) {
 			}
 			continue
 		}
-		for _, r2 := range t2.rules {
+		for _, r2 := range rules2 {
 			m, ok := intersectMatch(r1.Match, r2.Match)
 			if !ok {
 				continue

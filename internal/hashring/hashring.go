@@ -122,6 +122,37 @@ func (m *IntervalMap) Portion(i int) (float64, error) {
 	return m.bounds[i] - lo, nil
 }
 
+// Sharder maps integer keys (class IDs, switch IDs) onto a fixed number
+// of shards with the same avalanche mix the ring uses, so nearly
+// sequential IDs spread evenly. The controller's flow-setup pipeline
+// partitions its per-class state across shards with it; the mapping is a
+// pure function of (key, shard count), so every replica of the controller
+// agrees on the owner of a class without coordination.
+type Sharder struct {
+	n int
+}
+
+// NewSharder creates a sharder over n ≥ 1 shards.
+func NewSharder(n int) (*Sharder, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("hashring: shard count %d must be ≥1", n)
+	}
+	return &Sharder{n: n}, nil
+}
+
+// Shards returns the shard count.
+func (s *Sharder) Shards() int { return s.n }
+
+// Shard returns the shard owning the key, in [0, Shards()).
+func (s *Sharder) Shard(key uint64) int {
+	return int(fmix64(key^0xA076_1D64_78BD_642F) % uint64(s.n))
+}
+
+// ShardFlow returns the shard owning a flow, hashing its full 5-tuple.
+func (s *Sharder) ShardFlow(k FlowKey) int {
+	return int(k.hash64(0xC2B2_AE3D_27D4_EB4F) % uint64(s.n))
+}
+
 // Ring is a weighted consistent-hash ring over named instances. Each
 // instance owns weight×replicasPerWeight virtual points; lookups walk
 // clockwise to the next point. Adding or removing one instance only

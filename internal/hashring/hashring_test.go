@@ -292,3 +292,68 @@ func TestRingMembersCopy(t *testing.T) {
 		t.Fatal("Members leaked internal map")
 	}
 }
+
+func TestSharderValidation(t *testing.T) {
+	if _, err := NewSharder(0); err == nil {
+		t.Fatal("want error for 0 shards")
+	}
+	if _, err := NewSharder(-2); err == nil {
+		t.Fatal("want error for negative shards")
+	}
+	s, err := NewSharder(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Shards() != 8 {
+		t.Fatalf("Shards = %d", s.Shards())
+	}
+}
+
+func TestSharderRangeAndDeterminism(t *testing.T) {
+	s, err := NewSharder(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for key := uint64(0); key < 2000; key++ {
+		i := s.Shard(key)
+		if i < 0 || i >= 7 {
+			t.Fatalf("key %d → shard %d out of range", key, i)
+		}
+		if j := s.Shard(key); j != i {
+			t.Fatalf("key %d not deterministic: %d vs %d", key, i, j)
+		}
+	}
+}
+
+func TestSharderBalanceOnSequentialIDs(t *testing.T) {
+	// Class IDs are small sequential ints; the avalanche mix must still
+	// spread them evenly across shards.
+	const shards, keys = 8, 4096
+	s, err := NewSharder(shards)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, shards)
+	for key := uint64(0); key < keys; key++ {
+		counts[s.Shard(key)]++
+	}
+	want := keys / shards
+	for i, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("shard %d holds %d of %d keys (want ≈%d): %v", i, c, keys, want, counts)
+		}
+	}
+}
+
+func TestSharderFlowRange(t *testing.T) {
+	s, err := NewSharder(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 1000; i++ {
+		k := FlowKey{SrcIP: uint32(i) * 2654435761, DstIP: uint32(i), Proto: 6, SrcPort: uint16(i), DstPort: 80}
+		if sh := s.ShardFlow(k); sh < 0 || sh >= 5 {
+			t.Fatalf("flow %d → shard %d out of range", i, sh)
+		}
+	}
+}

@@ -2,6 +2,8 @@ package headerspace
 
 import (
 	"fmt"
+
+	"github.com/apple-nfv/apple/internal/pool"
 )
 
 // Classifier maps concrete headers to equivalence-class IDs. Classes are
@@ -47,6 +49,21 @@ func (c *Classifier) Classify(h Header) int {
 	}
 	// Unreachable: atoms partition the header space.
 	panic("headerspace: atoms do not cover the header space")
+}
+
+// ClassifyAll classifies a batch of headers with a bounded worker pool —
+// the classify stage of the concurrent flow-setup pipeline. A Classifier
+// is immutable after construction, so lookups need no locking; workers≤0
+// uses one worker per processor.
+func (c *Classifier) ClassifyAll(hdrs []Header, workers int) []int {
+	out := make([]int, len(hdrs))
+	// Classify never fails (atoms partition the space), so the pool error
+	// is always nil.
+	_ = pool.RunIndexed(len(hdrs), workers, func(i int) error {
+		out[i] = c.Classify(hdrs[i])
+		return nil
+	})
+	return out
 }
 
 // Membership returns, for class i, the indexes of the input predicates

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"sync"
 
 	"github.com/apple-nfv/apple/internal/flowtable"
 	"github.com/apple-nfv/apple/internal/policy"
@@ -38,8 +39,13 @@ func DefaultResources() policy.Resources {
 	return policy.Resources{Cores: 64, MemoryMB: 128 * 1024}
 }
 
-// Host is one APPLE host.
+// Host is one APPLE host. The port map, resource bookkeeping, and packet
+// counters are guarded by a read-write lock, so concurrent packet
+// injections (the data-plane read path) proceed in parallel with each
+// other and serialize only against attach/detach (the control-plane write
+// path). The vSwitch pipeline carries its own per-table locks.
 type Host struct {
+	mu       sync.RWMutex
 	name     string
 	attached topology.NodeID
 	total    policy.Resources
@@ -88,10 +94,21 @@ func (h *Host) VSwitch() *flowtable.Pipeline { return h.vswitch }
 func (h *Host) Total() policy.Resources { return h.total }
 
 // Used returns the hardware reserved by attached instances.
-func (h *Host) Used() policy.Resources { return h.used }
+func (h *Host) Used() policy.Resources {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.used
+}
 
 // Available returns the remaining headroom (A_v).
-func (h *Host) Available() policy.Resources { return h.total.Sub(h.used) }
+func (h *Host) Available() policy.Resources {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.total.Sub(h.used)
+}
+
+// availableLocked returns the remaining headroom. Callers hold mu.
+func (h *Host) availableLocked() policy.Resources { return h.total.Sub(h.used) }
 
 // Attach reserves resources for the instance and connects it to a fresh
 // vSwitch port.
@@ -99,13 +116,15 @@ func (h *Host) Attach(inst *vnf.Instance) (PortID, error) {
 	if inst == nil {
 		return 0, errors.New("host: nil instance")
 	}
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	if _, ok := h.byID[inst.ID()]; ok {
 		return 0, fmt.Errorf("host: instance %s already attached", inst.ID())
 	}
 	need := inst.Spec().Resources()
-	if !need.Fits(h.Available()) {
+	if !need.Fits(h.availableLocked()) {
 		return 0, fmt.Errorf("host: %s needs %v but %s has %v free",
-			inst.ID(), need, h.name, h.Available())
+			inst.ID(), need, h.name, h.availableLocked())
 	}
 	port := h.nextPort
 	h.nextPort++
@@ -119,6 +138,13 @@ func (h *Host) Attach(inst *vnf.Instance) (PortID, error) {
 // rules that reference the port are the caller's (rule generator's) job to
 // remove.
 func (h *Host) Detach(id vnf.ID) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.detachLocked(id)
+}
+
+// detachLocked releases the instance's resources. Callers hold mu.
+func (h *Host) detachLocked(id vnf.ID) error {
 	port, ok := h.byID[id]
 	if !ok {
 		return fmt.Errorf("host: instance %s not attached", id)
@@ -137,6 +163,8 @@ func (h *Host) Detach(id vnf.ID) error {
 // model of the host and are the rule generator's job to clean up). The
 // failed instance IDs are returned sorted for deterministic handling.
 func (h *Host) Crash() []vnf.ID {
+	h.mu.Lock()
+	defer h.mu.Unlock()
 	ids := make([]vnf.ID, 0, len(h.byID))
 	for id := range h.byID {
 		ids = append(ids, id)
@@ -148,13 +176,15 @@ func (h *Host) Crash() []vnf.ID {
 			// Booting→Failed and Running→Failed are always legal.
 			_ = inst.SetState(vnf.StateFailed)
 		}
-		_ = h.Detach(id)
+		_ = h.detachLocked(id)
 	}
 	return ids
 }
 
 // PortOf returns the vSwitch port of an attached instance.
 func (h *Host) PortOf(id vnf.ID) (PortID, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	port, ok := h.byID[id]
 	if !ok {
 		return 0, fmt.Errorf("host: instance %s not attached", id)
@@ -164,6 +194,8 @@ func (h *Host) PortOf(id vnf.ID) (PortID, error) {
 
 // InstanceAt returns the instance behind a port.
 func (h *Host) InstanceAt(port PortID) (*vnf.Instance, error) {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	inst, ok := h.ports[port]
 	if !ok {
 		return nil, fmt.Errorf("host: no instance at port %d", port)
@@ -173,6 +205,8 @@ func (h *Host) InstanceAt(port PortID) (*vnf.Instance, error) {
 
 // Instances returns the attached instances sorted by ID.
 func (h *Host) Instances() []*vnf.Instance {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
 	out := make([]*vnf.Instance, 0, len(h.ports))
 	for _, inst := range h.ports {
 		out = append(out, inst)
@@ -182,15 +216,27 @@ func (h *Host) Instances() []*vnf.Instance {
 }
 
 // NumInstances returns the attached instance count.
-func (h *Host) NumInstances() int { return len(h.ports) }
+func (h *Host) NumInstances() int {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return len(h.ports)
+}
 
 // CountPacket bumps the per-port counter, emulating the Open vSwitch
 // per-port statistics the prototype polls (they "update almost instantly",
 // §VII-B, unlike per-flow counters).
-func (h *Host) CountPacket(port PortID) { h.counters[port]++ }
+func (h *Host) CountPacket(port PortID) {
+	h.mu.Lock()
+	h.counters[port]++
+	h.mu.Unlock()
+}
 
 // Counter reads a per-port counter.
-func (h *Host) Counter(port PortID) uint64 { return h.counters[port] }
+func (h *Host) Counter(port PortID) uint64 {
+	h.mu.RLock()
+	defer h.mu.RUnlock()
+	return h.counters[port]
+}
 
 // Traversal is the outcome of pushing one packet through the host.
 type Traversal struct {
@@ -217,7 +263,7 @@ func (h *Host) Inject(pkt *flowtable.Packet, ingress PortID) (Traversal, error) 
 	var tr Traversal
 	pkt.InPort = int(ingress)
 	h.CountPacket(ingress)
-	maxHops := len(h.ports) + maxHopsSlack
+	maxHops := h.NumInstances() + maxHopsSlack
 	for hop := 0; hop <= maxHops; hop++ {
 		res, err := h.vswitch.Process(pkt)
 		if err != nil {
@@ -232,8 +278,8 @@ func (h *Host) Inject(pkt *flowtable.Packet, ingress PortID) (Traversal, error) 
 			h.CountPacket(UplinkPort)
 			return tr, nil
 		}
-		inst, ok := h.ports[port]
-		if !ok {
+		inst, err := h.InstanceAt(port)
+		if err != nil {
 			return tr, fmt.Errorf("host: rule %q forwards to unknown port %d", res.Rule, port)
 		}
 		h.CountPacket(port)

@@ -1,0 +1,66 @@
+// Package pool provides the bounded worker-pool primitive shared by the
+// experiment drivers and the controller's flow-setup pipeline: fan an
+// index range out over a fixed number of goroutines with deterministic,
+// index-addressed results.
+package pool
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// RunIndexed runs fn(0), …, fn(n-1) on a bounded worker pool and blocks
+// until all scheduled work finishes. Results are communicated by index
+// (callers write into pre-sized slices), so the output is deterministic
+// regardless of scheduling. On failure the lowest-index error is returned
+// and not-yet-started items are skipped. workers ≤ 0 means GOMAXPROCS.
+func RunIndexed(n, workers int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		for i := 0; i < n; i++ {
+			if err := fn(i); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	errs := make([]error, n)
+	var failed atomic.Bool
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				if failed.Load() {
+					continue
+				}
+				if err := fn(i); err != nil {
+					errs[i] = err
+					failed.Store(true)
+				}
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

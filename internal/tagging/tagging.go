@@ -8,6 +8,7 @@ package tagging
 import (
 	"errors"
 	"fmt"
+	"sync"
 
 	"github.com/apple-nfv/apple/internal/core"
 	"github.com/apple-nfv/apple/internal/flowtable"
@@ -17,7 +18,11 @@ import (
 // Allocator hands out tag values. Host IDs are globally unique (they name
 // the next APPLE host to process a packet); sub-class IDs are only
 // meaningful within a class and are multiplexed across classes (§V-B).
+// The allocator is safe for concurrent use; the flow-setup pipeline's
+// admit stage pre-allocates every tag a class will reference, so the
+// parallel emit stage only performs read-through lookups here.
 type Allocator struct {
+	mu       sync.Mutex
 	hostTags map[topology.NodeID]uint16
 	next     uint16
 }
@@ -30,6 +35,8 @@ func NewAllocator() *Allocator {
 // HostTag returns the tag for the APPLE host at switch v, allocating one
 // on first use. The 12-bit VLAN field allows 4094 hosts.
 func (a *Allocator) HostTag(v topology.NodeID) (uint16, error) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	if tag, ok := a.hostTags[v]; ok {
 		return tag, nil
 	}
@@ -44,6 +51,8 @@ func (a *Allocator) HostTag(v topology.NodeID) (uint16, error) {
 
 // HostTags returns a copy of the current allocation.
 func (a *Allocator) HostTags() map[topology.NodeID]uint16 {
+	a.mu.Lock()
+	defer a.mu.Unlock()
 	out := make(map[topology.NodeID]uint16, len(a.hostTags))
 	for k, v := range a.hostTags {
 		out[k] = v
