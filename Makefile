@@ -3,7 +3,7 @@ BENCHTIME ?= 5x
 FUZZTIME ?= 20s
 FUZZ_TARGETS := FuzzMatchLookup FuzzSubsumes FuzzPrefixContains
 
-.PHONY: build test race vet bench fuzz cover check clean
+.PHONY: build test race vet lint bench fuzz cover check clean
 
 build:
 	$(GO) build ./...
@@ -16,6 +16,17 @@ race:
 
 vet:
 	$(GO) vet ./...
+
+# lint runs applelint (cmd/applelint), the project-specific static
+# analyzers proving the concurrency, callback, and determinism contracts
+# (see DESIGN.md §12), plus the gofmt formatting gate. Any diagnostic or
+# unformatted file fails the target.
+lint:
+	$(GO) run ./cmd/applelint .
+	@unformatted=$$(gofmt -l .); \
+	if [ -n "$$unformatted" ]; then \
+		echo "gofmt: needs formatting:"; echo "$$unformatted"; exit 1; \
+	fi
 
 # bench runs the Table V engine benchmarks and refreshes BENCH_lp.json,
 # the machine-readable LP hot-path report (ns/op, pivots, warm-start hits,
@@ -39,7 +50,7 @@ cover:
 	$(GO) test -cover -coverprofile=coverage.out ./...
 	$(GO) tool cover -func=coverage.out | tail -n 1
 
-check: build vet test race
+check: build vet lint test race
 
 clean:
 	$(GO) clean ./...

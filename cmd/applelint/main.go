@@ -1,0 +1,82 @@
+// Command applelint runs the project-specific static-analysis suite
+// (internal/lint) over the whole module: lockguard, guardedfield,
+// callbackonce, simclock, and atomiccounter. It is stdlib-only — the
+// module graph is loaded with go/parser + go/types and the standard
+// library is resolved from $GOROOT source, so the tool needs no network
+// and no third-party dependencies.
+//
+// Usage:
+//
+//	applelint [-analyzers lockguard,simclock] [-tests] [-list] [dir]
+//
+// dir defaults to the current directory; the module root is found by
+// walking upward to go.mod. Exit status is 1 when any diagnostic is
+// reported, 2 on loader/usage errors.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"github.com/apple-nfv/apple/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(argv []string) int {
+	fs := flag.NewFlagSet("applelint", flag.ContinueOnError)
+	analyzerList := fs.String("analyzers", "", "comma-separated subset of analyzers to run (default: all)")
+	withTests := fs.Bool("tests", false, "also analyze in-package _test.go files")
+	list := fs.Bool("list", false, "list available analyzers and exit")
+	if err := fs.Parse(argv); err != nil {
+		return 2
+	}
+	if *list {
+		for _, a := range lint.Analyzers() {
+			fmt.Printf("%-14s %s\n", a.Name, a.Doc)
+		}
+		return 0
+	}
+
+	var names []string
+	if *analyzerList != "" {
+		names = strings.Split(*analyzerList, ",")
+	}
+	analyzers, err := lint.ByName(names)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	dir := "."
+	if fs.NArg() > 0 {
+		dir = fs.Arg(0)
+	}
+	root, err := lint.FindModuleRoot(dir)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+	pkgs, err := lint.LoadModule(root, lint.LoadOptions{Tests: *withTests})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		return 2
+	}
+
+	found := 0
+	for _, pkg := range pkgs {
+		for _, d := range lint.RunPackage(pkg, analyzers) {
+			fmt.Println(d.String())
+			found++
+		}
+	}
+	if found > 0 {
+		fmt.Fprintf(os.Stderr, "applelint: %d finding(s)\n", found)
+		return 1
+	}
+	return 0
+}

@@ -138,33 +138,35 @@ type failoverState struct {
 // be asserted between any two events.
 type DynamicHandler struct {
 	c         *Controller
-	detectors map[vnf.ID]*vnf.Detector
-	states    map[core.ClassID]*failoverState
+	detectors map[vnf.ID]*vnf.Detector        // confined to the simulation loop
+	states    map[core.ClassID]*failoverState // confined to the simulation loop
 	// spawnedSet marks failover-launched instances; re-pinning avoids
 	// them because they are cancelled on their owner class's rollback.
+	// It is confined to the simulation loop.
 	spawnedSet map[vnf.ID]bool
 	// pending guards against spawning more than one failover instance per
 	// (switch, NF) at a time — Fig 4 shows one new ClickOS VM per
 	// overload, and the paper reports <17 additional cores in total. The
 	// value is the instance provisioning for the slot; the orchestrator's
 	// exactly-one-callback contract guarantees the slot is released.
+	// It is confined to the simulation loop.
 	pending map[spawnKey]vnf.ID
 	// spawnedCores records the cores accounted per failover launch;
 	// extraCores is always its sum, even across dropped activations,
-	// crashes, and failed cancels.
+	// crashes, and failed cancels. Confined to the simulation loop.
 	spawnedCores map[vnf.ID]int
 	// zombies are spawned instances whose Cancel RPC was lost: out of
 	// service but still holding (and accounting) their cores until a
-	// retried cancel succeeds.
+	// retried cancel succeeds. Confined to the simulation loop.
 	zombies map[vnf.ID]bool
 	// epochs invalidate in-flight spawn activations after a rollback.
 	// They live on the handler — not the per-class failover state — so a
 	// fresh overload after a rollback cannot reuse an epoch an old
-	// in-flight activation captured.
+	// in-flight activation captured. Confined to the simulation loop.
 	epochs map[core.ClassID]int
 	// extraCores tracks hardware spent on failover instances.
-	extraCores int
-	peakExtra  int
+	extraCores int // confined to the simulation loop
+	peakExtra  int // confined to the simulation loop
 	counters   *metrics.Counters
 }
 

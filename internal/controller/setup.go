@@ -51,7 +51,7 @@ type assignStore struct {
 
 type assignShard struct {
 	mu sync.RWMutex
-	m  map[core.ClassID]*Assignment
+	m  map[core.ClassID]*Assignment // guarded by mu
 }
 
 func newAssignStore(n int) *assignStore {
@@ -65,6 +65,7 @@ func newAssignStore(n int) *assignStore {
 	}
 	st := &assignStore{sharder: sh, shards: make([]assignShard, n)}
 	for i := range st.shards {
+		//lint:ignore guardedfield constructor initialization before the store is published to any other goroutine
 		st.shards[i].m = make(map[core.ClassID]*Assignment)
 	}
 	return st

@@ -196,8 +196,9 @@ type Rule struct {
 // section.
 type Table struct {
 	mu    sync.RWMutex
-	rules []Rule
-	// capacity is the maximum rule count; 0 means unbounded.
+	rules []Rule // guarded by mu
+	// capacity is the maximum rule count; 0 means unbounded. Immutable
+	// after construction, so reads need no lock.
 	capacity int
 }
 

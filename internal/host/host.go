@@ -49,12 +49,12 @@ type Host struct {
 	name     string
 	attached topology.NodeID
 	total    policy.Resources
-	used     policy.Resources
+	used     policy.Resources // guarded by mu
 	vswitch  *flowtable.Pipeline
-	ports    map[PortID]*vnf.Instance
-	byID     map[vnf.ID]PortID
-	nextPort PortID
-	counters map[PortID]uint64
+	ports    map[PortID]*vnf.Instance // guarded by mu
+	byID     map[vnf.ID]PortID        // guarded by mu
+	nextPort PortID                   // guarded by mu
+	counters map[PortID]uint64        // guarded by mu
 }
 
 // New creates a host attached to the given switch with the given hardware.

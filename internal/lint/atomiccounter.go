@@ -1,0 +1,119 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// AnalyzerAtomicCounter enforces all-or-nothing atomicity: once any
+// code path accesses a struct field through the old-style sync/atomic
+// functions (atomic.AddInt64(&x.f, 1), atomic.LoadUint32(&x.f), …),
+// every other access to that field must also go through sync/atomic.
+// A single plain load or store silently destroys the whole field's
+// memory-ordering guarantees — the classic "metrics counter read
+// without atomic.Load" bug the race detector only catches when both
+// sides happen to run concurrently under -race.
+//
+// Fields of the modern wrapper types (atomic.Int64 and friends) are
+// type-safe by construction and need no checking.
+var AnalyzerAtomicCounter = &Analyzer{
+	Name: "atomiccounter",
+	Doc:  "a struct field accessed via sync/atomic anywhere may never also be accessed with a plain load or store",
+	Run:  runAtomicCounter,
+}
+
+func runAtomicCounter(pass *Pass) {
+	// Pass A: find every field that appears as &x.f in a sync/atomic
+	// call, remembering both the field object and the selector nodes
+	// already inside atomic calls (so pass B can skip them).
+	atomicFields := make(map[*types.Var]token.Pos)
+	inAtomicCall := make(map[*ast.SelectorExpr]bool)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+				if !ok || un.Op != token.AND {
+					continue
+				}
+				sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+				if !ok {
+					continue
+				}
+				field := fieldOf(pass, sel)
+				if field == nil {
+					continue
+				}
+				inAtomicCall[sel] = true
+				if _, seen := atomicFields[field]; !seen {
+					atomicFields[field] = call.Pos()
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return
+	}
+
+	// Pass B: any other selector touching one of those fields is a
+	// plain (non-atomic) access.
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || inAtomicCall[sel] {
+				return true
+			}
+			field := fieldOf(pass, sel)
+			if field == nil {
+				return true
+			}
+			firstAtomic, ok := atomicFields[field]
+			if !ok {
+				return true
+			}
+			first := pass.Fset.Position(firstAtomic)
+			pass.Reportf(sel.Sel.Pos(),
+				"plain access of field %s, which is accessed atomically at %s:%d; use sync/atomic for every access",
+				field.Name(), shortPath(first.Filename), first.Line)
+			return true
+		})
+	}
+}
+
+// isAtomicCall reports whether the call targets a package-level
+// sync/atomic read-modify-write or load/store function.
+func isAtomicCall(pass *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pass.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "sync/atomic" || fn.Type().(*types.Signature).Recv() != nil {
+		return false
+	}
+	for _, prefix := range []string{"Add", "Load", "Store", "Swap", "CompareAndSwap", "Or", "And"} {
+		if strings.HasPrefix(fn.Name(), prefix) {
+			return true
+		}
+	}
+	return false
+}
+
+// fieldOf resolves a selector to the struct field it names, or nil.
+func fieldOf(pass *Pass, sel *ast.SelectorExpr) *types.Var {
+	selection, ok := pass.Info.Selections[sel]
+	if !ok || selection.Kind() != types.FieldVal {
+		return nil
+	}
+	v, ok := selection.Obj().(*types.Var)
+	if !ok {
+		return nil
+	}
+	return v
+}

@@ -1,0 +1,424 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerCallbackOnce proves the PR 2 lifecycle contract at build
+// time: a function that accepts a completion-callback pair (two or more
+// func-typed parameters named on*, e.g. onReady/onFail) and schedules a
+// completion closure on the simulation clock must invoke exactly one
+// callback exactly once on every control path through that closure.
+//
+// The analyzer enumerates the closure's paths over if/else, switch, and
+// select branching. The nil-guard idiom
+//
+//	if onFail != nil {
+//	    onFail(id, err)
+//	}
+//
+// counts as one logical invocation on every path (the contract lets
+// callers pass nil for a callback they don't care about). Paths ending
+// in panic are exempt — they are "unreachable by construction"
+// assertions, not lifecycle outcomes. A callback call inside a loop is
+// reported directly: it can fire once per iteration.
+//
+// Synchronous callback invocation from the scheduling function itself
+// is also reported: the contract requires callbacks to fire later, on
+// the clock, only after the function returned nil — a synchronous call
+// is how double-callback bugs are born.
+var AnalyzerCallbackOnce = &Analyzer{
+	Name: "callbackonce",
+	Doc:  "every control path through a scheduled completion closure invokes exactly one completion callback exactly once",
+	Run:  runCallbackOnce,
+}
+
+// maxPaths bounds path enumeration per closure.
+const maxPaths = 4096
+
+func runCallbackOnce(pass *Pass) {
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cbs := completionParams(pass, fd)
+			if len(cbs) < 2 {
+				continue
+			}
+			checkSyncInvocation(pass, fd, cbs)
+			for _, lit := range scheduledClosures(pass, fd, cbs) {
+				enumerate(pass, lit, cbs)
+			}
+		}
+	}
+}
+
+// completionParams returns the func-typed parameters named on*.
+func completionParams(pass *Pass, fd *ast.FuncDecl) map[types.Object]bool {
+	cbs := make(map[types.Object]bool)
+	if fd.Type.Params == nil {
+		return cbs
+	}
+	for _, fld := range fd.Type.Params.List {
+		for _, name := range fld.Names {
+			obj := pass.Info.Defs[name]
+			if obj == nil || len(name.Name) < 3 || name.Name[:2] != "on" {
+				continue
+			}
+			if _, ok := obj.Type().Underlying().(*types.Signature); ok {
+				cbs[obj] = true
+			}
+		}
+	}
+	return cbs
+}
+
+// isCallbackCall reports whether the call invokes one of the completion
+// callbacks directly.
+func isCallbackCall(pass *Pass, call *ast.CallExpr, cbs map[types.Object]bool) bool {
+	id, ok := ast.Unparen(call.Fun).(*ast.Ident)
+	if !ok {
+		return false
+	}
+	return cbs[pass.Info.Uses[id]]
+}
+
+// checkSyncInvocation reports callback calls made outside any function
+// literal — i.e. synchronously, before the scheduling function returns.
+func checkSyncInvocation(pass *Pass, fd *ast.FuncDecl, cbs map[types.Object]bool) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isCallbackCall(pass, call, cbs) {
+			pass.Reportf(call.Pos(),
+				"completion callback %s invoked synchronously; the contract fires callbacks later, on the clock, exactly once",
+				types.ExprString(call.Fun))
+		}
+		return true
+	})
+}
+
+// scheduledClosures finds function literals passed to clock-scheduling
+// calls (After/At/MustAfter/Every) that reference a completion callback.
+func scheduledClosures(pass *Pass, fd *ast.FuncDecl, cbs map[types.Object]bool) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		switch calleeName(call) {
+		case "After", "At", "MustAfter", "Every", "AfterFunc":
+		default:
+			return true
+		}
+		for _, arg := range call.Args {
+			lit, ok := arg.(*ast.FuncLit)
+			if !ok {
+				continue
+			}
+			references := false
+			ast.Inspect(lit.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok && cbs[pass.Info.Uses[id]] {
+					references = true
+				}
+				return !references
+			})
+			if references {
+				out = append(out, lit)
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// termKind classifies how a path ends.
+type termKind int
+
+const (
+	fallThrough termKind = iota
+	returned
+	aborted // panic — exempt from the contract
+)
+
+// outcome is one enumerated path suffix: how many callback invocations
+// it performed and how it ended.
+type outcome struct {
+	count int
+	term  termKind
+	pos   token.Pos
+}
+
+// pathEnum enumerates callback invocations along control paths.
+type pathEnum struct {
+	pass     *Pass
+	cbs      map[types.Object]bool
+	reported map[token.Pos]bool
+}
+
+func enumerate(pass *Pass, lit *ast.FuncLit, cbs map[types.Object]bool) {
+	pe := &pathEnum{pass: pass, cbs: cbs, reported: make(map[token.Pos]bool)}
+	ends := pe.walk(lit.Body.List)
+	for _, o := range ends {
+		if o.term == aborted {
+			continue
+		}
+		pos := o.pos
+		if o.term == fallThrough {
+			pos = lit.Body.Rbrace
+		}
+		switch {
+		case o.count == 0:
+			pe.reportOnce(pos, "control path through the completion closure invokes no completion callback (exactly-once contract)")
+		case o.count > 1:
+			pe.reportOnce(pos, sprintf("control path through the completion closure invokes completion callbacks %d times (exactly-once contract)", o.count))
+		}
+	}
+}
+
+func (pe *pathEnum) reportOnce(pos token.Pos, msg string) {
+	if pe.reported[pos] {
+		return
+	}
+	pe.reported[pos] = true
+	pe.pass.Reportf(pos, "%s", msg)
+}
+
+// walk enumerates a statement list. Partial paths carry accumulated
+// counts; terminated paths are emitted as outcomes.
+func (pe *pathEnum) walk(stmts []ast.Stmt) []outcome {
+	partials := []outcome{{count: 0, term: fallThrough}}
+	var done []outcome
+	for _, s := range stmts {
+		branches := pe.stmt(s)
+		var next []outcome
+		for _, p := range partials {
+			for _, b := range branches {
+				o := outcome{count: p.count + b.count, term: b.term, pos: b.pos}
+				if b.term == fallThrough {
+					next = append(next, o)
+				} else {
+					done = append(done, o)
+				}
+			}
+		}
+		partials = dedupe(next)
+		if len(partials) == 0 {
+			break
+		}
+		if len(done)+len(partials) > maxPaths {
+			// Give up quietly rather than explode; the closures under
+			// contract are small by construction.
+			return done
+		}
+	}
+	return append(done, partials...)
+}
+
+// stmt returns the possible outcomes of one statement.
+func (pe *pathEnum) stmt(s ast.Stmt) []outcome {
+	fall := []outcome{{term: fallThrough}}
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		return pe.exprOutcome(x.X)
+	case *ast.ReturnStmt:
+		return []outcome{{term: returned, pos: x.Pos()}}
+	case *ast.BranchStmt:
+		// break/continue: path leaves this statement list without
+		// reaching its end; treat like a return with no obligation —
+		// the loop-level rules handle repeated invocation.
+		return []outcome{{term: aborted, pos: x.Pos()}}
+	case *ast.BlockStmt:
+		return pe.walk(x.List)
+	case *ast.LabeledStmt:
+		return pe.stmt(x.Stmt)
+	case *ast.IfStmt:
+		return pe.ifOutcomes(x)
+	case *ast.ForStmt:
+		if pe.loopCheck(x.Body) {
+			// Already reported; count the loop as one logical
+			// invocation so the tail paths aren't double-flagged.
+			return []outcome{{count: 1, term: fallThrough}}
+		}
+		return fall
+	case *ast.RangeStmt:
+		if pe.loopCheck(x.Body) {
+			return []outcome{{count: 1, term: fallThrough}}
+		}
+		return fall
+	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
+		return pe.caseOutcomes(s)
+	case *ast.DeferStmt:
+		if isCallbackCall(pe.pass, x.Call, pe.cbs) {
+			return []outcome{{count: 1, term: fallThrough}}
+		}
+		return fall
+	case *ast.AssignStmt:
+		var out []outcome = []outcome{{term: fallThrough}}
+		for _, r := range x.Rhs {
+			out = combine(out, pe.exprOutcome(r))
+		}
+		return out
+	case *ast.GoStmt:
+		return fall
+	}
+	return fall
+}
+
+// exprOutcome classifies an expression-statement's call.
+func (pe *pathEnum) exprOutcome(e ast.Expr) []outcome {
+	call, ok := ast.Unparen(e).(*ast.CallExpr)
+	if !ok {
+		return []outcome{{term: fallThrough}}
+	}
+	if isCallbackCall(pe.pass, call, pe.cbs) {
+		return []outcome{{count: 1, term: fallThrough}}
+	}
+	// A panic path is an assertion, not a lifecycle outcome; it is
+	// exempt from the exactly-once obligation.
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
+		if _, isBuiltin := pe.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
+			return []outcome{{term: aborted, pos: call.Pos()}}
+		}
+	}
+	return []outcome{{term: fallThrough}}
+}
+
+// ifOutcomes handles branching, special-casing the nil-guard idiom.
+func (pe *pathEnum) ifOutcomes(x *ast.IfStmt) []outcome {
+	if _, ok := pe.nilGuard(x); ok {
+		return []outcome{{count: 1, term: fallThrough}}
+	}
+	thenOut := pe.walk(x.Body.List)
+	var elseOut []outcome
+	switch e := x.Else.(type) {
+	case *ast.BlockStmt:
+		elseOut = pe.walk(e.List)
+	case *ast.IfStmt:
+		elseOut = pe.ifOutcomes(e)
+	default:
+		elseOut = []outcome{{term: fallThrough}}
+	}
+	return dedupe(append(thenOut, elseOut...))
+}
+
+// nilGuard matches `if cb != nil { cb(...) }` with no else: one logical
+// invocation (a nil callback waives its delivery by contract).
+func (pe *pathEnum) nilGuard(x *ast.IfStmt) (types.Object, bool) {
+	if x.Else != nil || x.Init != nil || len(x.Body.List) != 1 {
+		return nil, false
+	}
+	bin, ok := x.Cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != token.NEQ {
+		return nil, false
+	}
+	var cbIdent *ast.Ident
+	for _, side := range []ast.Expr{bin.X, bin.Y} {
+		if id, ok := ast.Unparen(side).(*ast.Ident); ok && pe.cbs[pe.pass.Info.Uses[id]] {
+			cbIdent = id
+		}
+	}
+	if cbIdent == nil {
+		return nil, false
+	}
+	es, ok := x.Body.List[0].(*ast.ExprStmt)
+	if !ok {
+		return nil, false
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok || !isCallbackCall(pe.pass, call, pe.cbs) {
+		return nil, false
+	}
+	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); !ok || pe.pass.Info.Uses[id] != pe.pass.Info.Uses[cbIdent] {
+		return nil, false
+	}
+	return pe.pass.Info.Uses[cbIdent], true
+}
+
+// caseOutcomes handles switch/type-switch/select: each clause is a
+// branch; without a default clause the zero branch is possible too.
+func (pe *pathEnum) caseOutcomes(s ast.Stmt) []outcome {
+	var body *ast.BlockStmt
+	switch x := s.(type) {
+	case *ast.SwitchStmt:
+		body = x.Body
+	case *ast.TypeSwitchStmt:
+		body = x.Body
+	case *ast.SelectStmt:
+		body = x.Body
+	}
+	out := []outcome{}
+	hasDefault := false
+	for _, c := range body.List {
+		var stmts []ast.Stmt
+		switch cc := c.(type) {
+		case *ast.CaseClause:
+			if cc.List == nil {
+				hasDefault = true
+			}
+			stmts = cc.Body
+		case *ast.CommClause:
+			if cc.Comm == nil {
+				hasDefault = true
+			}
+			stmts = cc.Body
+		}
+		out = append(out, pe.walk(stmts)...)
+	}
+	if !hasDefault {
+		out = append(out, outcome{term: fallThrough})
+	}
+	return dedupe(out)
+}
+
+// loopCheck reports callback calls (guarded or not) inside a loop body
+// and reports whether it found any.
+func (pe *pathEnum) loopCheck(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, isLit := n.(*ast.FuncLit); isLit {
+			return false
+		}
+		if call, ok := n.(*ast.CallExpr); ok && isCallbackCall(pe.pass, call, pe.cbs) {
+			found = true
+			pe.reportOnce(call.Pos(), "completion callback invoked inside a loop: it can fire once per iteration (exactly-once contract)")
+		}
+		return true
+	})
+	return found
+}
+
+// combine crosses partial outcomes with a statement's branches.
+func combine(partials, branches []outcome) []outcome {
+	var out []outcome
+	for _, p := range partials {
+		for _, b := range branches {
+			if b.term == fallThrough {
+				out = append(out, outcome{count: p.count + b.count, term: fallThrough})
+			} else {
+				out = append(out, outcome{count: p.count + b.count, term: b.term, pos: b.pos})
+			}
+		}
+	}
+	return dedupe(out)
+}
+
+// dedupe collapses outcomes with identical (count, term, pos).
+func dedupe(outs []outcome) []outcome {
+	seen := make(map[outcome]bool, len(outs))
+	kept := outs[:0]
+	for _, o := range outs {
+		if seen[o] {
+			continue
+		}
+		seen[o] = true
+		kept = append(kept, o)
+	}
+	return kept
+}

@@ -1,0 +1,399 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// This file implements the per-function lock-state analysis shared by
+// lockguard and guardedfield: a syntax-directed walk of each function
+// body that tracks which mutexes are held at every statement, records
+// blocking operations performed under a lock, checks Lock/Unlock
+// pairing across return paths, and snapshots the held set at every
+// struct-field access.
+//
+// Mutexes are identified by the printed source expression of their
+// receiver ("h.mu", "sh.mu", "t.mu"), which is canonical within one
+// function body. The walk is deliberately intraprocedural and
+// approximate — branches are analyzed independently and merged, loops
+// are required to leave the lock state unchanged — which is exactly the
+// discipline the hand-written code follows; anything the approximation
+// cannot prove is reported and must be restructured or suppressed with
+// a reasoned //lint:ignore.
+
+// heldLock is one currently-held mutex.
+type heldLock struct {
+	key      string // canonical receiver expression, e.g. "h.mu"
+	rlock    bool
+	pos      token.Pos // acquisition site
+	deferred bool      // release is registered via defer
+}
+
+// lockState maps mutex key → held lock. It is mutated in place along
+// straight-line flow and cloned at branches.
+type lockState map[string]*heldLock
+
+func (st lockState) clone() lockState {
+	out := make(lockState, len(st))
+	for k, v := range st {
+		c := *v
+		out[k] = &c
+	}
+	return out
+}
+
+// equalKeys reports whether two states hold the same set of mutexes
+// with the same modes and defer status.
+func equalKeys(a, b lockState) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, va := range a {
+		vb, ok := b[k]
+		if !ok || va.rlock != vb.rlock || va.deferred != vb.deferred {
+			return false
+		}
+	}
+	return true
+}
+
+func (st lockState) sortedKeys() []string {
+	keys := make([]string, 0, len(st))
+	for k := range st {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// anyHeld returns an arbitrary-but-deterministic held lock, or nil.
+func (st lockState) anyHeld() *heldLock {
+	keys := st.sortedKeys()
+	if len(keys) == 0 {
+		return nil
+	}
+	return st[keys[0]]
+}
+
+// lockFinding is a diagnostic produced by the walk, tagged by category
+// so lockguard can report blocking/pairing issues while guardedfield
+// consumes only access facts.
+type lockFinding struct {
+	pos token.Pos
+	msg string
+}
+
+// accessFact is one field access with its concurrency context.
+type accessFact struct {
+	sel   *ast.SelectorExpr
+	field *types.Var
+	write bool
+	held  []heldLock // snapshot, sorted by key
+	async bool       // lexically inside a go statement or worker-pool closure
+}
+
+// funcLockFacts is the analysis result for one top-level function
+// declaration (including every function literal nested in it).
+type funcLockFacts struct {
+	blocking []lockFinding
+	pairing  []lockFinding
+	accesses []accessFact
+}
+
+// lockFactsFor computes (and caches) the lock facts of every function
+// declaration in the package.
+func (p *Pass) lockFactsFor() map[*ast.FuncDecl]*funcLockFacts {
+	if p.lockFacts != nil {
+		return p.lockFacts
+	}
+	p.lockFacts = make(map[*ast.FuncDecl]*funcLockFacts)
+	for _, file := range p.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			w := &lockWalker{pass: p, facts: &funcLockFacts{}, funcName: fd.Name.Name}
+			st := make(lockState)
+			terminated := w.walkStmts(fd.Body.List, st, false)
+			if !terminated && !isAcquireHelper(fd.Name.Name) {
+				for _, k := range st.sortedKeys() {
+					h := st[k]
+					if !h.deferred {
+						w.facts.pairing = append(w.facts.pairing, lockFinding{
+							pos: fd.Body.Rbrace,
+							msg: sprintf("%s is not unlocked when the function returns", describeLock(h, p)),
+						})
+					}
+				}
+			}
+			p.lockFacts[fd] = w.facts
+		}
+	}
+	return p.lockFacts
+}
+
+// isAcquireHelper reports whether a function intentionally returns
+// holding its mutex (the Table.lock contention-counting helper pattern).
+func isAcquireHelper(name string) bool { return name == "lock" || name == "rlock" }
+
+// describeLock renders a held lock as "h.mu.Lock() (file.go:12)".
+func describeLock(h *heldLock, p *Pass) string {
+	pos := p.Fset.Position(h.pos)
+	mode := "Lock"
+	if h.rlock {
+		mode = "RLock"
+	}
+	return sprintf("%s.%s() (%s:%d)", h.key, mode, shortPath(pos.Filename), pos.Line)
+}
+
+// lockWalker carries the walk context for one top-level function.
+type lockWalker struct {
+	pass     *Pass
+	facts    *funcLockFacts
+	funcName string
+}
+
+// walkStmts analyzes a statement list, mutating st along straight-line
+// flow. It reports whether the list definitely terminates (return,
+// panic, or branch out) before falling off the end.
+func (w *lockWalker) walkStmts(stmts []ast.Stmt, st lockState, async bool) bool {
+	for _, s := range stmts {
+		if w.walkStmt(s, st, async) {
+			return true
+		}
+	}
+	return false
+}
+
+func (w *lockWalker) walkStmt(s ast.Stmt, st lockState, async bool) bool {
+	switch x := s.(type) {
+	case *ast.ExprStmt:
+		w.expr(x.X, st, async)
+	case *ast.AssignStmt:
+		for _, rhs := range x.Rhs {
+			w.expr(rhs, st, async)
+		}
+		for _, lhs := range x.Lhs {
+			w.writeTarget(lhs, st, async)
+		}
+	case *ast.IncDecStmt:
+		w.writeTarget(x.X, st, async)
+	case *ast.DeclStmt:
+		if gd, ok := x.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				if vs, ok := spec.(*ast.ValueSpec); ok {
+					for _, v := range vs.Values {
+						w.expr(v, st, async)
+					}
+				}
+			}
+		}
+	case *ast.DeferStmt:
+		if key, op, ok := w.mutexOp(x.Call); ok && (op == "Unlock" || op == "RUnlock") {
+			if h, held := st[key]; held {
+				h.deferred = true
+			}
+			return false
+		}
+		w.expr(x.Call, st, async)
+	case *ast.ReturnStmt:
+		for _, r := range x.Results {
+			w.expr(r, st, async)
+		}
+		if !isAcquireHelper(w.funcName) {
+			for _, k := range st.sortedKeys() {
+				h := st[k]
+				if !h.deferred {
+					w.facts.pairing = append(w.facts.pairing, lockFinding{
+						pos: x.Pos(),
+						msg: sprintf("%s is not unlocked on this return path", describeLock(h, w.pass)),
+					})
+				}
+			}
+		}
+		return true
+	case *ast.BranchStmt:
+		// break/continue/goto leave the enclosing construct; treat as
+		// terminating this path so branch merges stay conservative.
+		return true
+	case *ast.BlockStmt:
+		return w.walkStmts(x.List, st, async)
+	case *ast.LabeledStmt:
+		return w.walkStmt(x.Stmt, st, async)
+	case *ast.IfStmt:
+		return w.walkIf(x, st, async)
+	case *ast.ForStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init, st, async)
+		}
+		if x.Cond != nil {
+			w.expr(x.Cond, st, async)
+		}
+		body := st.clone()
+		w.walkStmts(x.Body.List, body, async)
+		if x.Post != nil {
+			w.walkStmt(x.Post, body, async)
+		}
+		if !equalKeys(st, body) {
+			w.facts.pairing = append(w.facts.pairing, lockFinding{
+				pos: x.Pos(),
+				msg: "lock state changes across a loop iteration (lock/unlock not balanced in the loop body)",
+			})
+		}
+		// Infinite for{} without break: treat as terminating.
+		return x.Cond == nil && !hasBreak(x.Body)
+	case *ast.RangeStmt:
+		w.expr(x.X, st, async)
+		body := st.clone()
+		w.walkStmts(x.Body.List, body, async)
+		if !equalKeys(st, body) {
+			w.facts.pairing = append(w.facts.pairing, lockFinding{
+				pos: x.Pos(),
+				msg: "lock state changes across a loop iteration (lock/unlock not balanced in the loop body)",
+			})
+		}
+	case *ast.SwitchStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init, st, async)
+		}
+		if x.Tag != nil {
+			w.expr(x.Tag, st, async)
+		}
+		w.walkCases(x.Body, x.Pos(), st, async)
+	case *ast.TypeSwitchStmt:
+		if x.Init != nil {
+			w.walkStmt(x.Init, st, async)
+		}
+		w.walkCases(x.Body, x.Pos(), st, async)
+	case *ast.SelectStmt:
+		if h := st.anyHeld(); h != nil {
+			w.facts.blocking = append(w.facts.blocking, lockFinding{
+				pos: x.Pos(),
+				msg: sprintf("select (blocking) while %s is held", describeLock(h, w.pass)),
+			})
+		}
+		for _, c := range x.Body.List {
+			cc := c.(*ast.CommClause)
+			branch := st.clone()
+			if cc.Comm != nil {
+				w.walkStmt(cc.Comm, branch, async)
+			}
+			w.walkStmts(cc.Body, branch, async)
+		}
+	case *ast.SendStmt:
+		if h := st.anyHeld(); h != nil {
+			w.facts.blocking = append(w.facts.blocking, lockFinding{
+				pos: x.Pos(),
+				msg: sprintf("channel send while %s is held", describeLock(h, w.pass)),
+			})
+		}
+		w.expr(x.Chan, st, async)
+		w.expr(x.Value, st, async)
+	case *ast.GoStmt:
+		for _, arg := range x.Call.Args {
+			w.expr(arg, st, async)
+		}
+		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+			w.walkStmts(lit.Body.List, make(lockState), true)
+		} else {
+			w.expr(x.Call.Fun, st, async)
+		}
+	}
+	return false
+}
+
+// walkIf handles branching with the TryLock special case and the
+// branch-merge rules.
+func (w *lockWalker) walkIf(x *ast.IfStmt, st lockState, async bool) bool {
+	if x.Init != nil {
+		w.walkStmt(x.Init, st, async)
+	}
+	thenSt := st.clone()
+	// `if mu.TryLock() { ... }`: the lock is held only in the then
+	// branch.
+	if call, ok := x.Cond.(*ast.CallExpr); ok {
+		if key, op, isMu := w.mutexOp(call); isMu && (op == "TryLock" || op == "TryRLock") {
+			thenSt[key] = &heldLock{key: key, rlock: op == "TryRLock", pos: call.Pos()}
+		} else {
+			w.expr(x.Cond, st, async)
+		}
+	} else {
+		w.expr(x.Cond, st, async)
+	}
+	termThen := w.walkStmts(x.Body.List, thenSt, async)
+	elseSt := st.clone()
+	termElse := false
+	switch e := x.Else.(type) {
+	case *ast.BlockStmt:
+		termElse = w.walkStmts(e.List, elseSt, async)
+	case *ast.IfStmt:
+		termElse = w.walkIf(e, elseSt, async)
+	}
+	switch {
+	case termThen && termElse:
+		return true
+	case termThen:
+		replace(st, elseSt)
+	case termElse:
+		replace(st, thenSt)
+	default:
+		if !equalKeys(thenSt, elseSt) {
+			w.facts.pairing = append(w.facts.pairing, lockFinding{
+				pos: x.Pos(),
+				msg: "branches leave different locks held (conditional lock/unlock)",
+			})
+		}
+		replace(st, thenSt)
+	}
+	return false
+}
+
+// walkCases analyzes switch/type-switch clause bodies as independent
+// branches that must each leave the lock state unchanged (unless they
+// terminate).
+func (w *lockWalker) walkCases(body *ast.BlockStmt, pos token.Pos, st lockState, async bool) {
+	for _, c := range body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		for _, e := range cc.List {
+			w.expr(e, st, async)
+		}
+		branch := st.clone()
+		if !w.walkStmts(cc.Body, branch, async) && !equalKeys(branch, st) {
+			w.facts.pairing = append(w.facts.pairing, lockFinding{
+				pos: pos,
+				msg: "switch case leaves different locks held than its siblings",
+			})
+		}
+	}
+}
+
+func replace(dst, src lockState) {
+	for k := range dst {
+		delete(dst, k)
+	}
+	for k, v := range src {
+		dst[k] = v
+	}
+}
+
+func hasBreak(body *ast.BlockStmt) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n.(type) {
+		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
+			return false // break inside these doesn't exit the outer loop
+		case *ast.BranchStmt:
+			if n.(*ast.BranchStmt).Tok == token.BREAK {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

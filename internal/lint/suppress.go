@@ -1,0 +1,72 @@
+package lint
+
+import (
+	"strings"
+)
+
+// suppression directives: "//lint:ignore <analyzer>[,<analyzer>...] <reason>".
+// A directive silences matching diagnostics on its own line and on the
+// line directly below it (so it works both trailing a statement and as a
+// standalone comment above one). The reason is mandatory: a directive
+// without one is itself reported, so every suppression in the tree
+// carries its justification.
+const ignorePrefix = "//lint:ignore "
+
+type suppressionKey struct {
+	file string
+	line int
+}
+
+// applySuppressions removes suppressed diagnostics and appends a
+// diagnostic for every malformed directive.
+func applySuppressions(pkg *Package, diags []Diagnostic) []Diagnostic {
+	allowed := make(map[suppressionKey]map[string]bool)
+	var malformed []Diagnostic
+	for _, file := range pkg.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				rest, ok := strings.CutPrefix(c.Text, ignorePrefix)
+				if !ok {
+					if strings.HasPrefix(c.Text, "//lint:ignore") {
+						pos := pkg.Fset.Position(c.Pos())
+						malformed = append(malformed, Diagnostic{
+							Pos:      pos,
+							Analyzer: "lint",
+							Message:  "malformed //lint:ignore directive: want \"//lint:ignore <analyzer> <reason>\"",
+						})
+					}
+					continue
+				}
+				fields := strings.Fields(rest)
+				if len(fields) < 2 {
+					pos := pkg.Fset.Position(c.Pos())
+					malformed = append(malformed, Diagnostic{
+						Pos:      pos,
+						Analyzer: "lint",
+						Message:  "//lint:ignore needs an analyzer name and a reason",
+					})
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, name := range strings.Split(fields[0], ",") {
+					for _, line := range []int{pos.Line, pos.Line + 1} {
+						k := suppressionKey{file: pos.Filename, line: line}
+						if allowed[k] == nil {
+							allowed[k] = make(map[string]bool)
+						}
+						allowed[k][name] = true
+					}
+				}
+			}
+		}
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		names := allowed[suppressionKey{file: d.Pos.Filename, line: d.Pos.Line}]
+		if names != nil && names[d.Analyzer] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return append(kept, malformed...)
+}

@@ -1,0 +1,45 @@
+// Fixture for the atomiccounter analyzer: once a field is touched via
+// old-style sync/atomic calls, every access must be atomic. Fields
+// never touched atomically are unconstrained, and the modern wrapper
+// types (atomic.Int64) are type-safe and unchecked.
+package atomiccounter
+
+import "sync/atomic"
+
+type stats struct {
+	hits  int64
+	miss  int64
+	total atomic.Int64
+}
+
+// inc is the atomic write establishing hits as an atomic field.
+func (s *stats) inc() {
+	atomic.AddInt64(&s.hits, 1)
+}
+
+// read mixes in a plain load of the atomic field.
+func (s *stats) read() int64 {
+	return s.hits // want "plain access of field hits"
+}
+
+// reset mixes in a plain store of the atomic field.
+func (s *stats) reset() {
+	s.hits = 0 // want "plain access of field hits"
+}
+
+// readAtomic is the correct counterpart: clean.
+func (s *stats) readAtomic() int64 {
+	return atomic.LoadInt64(&s.hits)
+}
+
+// plainOnly never uses sync/atomic on miss, so plain access is fine.
+func (s *stats) plainOnly() int64 {
+	s.miss++
+	return s.miss
+}
+
+// wrapper uses the modern type-safe API: out of scope by design.
+func (s *stats) wrapper() int64 {
+	s.total.Add(1)
+	return s.total.Load()
+}

@@ -1,0 +1,87 @@
+// Fixture for the callbackonce analyzer: completion closures scheduled
+// by a function with onReady/onFail parameters must invoke exactly one
+// callback exactly once on every path. launchDouble reproduces the PR 2
+// double-callback bug shape (failure branch falls through to the
+// success callback).
+package callbackonce
+
+import "errors"
+
+var errBoot = errors.New("boot failed")
+
+// After stands in for the simulation clock's scheduling primitive.
+func After(d int, f func()) {
+	f()
+}
+
+type Instance struct {
+	id int
+}
+
+// launchOK follows the contract: exactly one callback on every path,
+// with nil-guards (a nil callback waives delivery).
+func launchOK(failed bool, onReady func(*Instance), onFail func(error)) {
+	After(1, func() {
+		if failed {
+			if onFail != nil {
+				onFail(errBoot)
+			}
+			return
+		}
+		if onReady != nil {
+			onReady(&Instance{})
+		}
+	})
+}
+
+// launchPanic may panic instead: panic paths are assertions, not
+// lifecycle outcomes, and are exempt.
+func launchPanic(failed bool, onReady func(*Instance), onFail func(error)) {
+	After(1, func() {
+		if failed {
+			panic("unreachable by construction")
+		}
+		onReady(&Instance{})
+	})
+}
+
+// launchDouble is the PR 2 bug: the failure branch forgets to return,
+// so the failure path also fires the success callback.
+func launchDouble(failed bool, onReady func(*Instance), onFail func(error)) {
+	After(1, func() {
+		if failed {
+			if onFail != nil {
+				onFail(errBoot)
+			}
+		}
+		onReady(&Instance{})
+	}) // want "invokes completion callbacks 2 times"
+}
+
+// launchMissing drops the failure notification entirely.
+func launchMissing(failed bool, onReady func(*Instance), onFail func(error)) {
+	After(1, func() {
+		if failed {
+			return // want "invokes no completion callback"
+		}
+		onReady(&Instance{})
+	})
+}
+
+// launchLoop can fire the callback once per iteration.
+func launchLoop(n int, onReady func(*Instance), onFail func(error)) {
+	After(1, func() {
+		for i := 0; i < n; i++ {
+			onReady(&Instance{id: i}) // want "inside a loop"
+		}
+	})
+}
+
+// launchSync fires a callback before returning instead of scheduling
+// it: the contract delivers callbacks later, on the clock.
+func launchSync(onReady func(*Instance), onFail func(error)) {
+	onFail(errBoot) // want "invoked synchronously"
+	After(1, func() {
+		onReady(&Instance{})
+	})
+}

@@ -1,0 +1,111 @@
+// Fixture for the lockguard analyzer: Lock/Unlock pairing across return
+// paths, blocking operations under a held mutex, and branch/loop lock
+// balance. Lines marked `want` must produce a matching diagnostic; the
+// unmarked functions must stay clean.
+package lockguard
+
+import (
+	"sync"
+	"time"
+)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+// ok is the straight-line happy path.
+func (c *counter) ok(v int) {
+	c.mu.Lock()
+	c.n += v
+	c.mu.Unlock()
+}
+
+// okDefer releases via defer.
+func (c *counter) okDefer(v int) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n += v
+	return c.n
+}
+
+// okTry follows the TryLock fast-path idiom.
+func (c *counter) okTry() bool {
+	if c.mu.TryLock() {
+		c.n++
+		c.mu.Unlock()
+		return true
+	}
+	return false
+}
+
+// missingUnlock leaks the lock on the early-return path.
+func (c *counter) missingUnlock(v int) int {
+	c.mu.Lock()
+	if v < 0 {
+		return -1 // want "not unlocked on this return path"
+	}
+	c.n += v
+	c.mu.Unlock()
+	return c.n
+}
+
+// leak never unlocks at all.
+func (c *counter) leak() {
+	c.mu.Lock()
+	c.n++
+} // want "not unlocked when the function returns"
+
+// sleepUnderLock blocks while holding the mutex.
+func (c *counter) sleepUnderLock() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	time.Sleep(time.Millisecond) // want "time.Sleep while c.mu.Lock"
+}
+
+// sendUnderLock performs a channel send inside the critical section.
+func (c *counter) sendUnderLock(ch chan int) {
+	c.mu.Lock()
+	ch <- c.n // want "channel send while c.mu.Lock"
+	c.mu.Unlock()
+}
+
+// recvUnderLock performs a channel receive inside the critical section.
+func (c *counter) recvUnderLock(ch chan int) {
+	c.mu.Lock()
+	c.n = <-ch // want "channel receive while c.mu.Lock"
+	c.mu.Unlock()
+}
+
+// callbackUnderLock runs arbitrary user code inside the critical section.
+func (c *counter) callbackUnderLock(cb func()) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cb() // want "user callback"
+}
+
+// selfDeadlock re-acquires a mutex it already holds.
+func (c *counter) selfDeadlock() {
+	c.mu.Lock()
+	c.mu.Lock() // want "self-deadlock"
+	c.mu.Unlock()
+}
+
+// conditionalLock acquires and releases under different conditions, so
+// the branches disagree about what is held.
+func (c *counter) conditionalLock(b bool) {
+	if b { // want "branches leave different locks held"
+		c.mu.Lock()
+	}
+	c.n++
+	if b { // want "branches leave different locks held"
+		c.mu.Unlock()
+	}
+}
+
+// unbalancedLoop locks once per iteration without unlocking.
+func (c *counter) unbalancedLoop(vals []int) {
+	for range vals { // want "lock state changes across a loop iteration"
+		c.mu.Lock()
+	}
+}

@@ -1,0 +1,41 @@
+// Fixture for the simclock analyzer. The package is named sim, one of
+// the deterministic packages, so wall-clock reads and the global
+// math/rand source are forbidden; injected seeded generators and the
+// rand constructors stay legal.
+package sim
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Now reads the wall clock.
+func Now() time.Time {
+	return time.Now() // want "time.Now reads the wall clock"
+}
+
+// Sleep blocks on the wall clock.
+func Sleep() {
+	time.Sleep(time.Millisecond) // want "time.Sleep reads the wall clock"
+}
+
+// Jitter draws from the global math/rand source.
+func Jitter() int {
+	return rand.Intn(10) // want "rand.Intn uses the global math/rand source"
+}
+
+// ShuffleAll mutates via the global source.
+func ShuffleAll(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] }) // want "rand.Shuffle uses the global math/rand source"
+}
+
+// Seeded builds and uses an injected generator: clean.
+func Seeded(seed int64) int {
+	r := rand.New(rand.NewSource(seed))
+	return r.Intn(10)
+}
+
+// Elapsed works in virtual time only: clean.
+func Elapsed(start, now time.Duration) time.Duration {
+	return now - start
+}

@@ -1,0 +1,45 @@
+// Fixture for the suppression machinery: a well-formed //lint:ignore
+// silences matching diagnostics on its own line and the line below, a
+// wrong-analyzer directive silences nothing, comma lists cover several
+// analyzers, and malformed directives are themselves reported.
+package suppress
+
+import "sync"
+
+type box struct {
+	mu sync.Mutex
+	n  int // guarded by mu
+}
+
+// peek is suppressed with a reasoned directive: no diagnostic.
+func peek(b *box) int {
+	//lint:ignore guardedfield single-threaded test helper, lock elided deliberately
+	return b.n
+}
+
+// peekTrailing uses the trailing (same-line) directive form.
+func peekTrailing(b *box) int {
+	return b.n //lint:ignore guardedfield single-threaded test helper, lock elided deliberately
+}
+
+// peekWrong suppresses a different analyzer, so the finding survives.
+func peekWrong(b *box) int {
+	//lint:ignore simclock wrong analyzer name on purpose
+	return b.n // want "read without holding"
+}
+
+// peekMulti uses a comma list covering the reported analyzer.
+func peekMulti(b *box) int {
+	//lint:ignore guardedfield,lockguard covers both analyzers at once
+	return b.n
+}
+
+// leak keeps its lockguard finding: nothing here is suppressed.
+func leak(b *box) {
+	b.mu.Lock()
+	b.n++
+} // want "not unlocked when the function returns"
+
+/* want "needs an analyzer name and a reason" */ //lint:ignore guardedfield
+
+/* want "malformed //lint:ignore directive" */ //lint:ignoreguardedfield nope

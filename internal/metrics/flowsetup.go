@@ -93,7 +93,7 @@ func (s FlowSetupSnapshot) String() string {
 // the largest shard seen, so callers need not size it up front.
 type ShardCounters struct {
 	mu     sync.Mutex
-	counts []int64
+	counts []int64 // guarded by mu
 }
 
 // Inc adds one to shard i's counter. Negative indices are ignored.

@@ -91,18 +91,20 @@ func BootSteps() []Step {
 type Orchestrator struct {
 	clock    *sim.Simulation
 	lat      Latencies
-	rng      *rand.Rand
-	hosts    map[topology.NodeID][]*host.Host
-	hostOf   map[vnf.ID]*host.Host
-	nextSeq  int
+	rng      *rand.Rand                       // confined to the simulation loop
+	hosts    map[topology.NodeID][]*host.Host // confined to the simulation loop
+	hostOf   map[vnf.ID]*host.Host            // confined to the simulation loop
+	nextSeq  int                              // confined to the simulation loop
 	faults   *faultState
 	counters *metrics.Counters
 	// inflight marks instances with a lifecycle callback still scheduled
 	// (boot completion or reconfiguration). Controllers use it to
 	// distinguish legitimately transitional state from leaks.
+	// It is confined to the simulation loop.
 	inflight map[vnf.ID]bool
 	// crashed remembers instances lost to host crashes, so callers can
 	// tell "never existed" from "died in a crash".
+	// It is confined to the simulation loop.
 	crashed map[vnf.ID]bool
 }
 

@@ -23,8 +23,8 @@ import (
 // parallel emit stage only performs read-through lookups here.
 type Allocator struct {
 	mu       sync.Mutex
-	hostTags map[topology.NodeID]uint16
-	next     uint16
+	hostTags map[topology.NodeID]uint16 // guarded by mu
+	next     uint16                     // guarded by mu
 }
 
 // NewAllocator returns an empty allocator.
