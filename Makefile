@@ -3,7 +3,7 @@ BENCHTIME ?= 5x
 FUZZTIME ?= 20s
 FUZZ_TARGETS := FuzzMatchLookup FuzzSubsumes FuzzPrefixContains
 
-.PHONY: build test race vet lint bench fuzz cover check clean
+.PHONY: build test race vet lint bench fuzz cover check trace-smoke clean
 
 build:
 	$(GO) build ./...
@@ -52,6 +52,17 @@ cover:
 
 check: build vet lint test race
 
+# trace-smoke runs a traced churn replay end to end (cmd/appletrace) and
+# writes the observability artifacts — the virtual-time journal
+# (churn_trace.jsonl) and the unified metrics snapshot
+# (churn_metrics.json) — then proves the journal round-trips by
+# reconstructing a class's audit trail from the file just written. The
+# journal/metrics round-trip contracts themselves are pinned by
+# TestChurnTrace* in internal/experiments.
+trace-smoke:
+	$(GO) run ./cmd/appletrace -journal churn_trace.jsonl -metrics churn_metrics.json
+	$(GO) test -run 'TestChurnTrace' ./internal/experiments
+
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_lp.json coverage.out
+	rm -f BENCH_lp.json coverage.out churn_trace.jsonl churn_metrics.json

@@ -15,6 +15,7 @@ import (
 	"os"
 
 	"github.com/apple-nfv/apple/internal/experiments"
+	"github.com/apple-nfv/apple/internal/profiling"
 )
 
 func main() {
@@ -31,8 +32,18 @@ func run() int {
 		seed      = flag.Int64("seed", 1, "deterministic seed")
 		scale     = flag.Float64("scale", 1, "traffic volume multiplier")
 		plot      = flag.Bool("plot", false, "ASCII-plot the Fig 12 series")
+		profile   = flag.String("profile", "", "serve pprof and runtime/metrics on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
+	if *profile != "" {
+		srv, err := profiling.Start(*profile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "applesim: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "applesim: profiling on http://%s/debug/pprof/\n", srv.Addr())
+	}
 	if !*fig10 && !*fig11 && !*fig12 {
 		*fig10, *fig11, *fig12 = true, true, true
 	}

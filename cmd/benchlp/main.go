@@ -21,6 +21,7 @@ import (
 	"github.com/apple-nfv/apple/internal/core"
 	"github.com/apple-nfv/apple/internal/experiments"
 	"github.com/apple-nfv/apple/internal/metrics"
+	"github.com/apple-nfv/apple/internal/profiling"
 )
 
 // seedBaselineNs records the seed repository's BenchmarkTableV_* ns/op
@@ -71,8 +72,18 @@ func run() int {
 		seed      = flag.Int64("seed", 1, "deterministic scenario seed")
 		snapshots = flag.Int("snapshots", 96, "series length (96 matches the benchmark harness)")
 		out       = flag.String("out", "BENCH_lp.json", "output path, or - for stdout")
+		profile   = flag.String("profile", "", "serve pprof and runtime/metrics on this address (e.g. 127.0.0.1:6060)")
 	)
 	flag.Parse()
+	if *profile != "" {
+		srv, err := profiling.Start(*profile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "benchlp: %v\n", err)
+			return 1
+		}
+		defer srv.Close()
+		fmt.Fprintf(os.Stderr, "benchlp: profiling on http://%s/debug/pprof/\n", srv.Addr())
+	}
 
 	opts := experiments.Options{Seed: *seed, Snapshots: *snapshots}
 	scenarios, err := experiments.All(opts)

@@ -25,6 +25,7 @@ import (
 	"github.com/apple-nfv/apple/internal/sim"
 	"github.com/apple-nfv/apple/internal/tagging"
 	"github.com/apple-nfv/apple/internal/topology"
+	"github.com/apple-nfv/apple/internal/trace"
 	"github.com/apple-nfv/apple/internal/vnf"
 )
 
@@ -114,6 +115,10 @@ type Controller struct {
 	// source prefix, so two such classes visiting the same host must not
 	// share a tag.
 	hostGlobalTags map[topology.NodeID]map[uint8]bool
+	// tracer journals flow-setup and failover events on the virtual
+	// clock; nil (the default) disables tracing with no allocation on the
+	// setup hot path. Set at construction, never mutated afterwards.
+	tracer *trace.Recorder
 }
 
 // Config for New.
@@ -140,6 +145,10 @@ type Config struct {
 	// store and the default worker count of AddClassBatch; 0 means
 	// DefaultSetupShards.
 	SetupShards int
+	// Tracer, when non-nil, journals flow-setup, failover, and VNF
+	// lifecycle events with virtual-time stamps. The recorder should be
+	// built on the same Clock so event times match the simulation.
+	Tracer *trace.Recorder
 }
 
 // New builds a controller, its switch pipelines, and one APPLE host per
@@ -164,6 +173,7 @@ func New(cfg Config) (*Controller, error) {
 			return nil, fmt.Errorf("controller: %w", err)
 		}
 	}
+	orch.SetTracer(cfg.Tracer)
 	c := &Controller{
 		g:              cfg.Topology,
 		clock:          cfg.Clock,
@@ -176,6 +186,7 @@ func New(cfg Config) (*Controller, error) {
 		instPool:       make(map[topology.NodeID]map[policy.NF][]*vnf.Instance),
 		instPortion:    make(map[vnf.ID]float64),
 		hostGlobalTags: make(map[topology.NodeID]map[uint8]bool),
+		tracer:         cfg.Tracer,
 	}
 	for _, n := range cfg.Topology.Nodes() {
 		pl, err := flowtable.NewPipeline(2)

@@ -11,6 +11,7 @@ import (
 	"github.com/apple-nfv/apple/internal/orchestrator"
 	"github.com/apple-nfv/apple/internal/policy"
 	"github.com/apple-nfv/apple/internal/topology"
+	"github.com/apple-nfv/apple/internal/trace"
 	"github.com/apple-nfv/apple/internal/vnf"
 )
 
@@ -550,6 +551,11 @@ func (d *DynamicHandler) repin(a *Assignment, src, j int, remaining *float64, ra
 			loads[inst.ID()] += w * rate
 			*remaining -= w
 			moved = true
+			if d.c.tracer.Enabled() {
+				d.c.tracer.Emit(trace.Ev(trace.KindFailoverRepin).
+					WithClass(int64(a.Class.ID)).WithSub(target).WithPos(j).
+					WithNode(int64(v)).WithInst(string(inst.ID())))
+			}
 		}
 	}
 	return moved
@@ -647,6 +653,10 @@ func (d *DynamicHandler) spawnSubclass(a *Assignment, src, j int, weight, rate f
 			// (reclaiming its cores); a reconfigured VM returns to the
 			// idle pool under its current NF type.
 			d.counters.Inc(CtrStaleActivations)
+			if d.c.tracer.Enabled() {
+				d.c.tracer.Emit(trace.Ev(trace.KindFailoverStale).
+					WithClass(int64(a.Class.ID)).WithInst(string(inst.ID())))
+			}
 			d.dropSpawned(v, inst)
 			return
 		}
@@ -658,6 +668,10 @@ func (d *DynamicHandler) spawnSubclass(a *Assignment, src, j int, weight, rate f
 		tag, tagErr := d.c.allocSubTagFor(a, subclassHosts(a.Class, sub.Hops))
 		if tagErr != nil {
 			d.counters.Inc(CtrSpawnFailures)
+			if d.c.tracer.Enabled() {
+				d.c.tracer.Emit(trace.Ev(trace.KindFailoverSpawnFail).
+					WithClass(int64(a.Class.ID)).WithInst(string(inst.ID())).WithErr(tagErr))
+			}
 			d.dropSpawned(v, inst)
 			return
 		}
@@ -677,6 +691,10 @@ func (d *DynamicHandler) spawnSubclass(a *Assignment, src, j int, weight, rate f
 		a.Weights = append(a.Weights, 0)
 		unwind := func() {
 			d.counters.Inc(CtrActivationUnwinds)
+			if d.c.tracer.Enabled() {
+				d.c.tracer.Emit(trace.Ev(trace.KindFailoverUnwind).
+					WithClass(int64(a.Class.ID)).WithSub(s2).WithInst(string(inst.ID())))
+			}
 			d.c.removeVSwitchRules(a, s2)
 			d.c.releaseSubTags(a, s2)
 			a.SubTags = a.SubTags[:s2]
@@ -710,6 +728,11 @@ func (d *DynamicHandler) spawnSubclass(a *Assignment, src, j int, weight, rate f
 			return
 		}
 		d.counters.Inc(CtrActivations)
+		if d.c.tracer.Enabled() {
+			d.c.tracer.Emit(trace.Ev(trace.KindFailoverActivate).
+				WithClass(int64(a.Class.ID)).WithSub(s2).WithPos(j).
+				WithNode(int64(v)).WithInst(string(inst.ID())))
+		}
 	}
 	// abort releases the spawn slot when the provisioning never delivers
 	// an instance: a boot failure, a failed reconfiguration, or an abort
@@ -720,8 +743,16 @@ func (d *DynamicHandler) spawnSubclass(a *Assignment, src, j int, weight, rate f
 		}
 		if errors.Is(aerr, orchestrator.ErrAborted) {
 			d.counters.Inc(CtrSpawnAborts)
+			if d.c.tracer.Enabled() {
+				d.c.tracer.Emit(trace.Ev(trace.KindFailoverSpawnAbort).
+					WithClass(int64(a.Class.ID)).WithInst(string(id)).WithErr(aerr))
+			}
 		} else {
 			d.counters.Inc(CtrSpawnFailures)
+			if d.c.tracer.Enabled() {
+				d.c.tracer.Emit(trace.Ev(trace.KindFailoverSpawnFail).
+					WithClass(int64(a.Class.ID)).WithInst(string(id)).WithErr(aerr))
+			}
 		}
 		if cores, ok := d.spawnedCores[id]; ok {
 			// The orchestrator already freed (or lost) the VM; drop our
@@ -748,6 +779,17 @@ func (d *DynamicHandler) spawnSubclass(a *Assignment, src, j int, weight, rate f
 	}
 	d.pending[key] = newID
 	d.counters.Inc(CtrSpawns)
+	if d.c.tracer.Enabled() {
+		// Val 1 marks a full orchestrated launch, 0 a ClickOS
+		// reconfiguration of an idle VM (the 30 ms fast path).
+		launchedVal := int64(0)
+		if launched {
+			launchedVal = 1
+		}
+		d.c.tracer.Emit(trace.Ev(trace.KindFailoverSpawn).
+			WithClass(int64(a.Class.ID)).WithSub(src).WithPos(j).
+			WithNode(int64(v)).WithInst(string(newID)).WithVal(launchedVal))
+	}
 	if launched {
 		// Only launched instances are torn down (and their cores
 		// reclaimed) at rollback; a reconfigured VM simply returns to the
@@ -790,6 +832,11 @@ func (d *DynamicHandler) rollback(classID core.ClassID) error {
 	// activation captured the old value and will drop itself instead of
 	// committing against the restored distribution.
 	d.epochs[classID]++
+	if d.c.tracer.Enabled() {
+		d.c.tracer.Emit(trace.Ev(trace.KindFailoverRollback).
+			WithClass(int64(classID)).
+			WithVal(int64(len(a.Subclasses) - len(a.Base))))
+	}
 	// Drop re-pinned and spawned sub-classes (they occupy the tail),
 	// removing their steering rules first — a leaked rule would shadow
 	// the reinstall when a later failover reuses the same sub-class slot.
@@ -835,6 +882,9 @@ func (d *DynamicHandler) cancelSpawned(id vnf.ID) {
 		// cores, so the accounting stays truthful until a retry lands.
 		d.zombies[id] = true
 		d.counters.Inc(CtrZombieCancels)
+		if d.c.tracer.Enabled() {
+			d.c.tracer.Emit(trace.Ev(trace.KindFailoverZombie).WithInst(string(id)).WithErr(err))
+		}
 	}
 }
 
@@ -860,6 +910,9 @@ func (d *DynamicHandler) reapZombies() {
 		}
 		delete(d.zombies, id)
 		d.counters.Inc(CtrZombiesReaped)
+		if d.c.tracer.Enabled() {
+			d.c.tracer.Emit(trace.Ev(trace.KindFailoverReap).WithInst(string(id)))
+		}
 	}
 }
 

@@ -7,6 +7,7 @@ import (
 	"github.com/apple-nfv/apple/internal/core"
 	"github.com/apple-nfv/apple/internal/policy"
 	"github.com/apple-nfv/apple/internal/topology"
+	"github.com/apple-nfv/apple/internal/trace"
 	"github.com/apple-nfv/apple/internal/vnf"
 )
 
@@ -28,7 +29,14 @@ func (c *Controller) AddClass(cl core.Class) error {
 	}
 	ops, err := c.emitClassRules(a)
 	if err == nil {
-		err = c.applyStaged(ops)
+		if c.tracer.Enabled() {
+			c.tracer.Emit(trace.Ev(trace.KindFlowEmit).WithClass(int64(cl.ID)).WithVal(int64(len(ops))))
+		}
+		var n int
+		n, err = c.applyStaged(ops)
+		if c.tracer.Enabled() {
+			c.tracer.Emit(trace.Ev(trace.KindFlowApply).WithClass(int64(cl.ID)).WithVal(int64(n)).WithErr(err))
+		}
 	}
 	if err != nil {
 		c.unwindProvisioned(provisioned)

@@ -10,6 +10,7 @@ import (
 	"github.com/apple-nfv/apple/internal/host"
 	"github.com/apple-nfv/apple/internal/policy"
 	"github.com/apple-nfv/apple/internal/topology"
+	"github.com/apple-nfv/apple/internal/trace"
 	"github.com/apple-nfv/apple/internal/vnf"
 )
 
@@ -104,7 +105,14 @@ func (c *Controller) installClass(cl core.Class, subs []core.Subclass) error {
 	if err != nil {
 		return err
 	}
-	return c.applyStaged(ops)
+	if c.tracer.Enabled() {
+		c.tracer.Emit(trace.Ev(trace.KindFlowEmit).WithClass(int64(cl.ID)).WithVal(int64(len(ops))))
+	}
+	n, err := c.applyStaged(ops)
+	if c.tracer.Enabled() {
+		c.tracer.Emit(trace.Ev(trace.KindFlowApply).WithClass(int64(cl.ID)).WithVal(int64(n)).WithErr(err))
+	}
+	return err
 }
 
 // admitClass runs the sequential half of flow setup for one class: it
@@ -165,6 +173,23 @@ func (c *Controller) admitClass(cl core.Class, subs []core.Subclass) (*Assignmen
 		return nil, err
 	}
 	c.assign.put(cl.ID, a)
+	// Journal the admitted plan: one admit event, then the concrete
+	// instance serving every (sub-class, chain position) and the tag each
+	// sub-class was assigned. Emitted here — the sequential stage — so
+	// batch installs journal in arrival order.
+	if c.tracer.Enabled() {
+		c.tracer.Emit(trace.Ev(trace.KindFlowAdmit).WithClass(int64(cl.ID)).WithVal(int64(len(subs))))
+		for s, sub := range subs {
+			for j := range cl.Chain {
+				c.tracer.Emit(trace.Ev(trace.KindFlowPlace).
+					WithClass(int64(cl.ID)).WithSub(s).WithPos(j).
+					WithNode(int64(cl.Path[sub.Hops[j]])).
+					WithInst(string(a.Instances[s][j])))
+			}
+			c.tracer.Emit(trace.Ev(trace.KindFlowTag).
+				WithClass(int64(cl.ID)).WithSub(s).WithVal(int64(a.SubTags[s])))
+		}
+	}
 	return a, nil
 }
 
@@ -341,7 +366,8 @@ func (c *Controller) installClassification(a *Assignment) error {
 	if err != nil {
 		return err
 	}
-	return c.applyStaged(ops)
+	_, err = c.applyStaged(ops)
+	return err
 }
 
 // emitClassification compiles the ingress classification stage into staged
@@ -439,7 +465,8 @@ func (c *Controller) installVSwitchRules(a *Assignment, s int) error {
 	if err != nil {
 		return err
 	}
-	return c.applyStaged(ops)
+	_, err = c.applyStaged(ops)
+	return err
 }
 
 // emitVSwitchRules compiles sub-class s's steering rules into staged

@@ -33,6 +33,7 @@ import (
 	"github.com/apple-nfv/apple/internal/metrics"
 	"github.com/apple-nfv/apple/internal/pool"
 	"github.com/apple-nfv/apple/internal/topology"
+	"github.com/apple-nfv/apple/internal/trace"
 	"github.com/apple-nfv/apple/internal/vnf"
 )
 
@@ -169,8 +170,11 @@ func (c *Controller) deviceTable(d device, table int) (*flowtable.Table, error) 
 // applyStaged installs staged operations in emission order — the serial
 // apply path. Contiguous runs against the same table are coalesced into
 // one ApplyBatch call, so even the serial path takes each table lock once
-// per run rather than once per rule.
-func (c *Controller) applyStaged(ops []stagedOp) error {
+// per run rather than once per rule. It returns the number of rules
+// actually installed (skip-if-present hits excluded), so callers can
+// journal the install without recounting.
+func (c *Controller) applyStaged(ops []stagedOp) (int, error) {
+	total := 0
 	for start := 0; start < len(ops); {
 		end := start + 1
 		for end < len(ops) && ops[end].dev == ops[start].dev && ops[end].table == ops[start].table {
@@ -178,23 +182,24 @@ func (c *Controller) applyStaged(ops []stagedOp) error {
 		}
 		t, err := c.deviceTable(ops[start].dev, ops[start].table)
 		if err != nil {
-			return err
+			return total, err
 		}
 		batch := make([]flowtable.BatchOp, 0, end-start)
 		for _, op := range ops[start:end] {
 			batch = append(batch, op.op)
 		}
 		n, err := t.ApplyBatch(batch)
+		total += n
 		c.ruleUpdates.Add(int64(n))
 		// The serial control loop blocks on every TCAM write, so
 		// simulated programming time accrues per installed rule.
 		metrics.FlowSetup.SimInstall.Add(int64(n) * int64(c.orch.Latencies().RuleInstall))
 		if err != nil {
-			return fmt.Errorf("controller: %w", err)
+			return total, fmt.Errorf("controller: %w", err)
 		}
 		start = end
 	}
-	return nil
+	return total, nil
 }
 
 // BatchOptions tunes AddClassBatch.
@@ -246,10 +251,17 @@ func (c *Controller) AddClassBatch(classes []core.Class, opts BatchOptions) erro
 }
 
 // installAdmitted runs emit, apply, and optional verify for already
-// admitted assignments.
-func (c *Controller) installAdmitted(admitted []*Assignment, workers int, verify bool) error {
+// admitted assignments. Journal events are emitted only from this
+// coordinator, after each parallel stage completes and in index order —
+// never from the worker closures — so the journal stays deterministic.
+func (c *Controller) installAdmitted(admitted []*Assignment, workers int, verify bool) (err error) {
 	if len(admitted) == 0 {
 		return nil
+	}
+	var installedTotal int64
+	if c.tracer.Enabled() {
+		sp := c.tracer.Begin(trace.Ev(trace.KindFlowBatch).WithVal(int64(len(admitted))))
+		defer func() { sp.End(installedTotal, err) }()
 	}
 
 	// Stage 2 — emit, in parallel. Pure: reads admit-stage state only.
@@ -264,6 +276,12 @@ func (c *Controller) installAdmitted(admitted []*Assignment, workers int, verify
 		return nil
 	}); err != nil {
 		return err
+	}
+	if c.tracer.Enabled() {
+		for i, a := range admitted {
+			c.tracer.Emit(trace.Ev(trace.KindFlowEmit).
+				WithClass(int64(a.Class.ID)).WithVal(int64(len(staged[i]))))
+		}
 	}
 
 	// Stage 3 — group by device table, preserving arrival-major emission
@@ -297,6 +315,15 @@ func (c *Controller) installAdmitted(admitted []*Assignment, workers int, verify
 	}); err != nil {
 		return fmt.Errorf("controller: %w", err)
 	}
+	for _, n := range installed {
+		installedTotal += int64(n)
+	}
+	if c.tracer.Enabled() {
+		for i, k := range order {
+			c.tracer.Emit(trace.Ev(trace.KindFlowApply).
+				WithNode(int64(k.dev.node)).WithVal(int64(installed[i])))
+		}
+	}
 
 	// Each device programs its own TCAM, so a batch's simulated
 	// programming time is the makespan: the slowest device's installs
@@ -320,6 +347,11 @@ func (c *Controller) installAdmitted(admitted []*Assignment, workers int, verify
 			return c.CheckClassEnforcement(admitted[i].Class.ID)
 		}); err != nil {
 			return err
+		}
+		if c.tracer.Enabled() {
+			for _, a := range admitted {
+				c.tracer.Emit(trace.Ev(trace.KindFlowVerify).WithClass(int64(a.Class.ID)))
+			}
 		}
 	}
 	return nil

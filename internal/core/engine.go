@@ -11,6 +11,7 @@ import (
 	"github.com/apple-nfv/apple/internal/metrics"
 	"github.com/apple-nfv/apple/internal/policy"
 	"github.com/apple-nfv/apple/internal/topology"
+	"github.com/apple-nfv/apple/internal/trace"
 )
 
 // recordSolve feeds one solve's instrumentation into the process-wide
@@ -34,6 +35,10 @@ type EngineOptions struct {
 	ExplicitSigma bool
 	// MaxRepairRounds bounds the round-and-repair loop (default 25).
 	MaxRepairRounds int
+	// Tracer, when non-nil, journals one lp.solve span per Solve call
+	// (end Val: total simplex pivots) plus an lp.resolve event per warm
+	// repair re-solve (Val: that re-solve's pivots).
+	Tracer *trace.Recorder
 }
 
 // Engine is the LP-relaxation Optimization Engine of §IV-D.
@@ -66,8 +71,13 @@ type model struct {
 // Solve runs the Optimization Engine on the problem and returns a
 // placement satisfying Eqs. (3)–(8) with objective (1) minimized
 // approximately (LP relaxation + rounding) or exactly (Exact option).
-func (e *Engine) Solve(prob *Problem) (*Placement, error) {
+func (e *Engine) Solve(prob *Problem) (pl *Placement, err error) {
 	start := time.Now()
+	iters := 0
+	if e.opts.Tracer.Enabled() {
+		sp := e.opts.Tracer.Begin(trace.Ev(trace.KindLPSolve).WithVal(int64(len(prob.Classes))))
+		defer func() { sp.End(int64(iters), err) }()
+	}
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
@@ -86,7 +96,7 @@ func (e *Engine) Solve(prob *Problem) (*Placement, error) {
 		return nil, fmt.Errorf("core: optimization failed: %w", err)
 	}
 	recordSolve(&sol, false)
-	iters := sol.Iterations
+	iters = sol.Iterations
 	var counts map[topology.NodeID]map[policy.NF]int
 	if e.opts.Exact {
 		counts = extractCounts(md, &sol, false)
@@ -126,6 +136,12 @@ func (e *Engine) Solve(prob *Problem) (*Placement, error) {
 				sol2, err := solver.ReSolve()
 				recordSolve(&sol2, true)
 				iters += sol2.Iterations
+				if e.opts.Tracer.Enabled() {
+					e.opts.Tracer.Emit(trace.Ev(trace.KindLPResolve).
+						WithNode(int64(violSwitch)).
+						WithVal(int64(sol2.TotalPivots())).
+						WithErr(err))
+				}
 				if err != nil {
 					if errors.Is(err, lp.ErrInfeasible) {
 						// Undo and try the next candidate.
@@ -146,7 +162,7 @@ func (e *Engine) Solve(prob *Problem) (*Placement, error) {
 		}
 	}
 	dist := extractDist(prob, md, &sol)
-	pl := &Placement{
+	pl = &Placement{
 		Counts:     counts,
 		Dist:       dist,
 		SolveTime:  time.Since(start),

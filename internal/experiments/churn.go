@@ -16,10 +16,12 @@ import (
 
 	"github.com/apple-nfv/apple/internal/controller"
 	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/metrics"
 	"github.com/apple-nfv/apple/internal/orchestrator"
 	"github.com/apple-nfv/apple/internal/policy"
 	"github.com/apple-nfv/apple/internal/sim"
 	"github.com/apple-nfv/apple/internal/topology"
+	"github.com/apple-nfv/apple/internal/trace"
 )
 
 // ChurnConfig parameterizes one churn replay. The zero value is usable:
@@ -57,6 +59,12 @@ type ChurnConfig struct {
 	// Probe runs CheckEnforcement after the final quiesce (leave off for
 	// plans that crash hosts serving base sub-classes).
 	Probe bool
+	// TraceCapacity, when positive, attaches a virtual-time journal of
+	// that ring-buffer capacity to the replay: the controller, Dynamic
+	// Handler, orchestrator, and LP engine all record into it, and the
+	// result carries the journal plus a unified metrics snapshot. Zero
+	// disables tracing entirely (no recorder is even constructed).
+	TraceCapacity int
 }
 
 func (cfg ChurnConfig) withChurnDefaults() ChurnConfig {
@@ -113,6 +121,13 @@ type ChurnResult struct {
 	Transitions int
 	// Events is the simulation's fired-event count.
 	Events uint64
+	// Journal is the virtual-time event journal (nil unless
+	// ChurnConfig.TraceCapacity was set). Its events are deterministic:
+	// TraceCapacity aside, two replays of the same config journal the
+	// same sequence. Metrics is the unified registry snapshot taken after
+	// the replay (also nil without tracing).
+	Journal []trace.Event
+	Metrics *metrics.RegistrySnapshot
 	// SpawnSwitches lists every switch that ever hosted a beyond-base
 	// sub-class — the candidates for a targeted host-crash plan.
 	// BaseSwitches lists the switches hosting base sub-classes (crash
@@ -207,6 +222,13 @@ func ChurnReplay(cfg ChurnConfig) (*ChurnResult, error) {
 		return nil, fmt.Errorf("churn: %w", err)
 	}
 	clock := sim.New()
+	var rec *trace.Recorder
+	if cfg.TraceCapacity > 0 {
+		rec, err = trace.NewRecorder(clock, cfg.TraceCapacity)
+		if err != nil {
+			return nil, fmt.Errorf("churn: %w", err)
+		}
+	}
 	var hostRes policy.Resources
 	if cfg.HostCores > 0 {
 		hostRes = policy.Resources{Cores: cfg.HostCores, MemoryMB: 128 * 1024}
@@ -217,13 +239,14 @@ func ChurnReplay(cfg ChurnConfig) (*ChurnResult, error) {
 		HostResources: hostRes,
 		Seed:          cfg.Seed,
 		Faults:        cfg.Faults,
+		Tracer:        rec,
 	})
 	if err != nil {
 		return nil, fmt.Errorf("churn: %w", err)
 	}
 	classes := churnClasses(cfg)
 	prob := &core.Problem{Topo: g, Classes: classes, Avail: ctrl.Avail()}
-	pl, err := core.NewEngine(core.EngineOptions{}).Solve(prob)
+	pl, err := core.NewEngine(core.EngineOptions{Tracer: rec}).Solve(prob)
 	if err != nil {
 		return nil, fmt.Errorf("churn: solve: %w", err)
 	}
@@ -342,5 +365,33 @@ func ChurnReplay(cfg ChurnConfig) (*ChurnResult, error) {
 	if cfg.Probe {
 		res.EnforceErr = ctrl.CheckEnforcement()
 	}
+	if rec != nil {
+		res.Journal = rec.Events()
+		snap := churnRegistry(ctrl, handler).Snapshot()
+		res.Metrics = &snap
+	}
 	return res, nil
+}
+
+// churnRegistry aggregates every counter family a replay touches into one
+// registry — the unified snapshot exported as the per-run JSON artifact.
+// The LP and flow-setup families are process-global, so their values
+// accumulate across replays in one process; the per-replay orchestrator
+// and handler counters start from zero.
+func churnRegistry(ctrl *controller.Controller, handler *controller.DynamicHandler) *metrics.Registry {
+	reg := metrics.NewRegistry()
+	// Registration can only fail on duplicate or empty names; the four
+	// names here are distinct literals.
+	must := func(err error) {
+		if err != nil {
+			panic(err)
+		}
+	}
+	must(reg.AddCounters("orchestrator", ctrl.Orchestrator().Counters()))
+	must(reg.AddCounters("handler", handler.Counters()))
+	must(reg.AddLP("lp", &metrics.LP))
+	must(reg.AddFlowSetup("flow_setup", &metrics.FlowSetup))
+	must(reg.AddGauge("extra_cores", func() float64 { return float64(handler.ExtraCores()) }))
+	must(reg.AddGauge("peak_extra_cores", func() float64 { return float64(handler.PeakExtraCores()) }))
+	return reg
 }

@@ -13,7 +13,7 @@ import (
 // seeded *rand.Rand; time comes from the sim.Simulation virtual clock.
 var AnalyzerSimClock = &Analyzer{
 	Name: "simclock",
-	Doc:  "no wall clock and no global math/rand source inside deterministic packages (sim, lp, topology, traffic, experiments)",
+	Doc:  "no wall clock and no global math/rand source inside deterministic packages (sim, lp, topology, traffic, experiments, trace)",
 	Run:  runSimClock,
 }
 
@@ -25,6 +25,7 @@ var deterministicPackages = map[string]bool{
 	"topology":    true,
 	"traffic":     true,
 	"experiments": true,
+	"trace":       true,
 }
 
 // wallClockFuncs are the time package entry points that read the host

@@ -246,6 +246,14 @@ type Solution struct {
 	WarmStarted bool
 }
 
+// TotalPivots sums the per-phase pivot counters. It usually equals
+// Iterations, but is computed from the phase split, so it stays correct
+// for callers (the trace instrumentation) that aggregate solutions whose
+// Iterations field was overwritten by a MILP search total.
+func (s *Solution) TotalPivots() int {
+	return s.Phase1Iterations + s.Phase2Iterations + s.DualIterations
+}
+
 // Value returns the solution value of v.
 func (s *Solution) Value(v VarID) float64 {
 	if v < 0 || int(v) >= len(s.Values) {

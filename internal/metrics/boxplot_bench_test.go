@@ -1,0 +1,66 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func benchSample(n int) []float64 {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = rng.NormFloat64()
+	}
+	return xs
+}
+
+// boxplotFiveSorts is the pre-fix NewBoxplot shape — one Percentile call
+// per quantile, each copying and sorting the sample again — kept as the
+// benchmark baseline the single-sort version is measured against.
+func boxplotFiveSorts(xs []float64) (Boxplot, error) {
+	var b Boxplot
+	var err error
+	if b.Min, err = Percentile(xs, 0); err != nil {
+		return Boxplot{}, err
+	}
+	if b.Q1, err = Percentile(xs, 25); err != nil {
+		return Boxplot{}, err
+	}
+	if b.Median, err = Percentile(xs, 50); err != nil {
+		return Boxplot{}, err
+	}
+	if b.Q3, err = Percentile(xs, 75); err != nil {
+		return Boxplot{}, err
+	}
+	if b.Max, err = Percentile(xs, 100); err != nil {
+		return Boxplot{}, err
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	b.Mean = sum / float64(len(xs))
+	return b, nil
+}
+
+func BenchmarkNewBoxplot(b *testing.B) {
+	xs := benchSample(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := NewBoxplot(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkBoxplotFiveSorts(b *testing.B) {
+	xs := benchSample(100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := boxplotFiveSorts(xs); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,96 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+)
+
+// TestNaNRejected: every statistics entry point must reject NaN-bearing
+// samples with ErrNaN instead of silently producing garbage —
+// sort.Float64s leaves NaNs in unspecified positions, so rank statistics
+// over such a sample are meaningless.
+func TestNaNRejected(t *testing.T) {
+	nan := math.NaN()
+	cases := []struct {
+		name string
+		xs   []float64
+	}{
+		{"only NaN", []float64{nan}},
+		{"leading NaN", []float64{nan, 1, 2, 3}},
+		{"trailing NaN", []float64{1, 2, 3, nan}},
+		{"interior NaN", []float64{1, nan, 3}},
+		{"multiple NaN", []float64{nan, 1, nan}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if _, err := Percentile(tc.xs, 50); !errors.Is(err, ErrNaN) {
+				t.Errorf("Percentile: err=%v, want ErrNaN", err)
+			}
+			if _, err := Summarize(tc.xs); !errors.Is(err, ErrNaN) {
+				t.Errorf("Summarize: err=%v, want ErrNaN", err)
+			}
+			if _, err := NewBoxplot(tc.xs); !errors.Is(err, ErrNaN) {
+				t.Errorf("NewBoxplot: err=%v, want ErrNaN", err)
+			}
+			if _, err := NewCDF(tc.xs); !errors.Is(err, ErrNaN) {
+				t.Errorf("NewCDF: err=%v, want ErrNaN", err)
+			}
+		})
+	}
+	// Infinities are ordered values, not garbage: they stay legal.
+	if _, err := Percentile([]float64{math.Inf(-1), 0, math.Inf(1)}, 50); err != nil {
+		t.Errorf("Percentile with infinities: %v", err)
+	}
+}
+
+// TestBoxplotMatchesPercentile: the single-sort boxplot must agree
+// exactly with the per-quantile Percentile calls it replaced.
+func TestBoxplotMatchesPercentile(t *testing.T) {
+	cases := [][]float64{
+		{5},
+		{2, 1},
+		{9, 1, 5, 3, 7},
+		{4, 4, 4, 4},
+		{0.5, -3, 12, 7, 7, 2, -1, 99, 3.25, 6},
+	}
+	for _, xs := range cases {
+		b, err := NewBoxplot(xs)
+		if err != nil {
+			t.Fatalf("NewBoxplot(%v): %v", xs, err)
+		}
+		for _, q := range []struct {
+			p    float64
+			got  float64
+			name string
+		}{
+			{0, b.Min, "min"}, {25, b.Q1, "q1"}, {50, b.Median, "median"},
+			{75, b.Q3, "q3"}, {100, b.Max, "max"},
+		} {
+			want, err := Percentile(xs, q.p)
+			if err != nil {
+				t.Fatalf("Percentile(%v, %v): %v", xs, q.p, err)
+			}
+			if q.got != want {
+				t.Errorf("boxplot(%v).%s = %v, Percentile(%v) = %v", xs, q.name, q.got, q.p, want)
+			}
+		}
+	}
+}
+
+// TestPercentileLeavesInputUnsorted: the sample must not be mutated.
+func TestPercentileLeavesInputUnsorted(t *testing.T) {
+	xs := []float64{3, 1, 2}
+	if _, err := Percentile(xs, 50); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated: %v", xs)
+	}
+	if _, err := NewBoxplot(xs); err != nil {
+		t.Fatal(err)
+	}
+	if xs[0] != 3 || xs[1] != 1 || xs[2] != 2 {
+		t.Fatalf("input mutated by NewBoxplot: %v", xs)
+	}
+}

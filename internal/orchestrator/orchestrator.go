@@ -22,6 +22,7 @@ import (
 	"github.com/apple-nfv/apple/internal/policy"
 	"github.com/apple-nfv/apple/internal/sim"
 	"github.com/apple-nfv/apple/internal/topology"
+	"github.com/apple-nfv/apple/internal/trace"
 	"github.com/apple-nfv/apple/internal/vnf"
 )
 
@@ -106,6 +107,10 @@ type Orchestrator struct {
 	// tell "never existed" from "died in a crash".
 	// It is confined to the simulation loop.
 	crashed map[vnf.ID]bool
+	// tracer journals lifecycle events; nil (the default) disables
+	// tracing with no allocation. Set once before the simulation runs.
+	// It is confined to the simulation loop.
+	tracer *trace.Recorder
 }
 
 // New creates an orchestrator driving instances on the given simulation
@@ -135,6 +140,10 @@ func (o *Orchestrator) Latencies() Latencies { return o.lat }
 // Counters returns the lifecycle outcome counters (launches, boots,
 // injected failures, cancels, crashes).
 func (o *Orchestrator) Counters() *metrics.Counters { return o.counters }
+
+// SetTracer attaches a lifecycle-event journal; nil detaches it. Call
+// before the simulation runs — lifecycle callbacks capture it.
+func (o *Orchestrator) SetTracer(r *trace.Recorder) { o.tracer = r }
 
 // InjectFaults installs a fault plan and schedules its host crashes on
 // the simulation clock. Call it once, before running the simulation; a
@@ -187,6 +196,11 @@ func (o *Orchestrator) Crash(v topology.NodeID) []vnf.ID {
 		}
 	}
 	sort.Slice(lost, func(i, j int) bool { return lost[i] < lost[j] })
+	if o.tracer.Enabled() {
+		for _, id := range lost {
+			o.tracer.Emit(trace.Ev(trace.KindVNFCrash).WithNode(int64(v)).WithInst(string(id)))
+		}
+	}
 	return lost
 }
 
@@ -309,12 +323,18 @@ func (o *Orchestrator) Launch(nf policy.NF, v topology.NodeID, onReady func(*vnf
 			o.counters.Inc(CtrBootTimeouts)
 		}
 	}
+	if o.tracer.Enabled() {
+		o.tracer.Emit(trace.Ev(trace.KindVNFLaunch).WithNode(int64(v)).WithInst(string(id)).WithVal(int64(boot)))
+	}
 	if _, err := o.clock.After(boot, func(time.Duration) {
 		delete(o.inflight, id)
 		if inst.State() != vnf.StateBooting {
 			// Cancelled or crashed while booting: the callback still
 			// fires so the caller can release its pending slot.
 			o.counters.Inc(CtrAborts)
+			if o.tracer.Enabled() {
+				o.tracer.Emit(trace.Ev(trace.KindVNFAbort).WithNode(int64(v)).WithInst(string(id)).WithErr(ErrAborted))
+			}
 			if onFail != nil {
 				onFail(id, ErrAborted)
 			}
@@ -327,6 +347,9 @@ func (o *Orchestrator) Launch(nf policy.NF, v topology.NodeID, onReady func(*vnf
 			_ = h.Detach(id)
 			delete(o.hostOf, id)
 			o.counters.Inc(CtrBootFailures)
+			if o.tracer.Enabled() {
+				o.tracer.Emit(trace.Ev(trace.KindVNFBootFail).WithNode(int64(v)).WithInst(string(id)).WithErr(bootErr))
+			}
 			if onFail != nil {
 				onFail(id, bootErr)
 			}
@@ -337,6 +360,9 @@ func (o *Orchestrator) Launch(nf policy.NF, v topology.NodeID, onReady func(*vnf
 			panic(err)
 		}
 		o.counters.Inc(CtrBoots)
+		if o.tracer.Enabled() {
+			o.tracer.Emit(trace.Ev(trace.KindVNFBoot).WithNode(int64(v)).WithInst(string(id)))
+		}
 		if onReady != nil {
 			onReady(inst, h)
 		}
@@ -377,6 +403,9 @@ func (o *Orchestrator) PlaceNow(nf policy.NF, v topology.NodeID) (*vnf.Instance,
 		return nil, nil, fmt.Errorf("orchestrator: %w", err)
 	}
 	o.hostOf[id] = h
+	if o.tracer.Enabled() {
+		o.tracer.Emit(trace.Ev(trace.KindVNFPlace).WithNode(int64(v)).WithInst(string(id)))
+	}
 	return inst, h, nil
 }
 
@@ -420,12 +449,18 @@ func (o *Orchestrator) ReconfigureIdle(nf policy.NF, v topology.NodeID, onReady 
 			}
 			o.counters.Inc(CtrReconfigures)
 			o.inflight[id] = true
+			if o.tracer.Enabled() {
+				o.tracer.Emit(trace.Ev(trace.KindVNFReconfigure).WithNode(int64(v)).WithInst(string(id)))
+			}
 			h := h
 			if _, err := o.clock.After(o.lat.Reconfigure, func(time.Duration) {
 				delete(o.inflight, id)
 				if inst.State() != vnf.StateRunning {
 					// Crashed or cancelled inside the window.
 					o.counters.Inc(CtrAborts)
+					if o.tracer.Enabled() {
+						o.tracer.Emit(trace.Ev(trace.KindVNFAbort).WithNode(int64(v)).WithInst(string(id)).WithErr(ErrAborted))
+					}
 					if onFail != nil {
 						onFail(id, ErrAborted)
 					}
@@ -436,10 +471,16 @@ func (o *Orchestrator) ReconfigureIdle(nf policy.NF, v topology.NodeID, onReady 
 					// previous ClickOS image.
 					_ = inst.Reconfigure(oldNF)
 					o.counters.Inc(CtrReconfFailures)
+					if o.tracer.Enabled() {
+						o.tracer.Emit(trace.Ev(trace.KindVNFReconfFail).WithNode(int64(v)).WithInst(string(id)).WithErr(reconfErr))
+					}
 					if onFail != nil {
 						onFail(id, reconfErr)
 					}
 					return
+				}
+				if o.tracer.Enabled() {
+					o.tracer.Emit(trace.Ev(trace.KindVNFReconfDone).WithNode(int64(v)).WithInst(string(id)))
 				}
 				if onReady != nil {
 					onReady(inst, h)
@@ -472,6 +513,9 @@ func (o *Orchestrator) Cancel(id vnf.ID) error {
 		p := o.faults.plan
 		if o.faults.fires(p.CancelFailProb, p.CancelFailOn, o.faults.cancels) {
 			o.counters.Inc(CtrCancelFailures)
+			if o.tracer.Enabled() {
+				o.tracer.Emit(trace.Ev(trace.KindVNFCancelFail).WithInst(string(id)).WithErr(ErrCancelFailed))
+			}
 			return fmt.Errorf("cancelling %s: %w", id, ErrCancelFailed)
 		}
 	}
@@ -493,6 +537,9 @@ func (o *Orchestrator) Cancel(id vnf.ID) error {
 	}
 	delete(o.hostOf, id)
 	o.counters.Inc(CtrCancels)
+	if o.tracer.Enabled() {
+		o.tracer.Emit(trace.Ev(trace.KindVNFCancel).WithInst(string(id)))
+	}
 	return nil
 }
 

@@ -1,0 +1,118 @@
+// Package profiling serves the runtime's own observability surface —
+// net/http/pprof profiles and runtime/metrics samples — on an explicit
+// localhost listener. It is opt-in: nothing is registered on
+// http.DefaultServeMux and no listener exists unless a driver passes
+// -profile. The virtual-time journal (internal/trace) covers the
+// simulated system; this package covers the host process running it.
+package profiling
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"runtime/metrics"
+	"sort"
+)
+
+// Server is a running profiling endpoint.
+type Server struct {
+	ln  net.Listener
+	srv *http.Server
+}
+
+// Start listens on addr (e.g. "127.0.0.1:6060"; use port 0 for an
+// ephemeral port) and serves:
+//
+//	/debug/pprof/...        the standard pprof handlers
+//	/debug/runtime/metrics  all runtime/metrics samples as JSON
+//
+// The handlers live on a private mux, so importing this package never
+// mutates http.DefaultServeMux.
+func Start(addr string) (*Server, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("profiling: %w", err)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime/metrics", serveRuntimeMetrics)
+	s := &Server{ln: ln, srv: &http.Server{Handler: mux}}
+	go func() {
+		// Serve returns http.ErrServerClosed on Close; any other error
+		// means the listener died, which Close surfaces too.
+		_ = s.srv.Serve(ln)
+	}()
+	return s, nil
+}
+
+// Addr returns the listener's address, including the resolved port.
+func (s *Server) Addr() string { return s.ln.Addr().String() }
+
+// Close shuts the endpoint down.
+func (s *Server) Close() error {
+	return s.srv.Close()
+}
+
+// serveRuntimeMetrics samples every supported runtime/metrics entry and
+// writes them as one sorted JSON object. Float64 and Uint64 samples map
+// to numbers; histogram samples map to {counts, buckets} pairs.
+func serveRuntimeMetrics(w http.ResponseWriter, _ *http.Request) {
+	descs := metrics.All()
+	samples := make([]metrics.Sample, len(descs))
+	for i, d := range descs {
+		samples[i].Name = d.Name
+	}
+	metrics.Read(samples)
+
+	out := make(map[string]any, len(samples))
+	for _, s := range samples {
+		switch s.Value.Kind() {
+		case metrics.KindUint64:
+			out[s.Name] = s.Value.Uint64()
+		case metrics.KindFloat64:
+			out[s.Name] = jsonFloat(s.Value.Float64())
+		case metrics.KindFloat64Histogram:
+			h := s.Value.Float64Histogram()
+			buckets := make([]any, len(h.Buckets))
+			for i, b := range h.Buckets {
+				buckets[i] = jsonFloat(b)
+			}
+			out[s.Name] = map[string]any{"counts": h.Counts, "buckets": buckets}
+		}
+	}
+	names := make([]string, 0, len(out))
+	for k := range out {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	ordered := make(map[string]any, len(out))
+	for _, k := range names {
+		ordered[k] = out[k]
+	}
+	w.Header().Set("Content-Type", "application/json")
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(ordered)
+}
+
+// jsonFloat maps the ±Inf histogram bucket bounds (and any NaN) to
+// strings, since JSON numbers cannot carry them.
+func jsonFloat(f float64) any {
+	switch {
+	case math.IsInf(f, 1):
+		return "+Inf"
+	case math.IsInf(f, -1):
+		return "-Inf"
+	case math.IsNaN(f):
+		return "NaN"
+	default:
+		return f
+	}
+}

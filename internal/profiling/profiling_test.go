@@ -1,0 +1,62 @@
+package profiling
+
+import (
+	"encoding/json"
+	"io"
+	"net/http"
+	"testing"
+)
+
+// TestServerEndpoints starts the opt-in profiling server on an ephemeral
+// localhost port and checks both surfaces: the pprof index answers, and
+// the runtime/metrics endpoint returns JSON with known runtime gauges.
+func TestServerEndpoints(t *testing.T) {
+	s, err := Start("127.0.0.1:0")
+	if err != nil {
+		t.Fatalf("Start: %v", err)
+	}
+	defer s.Close()
+
+	get := func(path string) []byte {
+		t.Helper()
+		resp, err := http.Get("http://" + s.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: status %d", path, resp.StatusCode)
+		}
+		body, err := io.ReadAll(resp.Body)
+		if err != nil {
+			t.Fatalf("GET %s: read: %v", path, err)
+		}
+		return body
+	}
+
+	if body := get("/debug/pprof/"); len(body) == 0 {
+		t.Fatal("pprof index is empty")
+	}
+
+	var m map[string]any
+	if err := json.Unmarshal(get("/debug/runtime/metrics"), &m); err != nil {
+		t.Fatalf("runtime metrics endpoint is not JSON: %v", err)
+	}
+	for _, want := range []string{"/memory/classes/heap/objects:bytes", "/sched/goroutines:goroutines"} {
+		if _, ok := m[want]; !ok {
+			t.Errorf("runtime metrics missing %q", want)
+		}
+	}
+
+	if err := s.Close(); err != nil {
+		t.Fatalf("Close: %v", err)
+	}
+}
+
+// TestStartRejectsBadAddr: a malformed address must fail eagerly rather
+// than leave a goroutine looping on a dead listener.
+func TestStartRejectsBadAddr(t *testing.T) {
+	if _, err := Start("not-an-address:::"); err == nil {
+		t.Fatal("Start accepted a malformed address")
+	}
+}

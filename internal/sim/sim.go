@@ -23,13 +23,18 @@ var ErrStopped = errors.New("sim: stopped")
 // Event is a callback scheduled to run at a virtual time.
 type Event func(now time.Duration)
 
-// item is a scheduled event in the queue.
+// item is a scheduled event in the queue. For Every, an unqueued sentinel
+// item carries the chain state: next points at the currently queued tick,
+// firing is true while fn runs, and dead stops the chain.
 type item struct {
-	at   time.Duration
-	seq  uint64 // tie-breaker: FIFO among events at the same instant
-	fn   Event
-	idx  int
-	dead bool
+	at       time.Duration
+	seq      uint64 // tie-breaker: FIFO among events at the same instant
+	fn       Event
+	idx      int
+	dead     bool
+	sentinel bool  // Every chain sentinel, never queued
+	next     *item // sentinel only: the queued tick item, nil if none
+	firing   bool  // sentinel only: fn is on the stack right now
 }
 
 // eventQueue implements heap.Interface ordered by (at, seq).
@@ -72,13 +77,29 @@ type Handle struct {
 }
 
 // Cancel marks the event so it will not fire. Cancelling an already-fired or
-// already-cancelled event is a no-op. It reports whether the event was live.
+// already-cancelled event is a no-op. It reports whether a future firing was
+// actually prevented: true for a live one-shot event, or for an Every chain
+// with a tick still queued or currently executing. It returns false for a
+// second Cancel, for an Every whose callback panicked (the chain is already
+// broken, no tick will ever fire again), and for one-shots that already ran.
 func (h Handle) Cancel() bool {
-	if h.it == nil || h.it.dead {
+	it := h.it
+	if it == nil || it.dead {
 		return false
 	}
-	h.it.dead = true
-	return true
+	it.dead = true
+	if !it.sentinel {
+		return true
+	}
+	// Every sentinel: kill the queued tick too, so the cancelled chain does
+	// not burn a fired event (and observer call) on a no-op wakeup.
+	live := it.firing
+	if it.next != nil && !it.next.dead {
+		it.next.dead = true
+		live = true
+	}
+	it.next = nil
+	return live
 }
 
 // Simulation is a discrete-event simulator with a virtual clock.
@@ -164,25 +185,37 @@ func (s *Simulation) Every(start, period time.Duration, fn Event) (Handle, error
 		return Handle{}, fmt.Errorf("sim: non-positive period %v", period)
 	}
 	// The periodic handle wraps a forwarding item whose cancellation stops
-	// the chain: each tick checks the sentinel before rescheduling.
-	sentinel := &item{}
+	// the chain. The sentinel tracks the queued tick (next) and whether fn
+	// is currently on the stack (firing), so Cancel can report accurately
+	// whether it prevented a future firing and kill the queued tick instead
+	// of leaving it to wake up as a no-op.
+	sentinel := &item{sentinel: true}
 	var tick Event
 	tick = func(now time.Duration) {
+		sentinel.next = nil
 		if sentinel.dead {
 			return
 		}
-		fn(now)
+		func() {
+			sentinel.firing = true
+			defer func() { sentinel.firing = false }()
+			fn(now)
+		}()
 		if sentinel.dead {
 			return
 		}
-		if _, err := s.After(period, tick); err != nil {
+		h, err := s.After(period, tick)
+		if err != nil {
 			// Unreachable: period > 0 and now is valid.
 			panic(err)
 		}
+		sentinel.next = h.it
 	}
-	if _, err := s.At(start, tick); err != nil {
+	h, err := s.At(start, tick)
+	if err != nil {
 		return Handle{}, err
 	}
+	sentinel.next = h.it
 	return Handle{it: sentinel}, nil
 }
 

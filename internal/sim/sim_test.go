@@ -285,3 +285,112 @@ func TestOnEventObserver(t *testing.T) {
 		t.Fatalf("observer saw %v, want the 3s event appended", events)
 	}
 }
+
+// TestEveryCancelBeforeFirstTick: cancelling an Every before its first tick
+// must report true (a firing was prevented), kill the queued tick so it
+// neither runs nor burns a fired-event slot, and leave nothing pending.
+func TestEveryCancelBeforeFirstTick(t *testing.T) {
+	s := New()
+	ticks := 0
+	h, err := s.Every(time.Second, time.Second, func(time.Duration) { ticks++ })
+	if err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	if !h.Cancel() {
+		t.Fatal("Cancel before first tick should report true")
+	}
+	if h.Cancel() {
+		t.Fatal("second Cancel should report false")
+	}
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after cancel, want 0", s.Pending())
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ticks != 0 {
+		t.Fatalf("cancelled Every ticked %d times", ticks)
+	}
+	if s.Fired() != 0 {
+		t.Fatalf("Fired() = %d, want 0: a cancelled chain must not burn events", s.Fired())
+	}
+}
+
+// TestEveryCancelBetweenTicks: after some ticks have run, Cancel still
+// reports true while a future tick is queued, and the queued tick dies.
+func TestEveryCancelBetweenTicks(t *testing.T) {
+	s := New()
+	ticks := 0
+	h, err := s.Every(time.Second, time.Second, func(time.Duration) { ticks++ })
+	if err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	s.MustAfter(2500*time.Millisecond, func(time.Duration) {
+		if !h.Cancel() {
+			t.Error("Cancel with a queued tick should report true")
+		}
+	})
+	if err := s.Run(10 * time.Second); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ticks != 2 {
+		t.Fatalf("ticks = %d, want 2", ticks)
+	}
+	// 2 ticks + the cancelling event; the killed 3s tick must not count.
+	if s.Fired() != 3 {
+		t.Fatalf("Fired() = %d, want 3", s.Fired())
+	}
+}
+
+// TestEveryCancelDuringTick: a tick cancelling its own chain prevents the
+// reschedule, so that Cancel reports true; a later Cancel reports false.
+func TestEveryCancelDuringTick(t *testing.T) {
+	s := New()
+	var h Handle
+	ticks := 0
+	h, err := s.Every(time.Second, time.Second, func(time.Duration) {
+		ticks++
+		if !h.Cancel() {
+			t.Error("self-Cancel during the tick should report true")
+		}
+	})
+	if err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	if err := s.Run(0); err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if ticks != 1 {
+		t.Fatalf("ticks = %d, want 1", ticks)
+	}
+	if h.Cancel() {
+		t.Fatal("Cancel after a self-cancelled chain should report false")
+	}
+}
+
+// TestEveryCancelAfterPanic: a panicking callback breaks the chain — no
+// tick is queued and none will ever fire again, so Cancel must report
+// false, not pretend it stopped anything.
+func TestEveryCancelAfterPanic(t *testing.T) {
+	s := New()
+	h, err := s.Every(time.Second, time.Second, func(time.Duration) {
+		panic("tick exploded")
+	})
+	if err != nil {
+		t.Fatalf("Every: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Fatal("expected the tick panic to propagate")
+			}
+		}()
+		_ = s.Run(0)
+	}()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after panic, want 0", s.Pending())
+	}
+	if h.Cancel() {
+		t.Fatal("Cancel after the chain broke should report false")
+	}
+}
