@@ -3,7 +3,7 @@ BENCHTIME ?= 5x
 FUZZTIME ?= 20s
 FUZZ_TARGETS := FuzzMatchLookup FuzzSubsumes FuzzPrefixContains
 
-.PHONY: build test race vet lint bench fuzz cover check trace-smoke clean
+.PHONY: build test race vet lint bench bench-dp fuzz cover check trace-smoke clean
 
 build:
 	$(GO) build ./...
@@ -35,6 +35,15 @@ bench:
 	$(GO) test -run '^$$' -bench 'BenchmarkTableV' -benchtime $(BENCHTIME) .
 	$(GO) run ./cmd/benchlp -out BENCH_lp.json
 
+# bench-dp refreshes BENCH_dataplane.json, the data-plane lookup report
+# (compiled tuple-space matcher vs the linear TCAM scan at 1/100/10k/100k
+# rules, allocs per lookup, parallel scaling, and the 3-table Process
+# walk). The -min-speedup flag doubles as the CI regression smoke: the
+# target fails if the compiled matcher is not at least 10x the linear
+# scan on the 10k-rule table.
+bench-dp:
+	$(GO) run ./cmd/benchdp -out BENCH_dataplane.json -min-speedup 10
+
 # fuzz runs each flow-table fuzz target for FUZZTIME. Go's fuzzer accepts
 # one -fuzz pattern per invocation, so targets run back to back; any
 # counterexample is minimized into internal/flowtable/testdata/fuzz/.
@@ -65,4 +74,4 @@ trace-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_lp.json coverage.out churn_trace.jsonl churn_metrics.json
+	rm -f BENCH_lp.json BENCH_dataplane.json coverage.out churn_trace.jsonl churn_metrics.json

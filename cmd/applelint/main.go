@@ -1,6 +1,6 @@
 // Command applelint runs the project-specific static-analysis suite
 // (internal/lint) over the whole module: lockguard, guardedfield,
-// callbackonce, simclock, and atomiccounter. It is stdlib-only — the
+// callbackonce, simclock, atomiccounter, and noalloc. It is stdlib-only — the
 // module graph is loaded with go/parser + go/types and the standard
 // library is resolved from $GOROOT source, so the tool needs no network
 // and no third-party dependencies.

@@ -1,0 +1,345 @@
+// Command benchdp measures the data plane — the compiled tuple-space
+// matcher against the linear TCAM reference scan — and writes a
+// machine-readable BENCH_dataplane.json so the lookup-path trajectory
+// is tracked across PRs alongside BENCH_lp.json. For each table size it
+// reports ns/lookup for both matchers, the speedup, the measured
+// allocations per lookup (which the noalloc analyzer and the
+// AllocsPerRun tests pin at zero), and the aggregate parallel lookup
+// rate; a three-table pipeline walk covers Process end to end.
+//
+// The -min-speedup gate turns the report into a regression smoke: if
+// the compiled matcher is not at least the given factor faster than the
+// linear scan on the 10k-rule table, the exit status is 1 and CI fails.
+//
+// Usage:
+//
+//	benchdp                               # BENCH_dataplane.json
+//	benchdp -out - -min-speedup 10        # JSON to stdout, gate at 10x
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"github.com/apple-nfv/apple/internal/flowtable"
+)
+
+// gateRules is the table size the -min-speedup gate is evaluated at.
+const gateRules = 10_000
+
+// SizeReport is one table size's lookup measurement.
+type SizeReport struct {
+	Rules             int     `json:"rules"`
+	LinearNsPerLookup float64 `json:"linear_ns_per_lookup"`
+	CompiledNs        float64 `json:"compiled_ns_per_lookup"`
+	Speedup           float64 `json:"speedup"`
+	AllocsPerLookup   float64 `json:"compiled_allocs_per_lookup"`
+	LookupsPerSec     float64 `json:"compiled_lookups_per_sec"`
+	ParallelWorkers   int     `json:"parallel_workers"`
+	ParallelPerSec    float64 `json:"parallel_lookups_per_sec"`
+}
+
+// PipelineReport is one pipeline size's Process measurement.
+type PipelineReport struct {
+	Rules      int     `json:"rules"`
+	Tables     int     `json:"tables"`
+	LinearNs   float64 `json:"linear_ns_per_packet"`
+	CompiledNs float64 `json:"compiled_ns_per_packet"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// Report is the whole BENCH_dataplane.json document.
+type Report struct {
+	GeneratedAt string           `json:"generated_at"`
+	Seed        int64            `json:"seed"`
+	GateRules   int              `json:"gate_rules"`
+	MinSpeedup  float64          `json:"gate_min_speedup"`
+	Sizes       []SizeReport     `json:"sizes"`
+	Pipelines   []PipelineReport `json:"pipelines"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seed       = flag.Int64("seed", 1, "deterministic workload seed")
+		out        = flag.String("out", "BENCH_dataplane.json", "output path, or - for stdout")
+		minSpeedup = flag.Float64("min-speedup", 1, "fail (exit 1) unless compiled/linear speedup at 10k rules is at least this")
+	)
+	flag.Parse()
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        *seed,
+		GateRules:   gateRules,
+		MinSpeedup:  *minSpeedup,
+	}
+	var gateSpeedup float64
+	for _, n := range []int{1, 100, 10_000, 100_000} {
+		sr := measureSize(*seed, n)
+		if n == gateRules {
+			gateSpeedup = sr.Speedup
+		}
+		rep.Sizes = append(rep.Sizes, sr)
+		fmt.Fprintf(os.Stderr, "lookup  %7d rules  compiled %8.1f ns  linear %10.1f ns  %8.1fx  %.0f allocs  parallel(%d) %.1fM/s\n",
+			sr.Rules, sr.CompiledNs, sr.LinearNsPerLookup, sr.Speedup, sr.AllocsPerLookup,
+			sr.ParallelWorkers, sr.ParallelPerSec/1e6)
+	}
+	for _, n := range []int{100, 10_000} {
+		pr := measurePipeline(*seed, n)
+		rep.Pipelines = append(rep.Pipelines, pr)
+		fmt.Fprintf(os.Stderr, "process %7d rules  compiled %8.1f ns  linear %10.1f ns  %8.1fx  (%d tables)\n",
+			pr.Rules, pr.CompiledNs, pr.LinearNs, pr.Speedup, pr.Tables)
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdp: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdp: %v\n", err)
+		return 1
+	}
+	if gateSpeedup < *minSpeedup {
+		fmt.Fprintf(os.Stderr, "benchdp: REGRESSION: compiled matcher is %.2fx the linear scan at %d rules, below the %.2fx gate\n",
+			gateSpeedup, gateRules, *minSpeedup)
+		return 1
+	}
+	return 0
+}
+
+// workloadRules synthesizes n rules across the match shapes the Rule
+// Generator emits (Table III), sorted by descending priority so the
+// sequential install appends. This mirrors benchRules in the
+// flowtable package's benchmarks so the JSON numbers and `go test
+// -bench` agree.
+func workloadRules(rng *rand.Rand, n int) []flowtable.Rule {
+	rules := make([]flowtable.Rule, 0, n)
+	for i := 0; i < n; i++ {
+		r := flowtable.Rule{
+			Name:    fmt.Sprintf("r%d", i),
+			Actions: []flowtable.Action{{Type: flowtable.ActForward, Port: i % 48}},
+		}
+		switch i % 5 {
+		case 0: // routing: dst /24
+			r.Priority = 10
+			r.Match = flowtable.Match{Dst: &flowtable.Prefix{Addr: rng.Uint32(), Len: 24}}
+		case 1: // host match: exact tag
+			r.Priority = 30
+			r.Match = flowtable.Match{HostTag: flowtable.U16(uint16(i) & flowtable.MaxHostTag)}
+		case 2: // classification: empty tag + src /27 + dst /24
+			r.Priority = 20
+			r.Match = flowtable.Match{
+				HostTag: flowtable.U16(flowtable.HostTagEmpty),
+				Src:     &flowtable.Prefix{Addr: rng.Uint32(), Len: 27},
+				Dst:     &flowtable.Prefix{Addr: rng.Uint32(), Len: 24},
+			}
+		case 3: // pass-by: tag + in-port
+			r.Priority = 25
+			r.Match = flowtable.Match{HostTag: flowtable.U16(uint16(i) & flowtable.MaxHostTag), InPort: flowtable.IntPtr(i % 8)}
+		case 4: // ACL: proto + dst port
+			r.Priority = 40
+			r.Match = flowtable.Match{Proto: flowtable.U8(uint8(i % 3)), DstPort: flowtable.U16(uint16(i % 1024))}
+		}
+		rules = append(rules, r)
+	}
+	sort.SliceStable(rules, func(a, b int) bool { return rules[a].Priority > rules[b].Priority })
+	return rules
+}
+
+// workloadPackets pre-generates a packet mix with roughly half the
+// lookups hitting a rule.
+func workloadPackets(rng *rand.Rand, rules []flowtable.Rule, n int) []flowtable.Packet {
+	pkts := make([]flowtable.Packet, n)
+	for i := range pkts {
+		var p flowtable.Packet
+		if len(rules) > 0 && i%2 == 0 {
+			r := rules[rng.Intn(len(rules))]
+			if r.Match.HostTag != nil {
+				p.HostTag = *r.Match.HostTag
+			}
+			if r.Match.InPort != nil {
+				p.InPort = *r.Match.InPort
+			}
+			if r.Match.Src != nil {
+				p.Hdr.SrcIP = r.Match.Src.Addr
+			}
+			if r.Match.Dst != nil {
+				p.Hdr.DstIP = r.Match.Dst.Addr
+			}
+			if r.Match.Proto != nil {
+				p.Hdr.Proto = *r.Match.Proto
+			}
+			if r.Match.DstPort != nil {
+				p.Hdr.DstPort = *r.Match.DstPort
+			}
+		} else {
+			p.Hdr.SrcIP = rng.Uint32()
+			p.Hdr.DstIP = rng.Uint32()
+			p.Hdr.Proto = uint8(rng.Intn(3))
+			p.Hdr.DstPort = uint16(rng.Intn(1024))
+			p.HostTag = uint16(rng.Intn(4096))
+			p.InPort = rng.Intn(8)
+		}
+		pkts[i] = p
+	}
+	return pkts
+}
+
+// buildTable installs n synthetic rules through one ApplyBatch.
+func buildTable(seed int64, n int) (*flowtable.Table, []flowtable.Packet) {
+	rng := rand.New(rand.NewSource(seed))
+	rules := workloadRules(rng, n)
+	ops := make([]flowtable.BatchOp, len(rules))
+	for i, r := range rules {
+		ops[i] = flowtable.BatchOp{Rule: r}
+	}
+	tbl := flowtable.NewTable()
+	if _, err := tbl.ApplyBatch(ops); err != nil {
+		fmt.Fprintf(os.Stderr, "benchdp: build table: %v\n", err)
+		os.Exit(1)
+	}
+	return tbl, workloadPackets(rng, rules, 4096)
+}
+
+// measureLoop times fn per-iteration, doubling the iteration count until
+// the run lasts long enough to trust — the testing.B calibration loop in
+// miniature.
+func measureLoop(fn func(iters int)) float64 {
+	const minRun = 50 * time.Millisecond
+	iters := 1024
+	for {
+		start := time.Now()
+		fn(iters)
+		elapsed := time.Since(start)
+		if elapsed >= minRun || iters >= 1<<24 {
+			return float64(elapsed.Nanoseconds()) / float64(iters)
+		}
+		iters *= 2
+	}
+}
+
+func measureSize(seed int64, n int) SizeReport {
+	tbl, pkts := buildTable(seed, n)
+	sr := SizeReport{Rules: n}
+	sr.CompiledNs = measureLoop(func(iters int) {
+		for i := 0; i < iters; i++ {
+			tbl.Lookup(pkts[i%len(pkts)])
+		}
+	})
+	sr.LinearNsPerLookup = measureLoop(func(iters int) {
+		for i := 0; i < iters; i++ {
+			tbl.LookupLinear(pkts[i%len(pkts)])
+		}
+	})
+	sr.Speedup = sr.LinearNsPerLookup / sr.CompiledNs
+	sr.LookupsPerSec = 1e9 / sr.CompiledNs
+	sr.AllocsPerLookup = testing.AllocsPerRun(1000, func() {
+		tbl.Lookup(pkts[0])
+	})
+
+	// Parallel scaling: every worker hammers the same snapshot.
+	workers := runtime.GOMAXPROCS(0)
+	perWorker := 200_000
+	var wg sync.WaitGroup
+	start := time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(off int) {
+			defer wg.Done()
+			for i := 0; i < perWorker; i++ {
+				tbl.Lookup(pkts[(off+i)%len(pkts)])
+			}
+		}(w * 17)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	sr.ParallelWorkers = workers
+	sr.ParallelPerSec = float64(workers*perWorker) / elapsed.Seconds()
+	return sr
+}
+
+// buildPipeline assembles a 3-table pipeline shaped like a physical
+// switch — classify (goto), steer (goto), route (forward) — with
+// catch-alls so every packet walks all three tables.
+func buildPipeline(seed int64, n int) (*flowtable.Pipeline, []flowtable.Packet, int) {
+	rng := rand.New(rand.NewSource(seed + 1))
+	pl, err := flowtable.NewPipeline(3)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchdp: %v\n", err)
+		os.Exit(1)
+	}
+	third := n / 3
+	if third == 0 {
+		third = 1
+	}
+	for ti := 0; ti < 3; ti++ {
+		tb, _ := pl.Table(ti)
+		rules := workloadRules(rng, third)
+		ops := make([]flowtable.BatchOp, 0, len(rules)+1)
+		for i, r := range rules {
+			r.Name = fmt.Sprintf("t%d-%s", ti, r.Name)
+			if ti < 2 {
+				r.Actions = []flowtable.Action{
+					{Type: flowtable.ActSetSubTag, Tag: uint16(i % 60)},
+					{Type: flowtable.ActGotoTable, Table: ti + 1},
+				}
+			}
+			ops = append(ops, flowtable.BatchOp{Rule: r})
+		}
+		acts := []flowtable.Action{{Type: flowtable.ActForward, Port: 1}}
+		if ti < 2 {
+			acts = []flowtable.Action{{Type: flowtable.ActGotoTable, Table: ti + 1}}
+		}
+		ops = append(ops, flowtable.BatchOp{Rule: flowtable.Rule{
+			Name: fmt.Sprintf("t%d-default", ti), Priority: -1, Actions: acts,
+		}})
+		if _, err := tb.ApplyBatch(ops); err != nil {
+			fmt.Fprintf(os.Stderr, "benchdp: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	return pl, workloadPackets(rng, workloadRules(rng, third), 4096), 3
+}
+
+func measurePipeline(seed int64, n int) PipelineReport {
+	pl, pkts, tables := buildPipeline(seed, n)
+	pr := PipelineReport{Rules: n, Tables: tables}
+	pr.CompiledNs = measureLoop(func(iters int) {
+		for i := 0; i < iters; i++ {
+			p := pkts[i%len(pkts)]
+			if _, err := pl.Process(&p); err != nil {
+				fmt.Fprintf(os.Stderr, "benchdp: process: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	})
+	pr.LinearNs = measureLoop(func(iters int) {
+		for i := 0; i < iters; i++ {
+			p := pkts[i%len(pkts)]
+			if _, err := pl.ProcessLinear(&p); err != nil {
+				fmt.Fprintf(os.Stderr, "benchdp: process: %v\n", err)
+				os.Exit(1)
+			}
+		}
+	})
+	pr.Speedup = pr.LinearNs / pr.CompiledNs
+	return pr
+}

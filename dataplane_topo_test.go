@@ -1,0 +1,145 @@
+package apple
+
+import (
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"github.com/apple-nfv/apple/internal/experiments"
+	"github.com/apple-nfv/apple/internal/flowtable"
+	"github.com/apple-nfv/apple/internal/traffic"
+)
+
+// Compiled-vs-linear differential on the paper's four evaluation
+// topologies: deploy a scenario-scale workload on each, then require the
+// compiled tuple-space matcher and the linear reference scan to return
+// byte-identical verdicts for every installed table (physical TCAM
+// pipelines and vSwitch steering tables) over a probe battery of real
+// flow headers across tag states plus adversarial random packets. This
+// is an in-package test because it walks f.ctrl's tables directly.
+
+// deployDiffScenario mirrors the integration-test deploy helper.
+func deployDiffScenario(t *testing.T, build func(experiments.Options) (*experiments.Scenario, error), maxClasses int) (*Framework, *experiments.Scenario, []Class) {
+	t.Helper()
+	sc, err := build(experiments.Options{Seed: 11, Snapshots: 48})
+	if err != nil {
+		t.Fatalf("scenario: %v", err)
+	}
+	fw, err := New(Config{
+		Topology:              sc.Graph,
+		HostResourcesBySwitch: sc.Avail,
+		Seed:                  11,
+	})
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	mean, err := traffic.Mean(sc.Series)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := NewChainGenerator(11, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes, err := BuildClasses(sc.Graph, mean, gen, fw.Avail(), 1, maxClasses)
+	if err != nil {
+		t.Fatalf("BuildClasses: %v", err)
+	}
+	if err := fw.Deploy(classes); err != nil {
+		t.Fatalf("Deploy: %v", err)
+	}
+	return fw, sc, classes
+}
+
+func TestCompiledMatchesLinearOnAllTopologies(t *testing.T) {
+	cases := []struct {
+		name       string
+		build      func(experiments.Options) (*experiments.Scenario, error)
+		maxClasses int
+	}{
+		{"Internet2", experiments.Internet2, 30},
+		{"GEANT", experiments.GEANT, 30},
+		{"UNIV1", experiments.UNIV1, 40},
+		{"AS3679", experiments.AS3679, 30},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			fw, sc, classes := deployDiffScenario(t, tc.build, tc.maxClasses)
+			rng := rand.New(rand.NewSource(11))
+
+			// Probe battery: each class's sub-class flow headers across
+			// the tag lifecycle, plus random headers.
+			var pkts []flowtable.Packet
+			tagStates := []uint16{flowtable.HostTagEmpty, 1, 3, flowtable.HostTagFin}
+			for _, cl := range classes {
+				for sub := uint32(0); sub < 4; sub++ {
+					hdr, err := fw.FlowHeader(cl.ID, sub<<4)
+					if err != nil {
+						continue // class rejected by the planner
+					}
+					for _, tag := range tagStates {
+						pkts = append(pkts, flowtable.Packet{
+							Hdr: hdr, HostTag: tag,
+							SubTag: uint8(rng.Intn(8)), InPort: rng.Intn(4),
+						})
+					}
+				}
+			}
+			for i := 0; i < 64; i++ {
+				var p flowtable.Packet
+				p.Hdr.SrcIP = rng.Uint32()
+				p.Hdr.DstIP = rng.Uint32()
+				p.Hdr.Proto = uint8(rng.Intn(4))
+				p.HostTag = uint16(rng.Intn(1 << 12))
+				p.SubTag = uint8(rng.Intn(64))
+				p.InPort = rng.Intn(8)
+				pkts = append(pkts, p)
+			}
+
+			pipelines := make(map[string]*flowtable.Pipeline)
+			for _, n := range sc.Graph.Nodes() {
+				sw, err := fw.ctrl.Switch(n.ID)
+				if err != nil {
+					t.Fatal(err)
+				}
+				pipelines[fmt.Sprintf("sw%d", n.ID)] = sw.Pipeline
+				if h, err := fw.ctrl.Host(n.ID); err == nil {
+					pipelines[fmt.Sprintf("host%d", n.ID)] = h.VSwitch()
+				}
+			}
+			rules := 0
+			for name, pl := range pipelines {
+				for ti := 0; ti < pl.NumTables(); ti++ {
+					tb, err := pl.Table(ti)
+					if err != nil {
+						t.Fatal(err)
+					}
+					rules += tb.Size()
+					for pi, pkt := range pkts {
+						got, ok := tb.Lookup(pkt)
+						want, wantOK := tb.LookupLinear(pkt)
+						if ok != wantOK || !reflect.DeepEqual(got, want) {
+							t.Fatalf("%s table %d packet %d: compiled (%+v,%v) != linear (%+v,%v)",
+								name, ti, pi, got, ok, want, wantOK)
+						}
+					}
+				}
+				for pi := range pkts {
+					pc, pLin := pkts[pi], pkts[pi]
+					resC, errC := pl.Process(&pc)
+					resL, errL := pl.ProcessLinear(&pLin)
+					if (errC == nil) != (errL == nil) || !reflect.DeepEqual(resC, resL) || pc != pLin {
+						t.Fatalf("%s packet %d: compiled (%+v,%v) != linear (%+v,%v)",
+							name, pi, resC, errC, resL, errL)
+					}
+				}
+			}
+			if rules == 0 {
+				t.Fatal("differential ran over zero installed rules")
+			}
+			t.Logf("%s: %d tables, %d rules, %d probes — compiled ≡ linear",
+				tc.name, len(pipelines), rules, len(pkts))
+		})
+	}
+}

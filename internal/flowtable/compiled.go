@@ -1,0 +1,288 @@
+package flowtable
+
+import "sort"
+
+// This file is the compiled data plane: an immutable, cache-friendly
+// matcher built from a table's rule list and published atomically
+// (copy-on-write), so Lookup and Pipeline.Process never take a lock.
+//
+// The linear scan in LookupLinear emulates a TCAM faithfully but pays
+// O(rules) pointer-chasing work per packet. The compiled form uses
+// tuple-space partitioning (the classic software-OpenFlow decomposition):
+// rules are grouped by *match shape* — which of the eight fields are
+// concrete and, for the two prefix fields, the prefix length — so every
+// rule within a tuple is an exact match over the same field subset. A
+// packet then probes one packed key per tuple instead of one ternary
+// comparison per rule, making lookup cost a function of distinct shapes
+// (a handful, per Table III) rather than rule count.
+//
+// Tie-breaking is inherited, not re-implemented: the builder keeps the
+// canonical rule slice exactly as the linear table stores it (descending
+// priority, install order within a priority), and a lookup returns the
+// minimum canonical index over all matching rules — the same rule the
+// linear scan's first hit finds, byte for byte.
+
+// Field-presence bits of a match shape, one per Match field.
+const (
+	cHostTag uint8 = 1 << iota
+	cSubTag
+	cInPort
+	cSrc
+	cDst
+	cProto
+	cSrcPort
+	cDstPort
+)
+
+// matchKey packs every concrete field value of one shape into three
+// comparable machine words. Fields the shape treats as wildcards stay
+// zero on both the rule side and the packet side, so equality of keys is
+// exactly "the packet satisfies every concrete field". The packing is
+// the arena/SoA representation of Match: the eight pointer fields of a
+// rule collapse into this flat value plus the tuple's presence mask, and
+// a tuple stores its rules' keys in one contiguous slice.
+type matchKey struct {
+	lo   uint64 // src addr (32, masked) | dst addr (32, masked) << 32
+	hi   uint64 // hostTag | subTag<<16 | proto<<24 | srcPort<<32 | dstPort<<48
+	port int64  // InPort, full int range
+}
+
+// shapeKey identifies a tuple: the concrete-field mask plus the two
+// prefix lengths (1..32; a nil or zero-length prefix is a wildcard and
+// contributes no bit).
+type shapeKey struct {
+	mask           uint8
+	srcLen, dstLen int8
+}
+
+// clampLen normalizes a Prefix.Len to the effective number of compared
+// bits: Contains treats Len <= 0 as match-everything and Len >= 32 as
+// full-address equality.
+func clampLen(l int) int8 {
+	if l <= 0 {
+		return 0
+	}
+	if l >= 32 {
+		return 32
+	}
+	return int8(l)
+}
+
+// prefixMask returns the 32-bit mask selecting the top l bits, l in 1..32.
+func prefixMask(l int8) uint32 {
+	return ^uint32(0) << (32 - uint(l))
+}
+
+// shapeOf extracts a match's shape.
+func shapeOf(m Match) shapeKey {
+	var s shapeKey
+	if m.HostTag != nil {
+		s.mask |= cHostTag
+	}
+	if m.SubTag != nil {
+		s.mask |= cSubTag
+	}
+	if m.InPort != nil {
+		s.mask |= cInPort
+	}
+	if m.Src != nil {
+		if l := clampLen(m.Src.Len); l > 0 {
+			s.mask |= cSrc
+			s.srcLen = l
+		}
+	}
+	if m.Dst != nil {
+		if l := clampLen(m.Dst.Len); l > 0 {
+			s.mask |= cDst
+			s.dstLen = l
+		}
+	}
+	if m.Proto != nil {
+		s.mask |= cProto
+	}
+	if m.SrcPort != nil {
+		s.mask |= cSrcPort
+	}
+	if m.DstPort != nil {
+		s.mask |= cDstPort
+	}
+	return s
+}
+
+// ruleKey packs the concrete field values of a match with the given
+// shape. Prefix addresses are masked to the compared bits so rules whose
+// spare low bits differ still collide onto one key, mirroring
+// Prefix.Contains.
+func ruleKey(m Match, s shapeKey) matchKey {
+	var k matchKey
+	if s.mask&cSrc != 0 {
+		k.lo = uint64(m.Src.Addr & prefixMask(s.srcLen))
+	}
+	if s.mask&cDst != 0 {
+		k.lo |= uint64(m.Dst.Addr&prefixMask(s.dstLen)) << 32
+	}
+	if s.mask&cHostTag != 0 {
+		k.hi = uint64(*m.HostTag)
+	}
+	if s.mask&cSubTag != 0 {
+		k.hi |= uint64(*m.SubTag) << 16
+	}
+	if s.mask&cProto != 0 {
+		k.hi |= uint64(*m.Proto) << 24
+	}
+	if s.mask&cSrcPort != 0 {
+		k.hi |= uint64(*m.SrcPort) << 32
+	}
+	if s.mask&cDstPort != 0 {
+		k.hi |= uint64(*m.DstPort) << 48
+	}
+	if s.mask&cInPort != 0 {
+		k.port = int64(*m.InPort)
+	}
+	return k
+}
+
+// tupleHashCutoff is the rule count above which a tuple switches from a
+// contiguous key scan to a hash map. Small tuples stay as flat slices: a
+// handful of 24-byte equality tests over contiguous memory beats a map
+// probe, and most shapes (routing, host-match, pass-by) hold only a few
+// rules per table.
+const tupleHashCutoff = 8
+
+// tuple is one match shape's compiled rule set. Exactly one of
+// (keys,idx) and m is populated.
+type tuple struct {
+	mask             uint8
+	srcMask, dstMask uint32
+	// minIdx is the smallest canonical rule index in this tuple — the
+	// best outcome a probe of this tuple can produce. Tuples are sorted
+	// by it, so a lookup stops as soon as the current winner beats every
+	// remaining tuple.
+	minIdx int32
+	keys   []matchKey         // linear tuples: packed rule keys, canonical order
+	idx    []int32            // canonical rule index per key
+	m      map[matchKey]int32 // hashed tuples: key → best canonical index
+}
+
+// packetKey packs the packet fields this tuple's shape compares. It is
+// the hot-path twin of ruleKey: pure arithmetic, no branches on rule
+// data, no allocation.
+//
+//apple:noalloc
+func (t *tuple) packetKey(p *Packet) matchKey {
+	var k matchKey
+	m := t.mask
+	if m&cSrc != 0 {
+		k.lo = uint64(p.Hdr.SrcIP & t.srcMask)
+	}
+	if m&cDst != 0 {
+		k.lo |= uint64(p.Hdr.DstIP&t.dstMask) << 32
+	}
+	if m&cHostTag != 0 {
+		k.hi = uint64(p.HostTag)
+	}
+	if m&cSubTag != 0 {
+		k.hi |= uint64(p.SubTag) << 16
+	}
+	if m&cProto != 0 {
+		k.hi |= uint64(p.Hdr.Proto) << 24
+	}
+	if m&cSrcPort != 0 {
+		k.hi |= uint64(p.Hdr.SrcPort) << 32
+	}
+	if m&cDstPort != 0 {
+		k.hi |= uint64(p.Hdr.DstPort) << 48
+	}
+	if m&cInPort != 0 {
+		k.port = int64(p.InPort)
+	}
+	return k
+}
+
+// compiledTable is an immutable snapshot of a table's rules plus the
+// tuple-space index over them. Once published via the table's atomic
+// pointer it is never mutated, so readers share it without
+// synchronization.
+type compiledTable struct {
+	rules  []Rule  // canonical order: priority desc, install order within
+	tuples []tuple // sorted ascending by minIdx
+}
+
+// compile builds the immutable matcher from a canonical rule slice. It
+// runs under the table's write lock but performs no blocking work.
+func compile(rules []Rule) *compiledTable {
+	c := &compiledTable{rules: make([]Rule, len(rules))}
+	copy(c.rules, rules)
+	byShape := make(map[shapeKey]int)
+	for i, r := range c.rules {
+		s := shapeOf(r.Match)
+		ti, ok := byShape[s]
+		if !ok {
+			ti = len(c.tuples)
+			byShape[s] = ti
+			t := tuple{mask: s.mask}
+			if s.mask&cSrc != 0 {
+				t.srcMask = prefixMask(s.srcLen)
+			}
+			if s.mask&cDst != 0 {
+				t.dstMask = prefixMask(s.dstLen)
+			}
+			c.tuples = append(c.tuples, t)
+		}
+		t := &c.tuples[ti]
+		t.keys = append(t.keys, ruleKey(r.Match, s))
+		t.idx = append(t.idx, int32(i))
+	}
+	for i := range c.tuples {
+		t := &c.tuples[i]
+		t.minIdx = t.idx[0]
+		if len(t.idx) > tupleHashCutoff {
+			t.m = make(map[matchKey]int32, len(t.idx))
+			// Ascending canonical order, so the first write per key is
+			// the tuple-best rule; duplicates are unreachable and drop.
+			for n, k := range t.keys {
+				if _, dup := t.m[k]; !dup {
+					t.m[k] = t.idx[n]
+				}
+			}
+			t.keys, t.idx = nil, nil
+		}
+	}
+	sort.Slice(c.tuples, func(a, b int) bool { return c.tuples[a].minIdx < c.tuples[b].minIdx })
+	return c
+}
+
+// lookup returns the canonical index of the winning rule, i.e. the
+// minimum index over every tuple's best match — identical to the linear
+// scan's first hit. Probing order is ascending minIdx, so the loop exits
+// as soon as no remaining tuple can beat the current winner.
+//
+//apple:noalloc
+func (c *compiledTable) lookup(p *Packet) (int32, bool) {
+	best := int32(len(c.rules))
+	for i := range c.tuples {
+		t := &c.tuples[i]
+		if t.minIdx >= best {
+			break
+		}
+		k := t.packetKey(p)
+		if t.m != nil {
+			if j, ok := t.m[k]; ok && j < best {
+				best = j
+			}
+			continue
+		}
+		for n := range t.keys {
+			if t.keys[n] == k {
+				if t.idx[n] < best {
+					best = t.idx[n]
+				}
+				break
+			}
+		}
+	}
+	if best == int32(len(c.rules)) {
+		return 0, false
+	}
+	return best, true
+}

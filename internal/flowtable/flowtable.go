@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"github.com/apple-nfv/apple/internal/headerspace"
 	"github.com/apple-nfv/apple/internal/metrics"
@@ -189,14 +190,27 @@ type Rule struct {
 }
 
 // Table is one flow table: an ordered rule list, optionally bounded by a
-// TCAM capacity. Tables are safe for concurrent use: lookups take a read
-// lock, so the data plane keeps forwarding while the controller installs
-// rules (Lookup-while-Install), and installs serialize on a write lock.
-// Batched installs (ApplyBatch) coalesce a whole update into one critical
-// section.
+// TCAM capacity. Tables are safe for concurrent use, and the forwarding
+// path is wait-free: mutators (Install, Remove, ApplyBatch) serialize on
+// a write lock, rebuild the compiled tuple-space matcher, and publish it
+// as an immutable snapshot through an atomic pointer; Lookup and
+// Pipeline.Process read whichever snapshot is current and never block,
+// even while a writer holds the lock (Lookup-while-Install becomes a
+// linearizable snapshot read). Batched installs (ApplyBatch) coalesce a
+// whole update into one critical section and one snapshot publication,
+// so readers observe either the pre-batch or the post-batch table, never
+// a mid-batch state.
 type Table struct {
 	mu    sync.RWMutex
 	rules []Rule // guarded by mu
+	// nameCount tracks how many installed rules carry each name, so
+	// presence checks and absent-name removes are O(1) instead of a rule
+	// scan (which made SkipIfPresent-heavy batches quadratic).
+	nameCount map[string]int // guarded by mu
+	// compiled is the current immutable matcher snapshot; nil only before
+	// the first publication (an empty table). Mutators republish under
+	// mu; readers Load without any lock.
+	compiled atomic.Pointer[compiledTable]
 	// capacity is the maximum rule count; 0 means unbounded. Immutable
 	// after construction, so reads need no lock.
 	capacity int
@@ -250,8 +264,17 @@ func (t *Table) lock() {
 	t.mu.Lock()
 }
 
+// publishLocked rebuilds the compiled matcher from the current rule list
+// and swaps it in atomically. Callers hold mu (write), which serializes
+// publications; readers pick up the new snapshot on their next Load.
+func (t *Table) publishLocked() {
+	t.compiled.Store(compile(t.rules))
+	metrics.FlowSetup.TableCompiles.Add(1)
+}
+
 // installLocked adds a rule, keeping rules sorted by descending priority
-// (stable, so equal priorities keep install order). Callers hold mu.
+// (stable, so equal priorities keep install order). Callers hold mu and
+// republish the compiled snapshot before unlocking.
 func (t *Table) installLocked(r Rule) error {
 	if t.capacity > 0 && len(t.rules) >= t.capacity {
 		return fmt.Errorf("%w: %d entries", ErrTCAMFull, t.capacity)
@@ -263,6 +286,10 @@ func (t *Table) installLocked(r Rule) error {
 	t.rules = append(t.rules, Rule{})
 	copy(t.rules[idx+1:], t.rules[idx:])
 	t.rules[idx] = r
+	if t.nameCount == nil {
+		t.nameCount = make(map[string]int)
+	}
+	t.nameCount[r.Name]++
 	return nil
 }
 
@@ -271,7 +298,11 @@ func (t *Table) installLocked(r Rule) error {
 func (t *Table) Install(r Rule) error {
 	t.lock()
 	defer t.mu.Unlock()
-	return t.installLocked(r)
+	if err := t.installLocked(r); err != nil {
+		return err
+	}
+	t.publishLocked()
+	return nil
 }
 
 // Remove deletes all rules with the given name and reports how many were
@@ -279,21 +310,33 @@ func (t *Table) Install(r Rule) error {
 func (t *Table) Remove(name string) int {
 	t.lock()
 	defer t.mu.Unlock()
-	return t.removeLocked(name)
+	removed := t.removeLocked(name)
+	if removed > 0 {
+		t.publishLocked()
+	}
+	return removed
 }
 
-// removeLocked deletes all rules with the given name. Callers hold mu.
+// removeLocked deletes all rules with the given name. Callers hold mu
+// and republish the compiled snapshot if anything was removed.
 func (t *Table) removeLocked(name string) int {
+	removed := t.nameCount[name]
+	if removed == 0 {
+		return 0
+	}
 	kept := t.rules[:0]
-	removed := 0
 	for _, r := range t.rules {
 		if r.Name == name {
-			removed++
 			continue
 		}
 		kept = append(kept, r)
 	}
+	// Zero the compaction tail: the dropped Rule values (Action slices,
+	// name strings) would otherwise stay reachable through the backing
+	// array and never be collected.
+	clear(t.rules[len(kept):])
 	t.rules = kept
+	delete(t.nameCount, name)
 	return removed
 }
 
@@ -310,21 +353,32 @@ type BatchOp struct {
 
 // ApplyBatch applies the operations in order inside a single critical
 // section — the per-table coalescing that turns N rule updates into one
-// TCAM transaction. It returns how many rules were actually installed
-// (skip-if-present hits and removes are not counted). On a validation or
-// capacity error, operations already applied remain in place and the
-// error is returned; callers treat a mid-batch failure as a broken
-// generator, not a recoverable state.
+// TCAM transaction. The compiled snapshot is republished exactly once,
+// after the last operation, so concurrent lookups observe the batch
+// atomically: either none of it or all of it. It returns how many rules
+// were actually installed (skip-if-present hits and removes are not
+// counted). On a validation or capacity error, operations already
+// applied remain in place (and are published) and the error is returned;
+// callers treat a mid-batch failure as a broken generator, not a
+// recoverable state.
 func (t *Table) ApplyBatch(ops []BatchOp) (installed int, err error) {
 	if len(ops) == 0 {
 		return 0, nil
 	}
 	t.lock()
+	dirty := false
 	defer t.mu.Unlock()
+	defer func() {
+		if dirty {
+			t.publishLocked()
+		}
+	}()
 	metrics.FlowSetup.BatchInstalls.Add(1)
 	for _, op := range ops {
 		if op.Remove != "" {
-			t.removeLocked(op.Remove)
+			if t.removeLocked(op.Remove) > 0 {
+				dirty = true
+			}
 		}
 		if len(op.Rule.Actions) == 0 && op.Rule.Name == "" {
 			continue // remove-only op
@@ -336,6 +390,7 @@ func (t *Table) ApplyBatch(ops []BatchOp) (installed int, err error) {
 		if err := t.installLocked(op.Rule); err != nil {
 			return installed, err
 		}
+		dirty = true
 		installed++
 	}
 	metrics.FlowSetup.InstalledRules.Add(int64(installed))
@@ -376,8 +431,39 @@ func (t *Table) Rules() []Rule {
 	return out
 }
 
-// Lookup returns the highest-priority matching rule.
+// Lookup returns the highest-priority matching rule (ties to the
+// earlier-installed rule). It reads the current compiled snapshot and is
+// wait-free: it never blocks, not even while a writer holds the table
+// lock, and performs zero allocations.
+//
+//apple:noalloc
 func (t *Table) Lookup(p Packet) (Rule, bool) {
+	return t.lookupPtr(&p)
+}
+
+// lookupPtr is Lookup over a caller-owned packet pointer; the packet is
+// read-only. Pipeline.Process uses it directly so a multi-table walk
+// never copies the packet struct per hop.
+//
+//apple:noalloc
+func (t *Table) lookupPtr(p *Packet) (Rule, bool) {
+	c := t.compiled.Load()
+	if c == nil {
+		return Rule{}, false
+	}
+	i, ok := c.lookup(p)
+	if !ok {
+		return Rule{}, false
+	}
+	return c.rules[i], true
+}
+
+// LookupLinear is the reference matcher: the ternary linear scan over
+// the live rule list under a read lock, exactly as a priority-ordered
+// TCAM would evaluate it. The fuzz and differential suites run it side
+// by side with the compiled Lookup and require byte-identical results;
+// it is not meant for the hot path.
+func (t *Table) LookupLinear(p Packet) (Rule, bool) {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	for _, r := range t.rules {
@@ -459,14 +545,36 @@ func (pl *Pipeline) TotalSize() int {
 }
 
 // Process runs the packet through the pipeline, applying tag rewrites to
-// the packet in place. It returns the final disposition.
+// the packet in place. It returns the final disposition. The packet
+// pointer is passed through every table hop (no per-table struct copy),
+// and each table's compiled snapshot is loaded exactly once: goto-table
+// only ever moves forward, so a packet resolves the whole chain against
+// one coherent snapshot generation per table and is never torn between a
+// table's pre- and post-update rules. Process allocates nothing on the
+// match path.
 func (pl *Pipeline) Process(p *Packet) (Result, error) {
+	return pl.process(p, false)
+}
+
+// ProcessLinear is Process over the reference linear matcher
+// (LookupLinear); the differential suites compare it against Process.
+func (pl *Pipeline) ProcessLinear(p *Packet) (Result, error) {
+	return pl.process(p, true)
+}
+
+func (pl *Pipeline) process(p *Packet, linear bool) (Result, error) {
 	if p == nil {
 		return Result{}, errors.New("flowtable: nil packet")
 	}
 	ti := 0
 	for {
-		rule, ok := pl.tables[ti].Lookup(*p)
+		var rule Rule
+		var ok bool
+		if linear {
+			rule, ok = pl.tables[ti].LookupLinear(*p)
+		} else {
+			rule, ok = pl.tables[ti].lookupPtr(p)
+		}
 		if !ok {
 			return Result{Disposition: DispNoMatch}, nil
 		}
@@ -504,14 +612,9 @@ func (t *Table) Has(name string) bool {
 }
 
 // hasLocked reports whether any rule with the given name is installed.
-// Callers hold mu (read or write).
+// Callers hold mu (read or write). O(1) via the name-count index.
 func (t *Table) hasLocked(name string) bool {
-	for _, r := range t.rules {
-		if r.Name == name {
-			return true
-		}
-	}
-	return false
+	return t.nameCount[name] > 0
 }
 
 // Shadowed returns the names of rules that can never match because an

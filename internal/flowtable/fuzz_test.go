@@ -2,6 +2,7 @@ package flowtable
 
 import (
 	"fmt"
+	"reflect"
 	"testing"
 )
 
@@ -41,6 +42,12 @@ func fuzzRules(data []byte) ([]Rule, []byte) {
 		if mask&32 != 0 {
 			m.Proto = U8(b[3] % 3)
 		}
+		if mask&64 != 0 {
+			m.SrcPort = U16(uint16(b[2]) % 8)
+		}
+		if mask&128 != 0 {
+			m.DstPort = U16(uint16(b[7]) % 8)
+		}
 		rules = append(rules, Rule{
 			Name:     fmt.Sprintf("r%d", len(rules)),
 			Priority: int(b[0] % 16),
@@ -60,6 +67,8 @@ func fuzzPacket(data []byte) Packet {
 	pkt.Hdr.SrcIP = uint32(b[1])<<24 | uint32(b[2])<<16 | uint32(b[3])
 	pkt.Hdr.DstIP = uint32(b[4])<<24 | uint32(b[5])<<8
 	pkt.Hdr.Proto = b[0] % 3
+	pkt.Hdr.SrcPort = uint16(b[3]) % 8
+	pkt.Hdr.DstPort = uint16(b[4]) % 8
 	pkt.HostTag = uint16(b[6]) & 0xFFF
 	pkt.SubTag = b[7] & MaxSubTag
 	pkt.InPort = int(b[0] % 8)
@@ -68,11 +77,14 @@ func fuzzPacket(data []byte) Packet {
 
 // FuzzMatchLookup checks that Lookup always returns the highest-priority
 // matching rule (ties to the earlier install), that the winner actually
-// matches, and that Shadowed never flags a rule that just won a lookup.
+// matches, that the compiled matcher and the linear reference scan agree
+// byte for byte, and that Shadowed never flags a rule that just won a
+// lookup.
 func FuzzMatchLookup(f *testing.F) {
 	f.Add([]byte{})
 	f.Add([]byte{5, 9, 1, 2, 3, 10, 20, 24, 200, 100, 10, 1, 2, 3, 4, 5})
 	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1, 7, 7, 7})
+	f.Add([]byte{5, 255, 1, 2, 3, 10, 20, 24, 5, 192, 2, 2, 3, 10, 20, 31, 9, 9, 9, 9})
 	f.Fuzz(func(t *testing.T, data []byte) {
 		rules, rest := fuzzRules(data)
 		tbl := NewTable()
@@ -83,6 +95,13 @@ func FuzzMatchLookup(f *testing.F) {
 		}
 		pkt := fuzzPacket(rest)
 		got, ok := tbl.Lookup(pkt)
+		// Differential contract: the compiled tuple-space matcher must be
+		// byte-identical to the linear TCAM scan, tie-breaks included.
+		gotLin, okLin := tbl.LookupLinear(pkt)
+		if ok != okLin || !reflect.DeepEqual(got, gotLin) {
+			t.Fatalf("compiled Lookup (%+v, %v) differs from LookupLinear (%+v, %v)",
+				got, ok, gotLin, okLin)
+		}
 		// Reference: first match over the priority-ordered rule copy.
 		var want Rule
 		wantOK := false

@@ -17,6 +17,7 @@ var goldenAnalyzers = map[string][]string{
 	"callbackonce":  {"callbackonce"},
 	"simclock":      {"simclock"},
 	"atomiccounter": {"atomiccounter"},
+	"noalloc":       {"noalloc"},
 	"suppress":      {"lockguard", "guardedfield", "simclock"},
 }
 
@@ -123,7 +124,7 @@ func claimWant(wants []*wantExpect, file string, line int, msg string) bool {
 }
 
 // TestModuleLintsClean is the integration gate: the entire repository
-// must pass all five analyzers with zero diagnostics, so any newly
+// must pass all six analyzers with zero diagnostics, so any newly
 // introduced violation fails go test as well as make lint.
 func TestModuleLintsClean(t *testing.T) {
 	if testing.Short() {
@@ -153,8 +154,8 @@ func TestByNameUnknown(t *testing.T) {
 		t.Fatal("ByName accepted an unknown analyzer")
 	}
 	all, err := ByName(nil)
-	if err != nil || len(all) != 5 {
-		t.Fatalf("ByName(nil) = %d analyzers, err %v; want 5, nil", len(all), err)
+	if err != nil || len(all) != 6 {
+		t.Fatalf("ByName(nil) = %d analyzers, err %v; want 6, nil", len(all), err)
 	}
 }
 

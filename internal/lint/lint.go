@@ -5,7 +5,7 @@
 // explore. The suite is stdlib-only — go/parser + go/types + go/importer
 // — so the module stays zero-dependency.
 //
-// Five analyzers ship (see DESIGN.md §12 for the invariant catalogue):
+// Six analyzers ship (see DESIGN.md §12 for the invariant catalogue):
 //
 //   - lockguard: no blocking operation (channel send/recv, select,
 //     user-callback invocation, orchestrator Launch/ReconfigureIdle/
@@ -24,6 +24,9 @@
 //     bit-reproducible.
 //   - atomiccounter: a struct field accessed through sync/atomic
 //     anywhere may never also be accessed with a plain load or store.
+//   - noalloc: functions annotated "//apple:noalloc" (the compiled
+//     data-plane lookup chain) contain no construct that can allocate
+//     and call only annotated, builtin, or sync/atomic callees.
 //
 // Diagnostics print as "file:line:col: [analyzer] message" and may be
 // suppressed with a "//lint:ignore <analyzer> <reason>" comment on the
@@ -89,6 +92,7 @@ func Analyzers() []*Analyzer {
 		AnalyzerCallbackOnce,
 		AnalyzerSimClock,
 		AnalyzerAtomicCounter,
+		AnalyzerNoAlloc,
 	}
 }
 

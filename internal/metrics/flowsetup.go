@@ -46,6 +46,11 @@ type FlowSetupCounters struct {
 	// per-batch coalescing design this stays near zero; a high value
 	// means concurrent writers are fighting over one table.
 	TableContention atomic.Int64
+	// TableCompiles counts compiled-matcher snapshot publications: one
+	// per Install/Remove and one per mutating ApplyBatch. A value close
+	// to InstalledRules means updates are arriving one by one instead of
+	// batched, paying a full recompile per rule.
+	TableCompiles atomic.Int64
 	// ShardAdmits counts admitted classes per state shard.
 	ShardAdmits ShardCounters
 }
@@ -57,7 +62,7 @@ var FlowSetup FlowSetupCounters
 type FlowSetupSnapshot struct {
 	Batches, Arrivals, StagedRules, BatchInstalls int64
 	InstalledRules, SkippedRules, VerifyProbes    int64
-	SimInstall, TableContention                   int64
+	SimInstall, TableContention, TableCompiles    int64
 	ShardAdmits                                   []int64
 }
 
@@ -73,6 +78,7 @@ func (c *FlowSetupCounters) Snapshot() FlowSetupSnapshot {
 		VerifyProbes:    c.VerifyProbes.Load(),
 		SimInstall:      c.SimInstall.Load(),
 		TableContention: c.TableContention.Load(),
+		TableCompiles:   c.TableCompiles.Load(),
 		ShardAdmits:     c.ShardAdmits.Snapshot(),
 	}
 }
@@ -80,9 +86,9 @@ func (c *FlowSetupCounters) Snapshot() FlowSetupSnapshot {
 // String renders the snapshot as one log line.
 func (s FlowSetupSnapshot) String() string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "batches=%d arrivals=%d staged=%d batch-installs=%d installed=%d skipped=%d probes=%d sim-install=%dns contention=%d",
+	fmt.Fprintf(&b, "batches=%d arrivals=%d staged=%d batch-installs=%d installed=%d skipped=%d probes=%d sim-install=%dns contention=%d compiles=%d",
 		s.Batches, s.Arrivals, s.StagedRules, s.BatchInstalls,
-		s.InstalledRules, s.SkippedRules, s.VerifyProbes, s.SimInstall, s.TableContention)
+		s.InstalledRules, s.SkippedRules, s.VerifyProbes, s.SimInstall, s.TableContention, s.TableCompiles)
 	if len(s.ShardAdmits) > 0 {
 		fmt.Fprintf(&b, " shards=%v", s.ShardAdmits)
 	}
