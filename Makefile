@@ -3,7 +3,7 @@ BENCHTIME ?= 5x
 FUZZTIME ?= 20s
 FUZZ_TARGETS := FuzzMatchLookup FuzzSubsumes FuzzPrefixContains
 
-.PHONY: build test race vet lint bench bench-dp fuzz cover check trace-smoke clean
+.PHONY: build test race vet lint bench bench-dp reopt fuzz cover check trace-smoke clean
 
 build:
 	$(GO) build ./...
@@ -44,6 +44,15 @@ bench:
 bench-dp:
 	$(GO) run ./cmd/benchdp -out BENCH_dataplane.json -min-speedup 10
 
+# reopt replays the continuous re-optimization loop (warm-started
+# parametric LP + make-before-break rule transactions) over the diurnal
+# traffic series on Internet2 and GEANT, writing BENCH_reopt.json. The
+# built-in gates fail the target unless warm re-solves pivot strictly
+# less than cold solves, steady-state rule churn stays below a full
+# reinstall, and every audited commit is violation-free.
+reopt:
+	$(GO) run ./cmd/applereopt -out BENCH_reopt.json
+
 # fuzz runs each flow-table fuzz target for FUZZTIME. Go's fuzzer accepts
 # one -fuzz pattern per invocation, so targets run back to back; any
 # counterexample is minimized into internal/flowtable/testdata/fuzz/.
@@ -74,4 +83,4 @@ trace-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_lp.json BENCH_dataplane.json coverage.out churn_trace.jsonl churn_metrics.json
+	rm -f BENCH_lp.json BENCH_dataplane.json BENCH_reopt.json coverage.out churn_trace.jsonl churn_metrics.json

@@ -1,0 +1,195 @@
+// Command applereopt replays the continuous re-optimization loop on the
+// diurnal traffic series and writes BENCH_reopt.json: per-pass warm vs
+// cold solve cost, the per-class delta classification, and the rule churn
+// each committed transaction performed. It is also the CI gate for the
+// loop's two contracts:
+//
+//   - warm re-solves must do strictly less simplex work than cold solves
+//     on the same inputs (pivot counts, which are deterministic, not wall
+//     time, which is not);
+//   - every commit must be audited violation-free — zero transient
+//     enforcement gaps across all make-before-break cutovers.
+//
+// Usage:
+//
+//	applereopt                        # Internet2+GEANT, BENCH_reopt.json
+//	applereopt -snapshots 48 -out -   # longer replay, JSON to stdout
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/apple-nfv/apple/internal/experiments"
+	"github.com/apple-nfv/apple/internal/metrics"
+)
+
+// PassReport is one re-optimization pass in the artifact.
+type PassReport struct {
+	Snapshot     int     `json:"snapshot"`
+	Warm         bool    `json:"warm"`
+	WarmAccepted bool    `json:"warm_accepted"`
+	Pivots       int     `json:"pivots"`
+	SolveMs      float64 `json:"solve_ms"`
+	ColdPivots   int     `json:"cold_pivots"`
+	ColdSolveMs  float64 `json:"cold_solve_ms"`
+	Added        int     `json:"added"`
+	Removed      int     `json:"removed"`
+	Updated      int     `json:"updated"`
+	RateOnly     int     `json:"rate_only"`
+	Unchanged    int     `json:"unchanged"`
+	RulesTouched int     `json:"rules_touched"`
+	RateDrift    float64 `json:"rate_drift"`
+}
+
+// TopoReport is one topology's replay.
+type TopoReport struct {
+	Topology string       `json:"topology"`
+	Passes   []PassReport `json:"passes"`
+	// Steady-state totals (first pass — the initial install — excluded).
+	WarmPivots   int     `json:"warm_pivots"`
+	ColdPivots   int     `json:"cold_pivots"`
+	WarmMs       float64 `json:"warm_ms"`
+	ColdMs       float64 `json:"cold_ms"`
+	RulesTouched int     `json:"rules_touched"`
+	// RulesInstalledFirst is the initial full install's churn — the
+	// denominator that shows steady-state passes touch a small fraction.
+	RulesInstalledFirst int `json:"rules_installed_first"`
+	Violations          int `json:"violations"`
+}
+
+// Report is the whole BENCH_reopt.json document.
+type Report struct {
+	GeneratedAt string                `json:"generated_at"`
+	Seed        int64                 `json:"scenario_seed"`
+	Snapshots   int                   `json:"snapshots"`
+	Stride      int                   `json:"stride"`
+	Topologies  []TopoReport          `json:"topologies"`
+	Txn         metrics.TxnSnapshot   `json:"txn"`
+	Reopt       metrics.ReoptSnapshot `json:"reopt"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seed      = flag.Int64("seed", 1, "deterministic scenario seed")
+		snapshots = flag.Int("snapshots", 24, "re-optimization passes per topology")
+		stride    = flag.Int("stride", 2, "series snapshots per pass (drift per pass grows with stride)")
+		series    = flag.Int("series", 96, "diurnal series length generated per scenario")
+		verify    = flag.Bool("verify", true, "probe enforcement for every changed class each pass")
+		gate      = flag.Bool("gate", true, "fail unless warm pivots < cold pivots and violations == 0")
+		out       = flag.String("out", "BENCH_reopt.json", "output path, or - for stdout")
+	)
+	flag.Parse()
+
+	opts := experiments.Options{Seed: *seed, Snapshots: *series}
+	in2, err := experiments.Internet2(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "applereopt: %v\n", err)
+		return 1
+	}
+	geant, err := experiments.GEANT(opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "applereopt: %v\n", err)
+		return 1
+	}
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        *seed,
+		Snapshots:   *snapshots,
+		Stride:      *stride,
+	}
+	cfg := experiments.ReoptConfig{
+		Snapshots:    *snapshots,
+		Stride:       *stride,
+		Verify:       *verify,
+		Reap:         true,
+		ColdBaseline: true,
+	}
+	fail := false
+	for _, sc := range []*experiments.Scenario{in2, geant} {
+		res, err := experiments.RunReopt(sc, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "applereopt: %s: %v\n", sc.Name, err)
+			return 1
+		}
+		tr := TopoReport{
+			Topology:     res.Topology,
+			WarmPivots:   res.WarmPivots(),
+			ColdPivots:   res.ColdPivots(),
+			RulesTouched: res.RulesTouched(),
+			Violations:   res.Violations,
+		}
+		for i, p := range res.Passes {
+			pr := PassReport{
+				Snapshot:     p.Snapshot,
+				Warm:         p.Warm,
+				WarmAccepted: p.WarmAccepted,
+				Pivots:       p.Pivots,
+				SolveMs:      float64(p.SolveTime.Microseconds()) / 1e3,
+				ColdPivots:   p.ColdPivots,
+				ColdSolveMs:  float64(p.ColdSolveTime.Microseconds()) / 1e3,
+				Added:        p.Added,
+				Removed:      p.Removed,
+				Updated:      p.Updated,
+				RateOnly:     p.RateOnly,
+				Unchanged:    p.Unchanged,
+				RulesTouched: p.RulesTouched,
+				RateDrift:    p.RateDrift,
+			}
+			tr.Passes = append(tr.Passes, pr)
+			if i == 0 {
+				tr.RulesInstalledFirst = p.RulesTouched
+			} else {
+				tr.WarmMs += pr.SolveMs
+				tr.ColdMs += pr.ColdSolveMs
+			}
+		}
+		rep.Topologies = append(rep.Topologies, tr)
+		fmt.Fprintf(os.Stderr, "%-10s warm %6d pivots / cold %6d  rules %5d (first install %5d)  violations %d\n",
+			tr.Topology, tr.WarmPivots, tr.ColdPivots, tr.RulesTouched, tr.RulesInstalledFirst, tr.Violations)
+		if *gate {
+			if tr.Violations != 0 {
+				fmt.Fprintf(os.Stderr, "applereopt: GATE: %s had %d transient violations (want 0)\n", tr.Topology, tr.Violations)
+				fail = true
+			}
+			if tr.WarmPivots >= tr.ColdPivots {
+				fmt.Fprintf(os.Stderr, "applereopt: GATE: %s warm pivots %d not below cold %d\n", tr.Topology, tr.WarmPivots, tr.ColdPivots)
+				fail = true
+			}
+			if tr.RulesTouched >= tr.RulesInstalledFirst*len(tr.Passes) {
+				fmt.Fprintf(os.Stderr, "applereopt: GATE: %s steady-state churn %d not below full reinstall %d\n",
+					tr.Topology, tr.RulesTouched, tr.RulesInstalledFirst*len(tr.Passes))
+				fail = true
+			}
+		}
+	}
+	rep.Txn = metrics.Txn.Snapshot()
+	rep.Reopt = metrics.Reopt.Snapshot()
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "applereopt: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "applereopt: %v\n", err)
+		return 1
+	}
+	if fail {
+		return 1
+	}
+	return 0
+}

@@ -347,6 +347,13 @@ func (c *Controller) repoolInstance(v topology.NodeID, inst *vnf.Instance) {
 				kept = append(kept, other)
 			}
 		}
+		// Same tail-aliasing hazard as dropFromPool: the truncated slots
+		// keep the moved instance reachable from the old bucket's array.
+		clear(insts[len(kept):])
+		if len(kept) == 0 {
+			delete(c.instPool[v], nf)
+			continue
+		}
 		c.instPool[v][nf] = kept
 	}
 	for _, other := range c.instPool[v][inst.NF()] {

@@ -7,7 +7,6 @@ import (
 	"github.com/apple-nfv/apple/internal/core"
 	"github.com/apple-nfv/apple/internal/policy"
 	"github.com/apple-nfv/apple/internal/topology"
-	"github.com/apple-nfv/apple/internal/trace"
 	"github.com/apple-nfv/apple/internal/vnf"
 )
 
@@ -22,27 +21,17 @@ import (
 // Rules are generated exactly as for globally optimized classes, so
 // enforcement, tagging, and fast failover all apply to online classes
 // too.
+//
+// The install runs inside a rule transaction: if any stage fails — rule
+// emission, a TCAM install mid-batch, anything — the class is fully
+// backed out (assignment, tags, partial rules, provisioned instances)
+// and the controller is bit-identical to its pre-call state. The
+// historical behavior of leaving a failed class admitted with partial
+// rules installed is gone.
 func (c *Controller) AddClass(cl core.Class) error {
-	a, provisioned, err := c.admitArrival(cl)
-	if err != nil {
-		return err
-	}
-	ops, err := c.emitClassRules(a)
-	if err == nil {
-		if c.tracer.Enabled() {
-			c.tracer.Emit(trace.Ev(trace.KindFlowEmit).WithClass(int64(cl.ID)).WithVal(int64(len(ops))))
-		}
-		var n int
-		n, err = c.applyStaged(ops)
-		if c.tracer.Enabled() {
-			c.tracer.Emit(trace.Ev(trace.KindFlowApply).WithClass(int64(cl.ID)).WithVal(int64(n)).WithErr(err))
-		}
-	}
-	if err != nil {
-		c.unwindProvisioned(provisioned)
-		return err
-	}
-	return nil
+	txn := c.Begin()
+	txn.StageAdd(cl)
+	return txn.Commit(TxnOptions{})
 }
 
 // admitArrival runs the sequential stage of online flow setup for one
@@ -200,6 +189,17 @@ func (c *Controller) dropFromPool(id vnf.ID) {
 				if inst.ID() != id {
 					kept = append(kept, inst)
 				}
+			}
+			// The truncated tail still aliases the dropped *Instance from
+			// the shared backing array; clear it so the pool does not pin
+			// cancelled instances against the garbage collector.
+			clear(insts[len(kept):])
+			if len(kept) == 0 {
+				// An emptied bucket and a missing one behave identically,
+				// but keeping the entry would make a transaction unwind
+				// observably differ from the pre-transaction state.
+				delete(byNF, nf)
+				continue
 			}
 			c.instPool[v][nf] = kept
 		}

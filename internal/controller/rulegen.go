@@ -126,6 +126,21 @@ func (c *Controller) admitClass(cl core.Class, subs []core.Subclass) (*Assignmen
 	if c.assign.has(cl.ID) {
 		return nil, fmt.Errorf("controller: class %d already installed", cl.ID)
 	}
+	a, err := c.buildAssignment(cl, subs)
+	if err != nil {
+		return nil, err
+	}
+	c.assign.put(cl.ID, a)
+	c.journalAdmit(a)
+	return a, nil
+}
+
+// buildAssignment constructs the full assignment — capacity expansion,
+// instance picks, tag allocation — without registering it in the store or
+// journaling it. admitClass uses it for fresh installs; RuleTxn's update
+// cutover uses it to build the replacement generation while the old one
+// is still registered (so global-tag allocation avoids the live tags).
+func (c *Controller) buildAssignment(cl core.Class, subs []core.Subclass) (*Assignment, error) {
 	subs, err := expandForCapacity(cl, subs)
 	if err != nil {
 		return nil, fmt.Errorf("controller: %w", err)
@@ -172,25 +187,29 @@ func (c *Controller) admitClass(cl core.Class, subs []core.Subclass) (*Assignmen
 	if err := c.preallocHostTags(a); err != nil {
 		return nil, err
 	}
-	c.assign.put(cl.ID, a)
-	// Journal the admitted plan: one admit event, then the concrete
-	// instance serving every (sub-class, chain position) and the tag each
-	// sub-class was assigned. Emitted here — the sequential stage — so
-	// batch installs journal in arrival order.
-	if c.tracer.Enabled() {
-		c.tracer.Emit(trace.Ev(trace.KindFlowAdmit).WithClass(int64(cl.ID)).WithVal(int64(len(subs))))
-		for s, sub := range subs {
-			for j := range cl.Chain {
-				c.tracer.Emit(trace.Ev(trace.KindFlowPlace).
-					WithClass(int64(cl.ID)).WithSub(s).WithPos(j).
-					WithNode(int64(cl.Path[sub.Hops[j]])).
-					WithInst(string(a.Instances[s][j])))
-			}
-			c.tracer.Emit(trace.Ev(trace.KindFlowTag).
-				WithClass(int64(cl.ID)).WithSub(s).WithVal(int64(a.SubTags[s])))
-		}
-	}
 	return a, nil
+}
+
+// journalAdmit journals an admitted plan: one admit event, then the
+// concrete instance serving every (sub-class, chain position) and the tag
+// each sub-class was assigned. Called from the sequential stage, so batch
+// installs journal in arrival order.
+func (c *Controller) journalAdmit(a *Assignment) {
+	if !c.tracer.Enabled() {
+		return
+	}
+	cl := a.Class
+	c.tracer.Emit(trace.Ev(trace.KindFlowAdmit).WithClass(int64(cl.ID)).WithVal(int64(len(a.Subclasses))))
+	for s, sub := range a.Subclasses {
+		for j := range cl.Chain {
+			c.tracer.Emit(trace.Ev(trace.KindFlowPlace).
+				WithClass(int64(cl.ID)).WithSub(s).WithPos(j).
+				WithNode(int64(cl.Path[sub.Hops[j]])).
+				WithInst(string(a.Instances[s][j])))
+		}
+		c.tracer.Emit(trace.Ev(trace.KindFlowTag).
+			WithClass(int64(cl.ID)).WithSub(s).WithVal(int64(a.SubTags[s])))
+	}
 }
 
 // preallocHostTags touches every host tag the class's rules will carry, in

@@ -25,6 +25,7 @@ package controller
 
 import (
 	"fmt"
+	"slices"
 	"sync"
 
 	"github.com/apple-nfv/apple/internal/core"
@@ -98,6 +99,24 @@ func (st *assignStore) put(id core.ClassID, a *Assignment) {
 	metrics.FlowSetup.ShardAdmits.Inc(idx)
 }
 
+// replace swaps an existing class's assignment pointer (or restores a
+// removed one) without counting an admission — the rule-transaction
+// update/unwind path.
+func (st *assignStore) replace(id core.ClassID, a *Assignment) {
+	sh := st.shardOf(id)
+	sh.mu.Lock()
+	sh.m[id] = a
+	sh.mu.Unlock()
+}
+
+// remove deletes a class's assignment.
+func (st *assignStore) remove(id core.ClassID) {
+	sh := st.shardOf(id)
+	sh.mu.Lock()
+	delete(sh.m, id)
+	sh.mu.Unlock()
+}
+
 // ids returns every installed class ID, sorted.
 func (st *assignStore) ids() []core.ClassID {
 	var out []core.ClassID
@@ -129,11 +148,7 @@ func (st *assignStore) snapshot() map[core.ClassID]*Assignment {
 }
 
 func sortClassIDs(ids []core.ClassID) {
-	for i := 1; i < len(ids); i++ {
-		for j := i; j > 0 && ids[j] < ids[j-1]; j-- {
-			ids[j], ids[j-1] = ids[j-1], ids[j]
-		}
-	}
+	slices.Sort(ids)
 }
 
 // device identifies one programmable pipeline: a physical switch's TCAM or
@@ -213,12 +228,16 @@ type BatchOptions struct {
 }
 
 // AddClassBatch admits a batch of online flow arrivals through the staged
-// pipeline. The resulting controller state — assignments, tag allocations,
-// installed rules, and the rule-update count — is identical to calling
-// AddClass for each class in order; Forward traces and enforcement
-// verdicts therefore cannot differ from the serial path. If some class
-// fails admission, the classes admitted before it are still installed
-// (exactly the serial loop's postcondition) and the error is returned.
+// pipeline, inside one rule transaction. On success the resulting
+// controller state — assignments, tag allocations, installed rules, and
+// the rule-update count — is identical to calling AddClass for each class
+// in order; Forward traces and enforcement verdicts therefore cannot
+// differ from the serial path. If some class fails admission, the classes
+// admitted before it are still installed (exactly the serial loop's
+// postcondition) and the admission error is returned. If installation or
+// verification fails, the whole batch unwinds: no class from the batch
+// stays admitted, no partial rules remain, and every instance the batch
+// provisioned is cancelled.
 func (c *Controller) AddClassBatch(classes []core.Class, opts BatchOptions) error {
 	if len(classes) == 0 {
 		return nil
@@ -230,23 +249,32 @@ func (c *Controller) AddClassBatch(classes []core.Class, opts BatchOptions) erro
 	metrics.FlowSetup.Batches.Add(1)
 	metrics.FlowSetup.Arrivals.Add(int64(len(classes)))
 
-	// Stage 1 — admit, sequentially in arrival order.
+	txn := c.Begin()
+	txn.capture()
+
+	// Stage 1 — admit, sequentially in arrival order. Provisioned
+	// instance IDs are tracked in the transaction even for successful
+	// admissions: if a later stage fails, the unwind cancels them.
 	admitted := make([]*Assignment, 0, len(classes))
 	var admitErr error
 	for _, cl := range classes {
-		a, _, err := c.admitArrival(cl)
+		a, provisioned, err := c.admitArrival(cl)
+		txn.trackProvisioned(provisioned)
 		if err != nil {
 			admitErr = fmt.Errorf("controller: batch admit class %d: %w", cl.ID, err)
 			break
 		}
+		txn.trackAdmitted(cl.ID)
 		admitted = append(admitted, a)
 	}
 
 	// Stages 2–4 run for whatever was admitted, even when a later class
 	// failed admission, so the postcondition matches the serial loop.
-	if err := c.installAdmitted(admitted, workers, opts.Verify); err != nil {
+	if err := c.installAdmitted(admitted, workers, opts.Verify, txn); err != nil {
+		txn.unwind(err)
 		return err
 	}
+	txn.finish()
 	return admitErr
 }
 
@@ -254,7 +282,10 @@ func (c *Controller) AddClassBatch(classes []core.Class, opts BatchOptions) erro
 // admitted assignments. Journal events are emitted only from this
 // coordinator, after each parallel stage completes and in index order —
 // never from the worker closures — so the journal stays deterministic.
-func (c *Controller) installAdmitted(admitted []*Assignment, workers int, verify bool) (err error) {
+// When txn is non-nil, every group table is snapshotted before the
+// parallel apply touches it and the install/remove churn is accounted to
+// the transaction.
+func (c *Controller) installAdmitted(admitted []*Assignment, workers int, verify bool, txn *RuleTxn) (err error) {
 	if len(admitted) == 0 {
 		return nil
 	}
@@ -301,6 +332,20 @@ func (c *Controller) installAdmitted(admitted []*Assignment, workers int, verify
 			groups[k] = append(groups[k], op.op)
 		}
 	}
+	var tables []tableKey
+	sizeBefore := 0
+	if txn != nil {
+		// Pre-image every target table before any worker mutates it, so
+		// a mid-batch failure can restore all of them.
+		tables = make([]tableKey, len(order))
+		for i, k := range order {
+			tables[i] = tableKey{dev: k.dev, table: k.table}
+			if err := txn.snapshotTable(tables[i]); err != nil {
+				return err
+			}
+		}
+		sizeBefore = txn.sizeOf(tables)
+	}
 	installed := make([]int, len(order))
 	if err := pool.RunIndexed(len(order), workers, func(i int) error {
 		k := order[i]
@@ -317,6 +362,12 @@ func (c *Controller) installAdmitted(admitted []*Assignment, workers int, verify
 	}
 	for _, n := range installed {
 		installedTotal += int64(n)
+	}
+	if txn != nil {
+		txn.installed += int(installedTotal)
+		if rem := sizeBefore + int(installedTotal) - txn.sizeOf(tables); rem > 0 {
+			txn.removed += rem
+		}
 	}
 	if c.tracer.Enabled() {
 		for i, k := range order {

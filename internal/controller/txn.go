@@ -1,0 +1,742 @@
+package controller
+
+// Rule transactions: commit-or-unwind mutation of the controller's flow
+// state. Every online mutation path (AddClass, AddClassBatch, ReOptimize)
+// runs inside a RuleTxn, which makes the historical partial-install bugs
+// impossible by construction: a class can no longer end up admitted in
+// the assignment store with half its rules installed, and provisioned
+// instances can no longer leak when a later stage fails.
+//
+// Protocol (make-before-break):
+//
+//	stage      — callers declare class-set deltas (adds, updates,
+//	             removals). Nothing is touched.
+//	commit     — deltas execute in add → update → remove order. Within
+//	             an update, the new rules are installed before the stale
+//	             ones are removed, and each flow table changes in a
+//	             single ApplyBatch critical section (the copy-on-write
+//	             matcher publishes old/new atomically per table).
+//	verify     — optional enforcement probes after each class's rules
+//	             land; an optional audit hook (CheckInvariants in the
+//	             harnesses) runs at every class boundary, proving the
+//	             intermediate states are violation-free.
+//	unwind     — on any error the transaction restores every flow table
+//	             it touched to its pre-image, deletes admitted
+//	             assignments, re-registers replaced/removed ones, cancels
+//	             provisioned instances, and swaps the portion and
+//	             global-tag bookkeeping back wholesale. Controller state
+//	             is bit-identical to the pre-transaction state.
+//
+// Process-global telemetry (metrics counters, the rule-update odometer,
+// the trace journal) is monotone and deliberately not rolled back: an
+// unwound transaction really did program and un-program TCAMs.
+//
+// A transaction is single-use and not safe for concurrent use; it
+// inherits the controller's single-writer discipline.
+
+import (
+	"fmt"
+	"reflect"
+	"strings"
+
+	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/flowtable"
+	"github.com/apple-nfv/apple/internal/metrics"
+	"github.com/apple-nfv/apple/internal/topology"
+	"github.com/apple-nfv/apple/internal/trace"
+	"github.com/apple-nfv/apple/internal/vnf"
+)
+
+// tableKey identifies one flow table of one device.
+type tableKey struct {
+	dev   device
+	table int
+}
+
+type txnOpKind int
+
+const (
+	txnAdd     txnOpKind = iota // greedy online placement (AddClass path)
+	txnInstall                  // placement-driven install (ReOptimize adds)
+	txnUpdate                   // full rule cutover to a new distribution
+	txnRefresh                  // bookkeeping-only rate change, rules untouched
+	txnRemove                   // class teardown
+)
+
+// txnOp is one staged class delta.
+type txnOp struct {
+	kind txnOpKind
+	cl   core.Class
+	dist [][]float64
+	id   core.ClassID
+}
+
+// TxnOptions tunes Commit.
+type TxnOptions struct {
+	// Verify runs CheckClassEnforcement for every class whose rules were
+	// installed or replaced, right after they land.
+	Verify bool
+	// Audit, when non-nil, runs after every class's delta completes (the
+	// per-class quiescent points). A non-nil return aborts and unwinds.
+	// The churn/invariant harnesses pass DynamicHandler.CheckInvariants
+	// here to prove zero transient violations.
+	Audit func() error
+}
+
+// RuleTxn stages a class-set delta and commits it atomically against the
+// controller. Obtain one from Controller.Begin.
+type RuleTxn struct {
+	c      *Controller
+	staged []txnOp
+
+	captured bool
+	finished bool
+	// Wholesale pre-images of the small bookkeeping maps.
+	prevPortion    map[vnf.ID]float64
+	prevGlobalTags map[topology.NodeID]map[uint8]bool
+	// Lazy flow-table pre-images, in first-touch order.
+	touched    []tableKey
+	tableSnaps map[tableKey][]flowtable.Rule
+	// Assignment-store deltas: classes put during the txn, and the
+	// pre-images of classes replaced or removed.
+	admitted   []core.ClassID
+	prevAssign map[core.ClassID]*Assignment
+	prevOrder  []core.ClassID
+	// Instances provisioned during the txn.
+	provisioned []vnf.ID
+
+	installed int
+	removed   int
+
+	// failpoint, when non-nil, runs at every named commit step; a
+	// non-nil return aborts the transaction there (test hook for the
+	// fault-injection suite).
+	failpoint func(point string) error
+}
+
+// Begin starts an empty transaction.
+func (c *Controller) Begin() *RuleTxn {
+	return &RuleTxn{
+		c:          c,
+		tableSnaps: make(map[tableKey][]flowtable.Rule),
+		prevAssign: make(map[core.ClassID]*Assignment),
+	}
+}
+
+// StageAdd stages an online arrival: greedy placement against live
+// capacity, provisioning instances as needed (the AddClass path).
+func (t *RuleTxn) StageAdd(cl core.Class) {
+	t.staged = append(t.staged, txnOp{kind: txnAdd, cl: cl})
+}
+
+// StageInstall stages a placement-driven install: the class's sub-class
+// distribution comes from an Optimization Engine placement instead of
+// the greedy planner. Instances must already be provisioned.
+func (t *RuleTxn) StageInstall(cl core.Class, dist [][]float64) {
+	t.staged = append(t.staged, txnOp{kind: txnInstall, cl: cl, dist: dist})
+}
+
+// StageUpdate stages a full cutover of an installed class to a new
+// distribution: new steering and classification rules are installed
+// before the stale ones are removed (make-before-break).
+func (t *RuleTxn) StageUpdate(cl core.Class, dist [][]float64) {
+	t.staged = append(t.staged, txnOp{kind: txnUpdate, cl: cl, dist: dist})
+}
+
+// StageRefresh stages a bookkeeping-only rate change for an installed
+// class whose rule set is unchanged: the assignment is replaced with one
+// carrying the new rate and the instance-portion ledger is retargeted,
+// but no flow table is touched.
+func (t *RuleTxn) StageRefresh(cl core.Class) {
+	t.staged = append(t.staged, txnOp{kind: txnRefresh, cl: cl})
+}
+
+// StageRemove stages a class teardown: classification first (new packets
+// stop matching), steering after, shared rules left in place.
+func (t *RuleTxn) StageRemove(id core.ClassID) {
+	t.staged = append(t.staged, txnOp{kind: txnRemove, id: id})
+}
+
+// Installed and Removed report the rule churn of a committed
+// transaction.
+func (t *RuleTxn) Installed() int { return t.installed }
+func (t *RuleTxn) Removed() int   { return t.removed }
+
+// Commit executes the staged deltas in make-before-break order — adds
+// first, updates next, removals last — and either commits them all or
+// unwinds every side effect. After Commit returns the transaction is
+// finished and must not be reused.
+func (t *RuleTxn) Commit(opts TxnOptions) (err error) {
+	if t.finished {
+		return fmt.Errorf("controller: transaction already finished")
+	}
+	if t.c.tracer.Enabled() {
+		t.c.tracer.Emit(trace.Ev(trace.KindTxnBegin).WithVal(int64(len(t.staged))))
+	}
+	t.capture()
+	defer func() {
+		if err != nil {
+			t.unwind(err)
+		} else {
+			t.finish()
+		}
+	}()
+	phases := []struct {
+		name string
+		want func(txnOpKind) bool
+	}{
+		{"add", func(k txnOpKind) bool { return k == txnAdd || k == txnInstall }},
+		{"update", func(k txnOpKind) bool { return k == txnUpdate || k == txnRefresh }},
+		{"remove", func(k txnOpKind) bool { return k == txnRemove }},
+	}
+	for _, ph := range phases {
+		for _, op := range t.staged {
+			if !ph.want(op.kind) {
+				continue
+			}
+			switch op.kind {
+			case txnAdd, txnInstall:
+				err = t.commitAdd(op, opts)
+			case txnUpdate:
+				err = t.commitUpdate(op, opts)
+			case txnRefresh:
+				err = t.commitRefresh(op)
+			case txnRemove:
+				err = t.commitRemove(op)
+			}
+			if err != nil {
+				return err
+			}
+			if opts.Audit != nil {
+				if err = opts.Audit(); err != nil {
+					return fmt.Errorf("controller: transaction audit after class delta: %w", err)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// capture snapshots the wholesale bookkeeping maps. Idempotent; also the
+// entry point for the lower-level capture API AddClassBatch uses.
+func (t *RuleTxn) capture() {
+	if t.captured {
+		return
+	}
+	t.captured = true
+	metrics.Txn.Begun.Add(1)
+	t.prevPortion = make(map[vnf.ID]float64, len(t.c.instPortion))
+	for id, p := range t.c.instPortion {
+		t.prevPortion[id] = p
+	}
+	t.prevGlobalTags = make(map[topology.NodeID]map[uint8]bool, len(t.c.hostGlobalTags))
+	for v, tags := range t.c.hostGlobalTags {
+		cp := make(map[uint8]bool, len(tags))
+		for tag, on := range tags {
+			cp[tag] = on
+		}
+		t.prevGlobalTags[v] = cp
+	}
+}
+
+// finish marks a successful commit.
+func (t *RuleTxn) finish() {
+	t.finished = true
+	metrics.Txn.Committed.Add(1)
+	metrics.Txn.RulesInstalled.Add(int64(t.installed))
+	metrics.Txn.RulesRemoved.Add(int64(t.removed))
+	if t.c.tracer.Enabled() {
+		t.c.tracer.Emit(trace.Ev(trace.KindTxnCommit).WithVal(int64(t.installed)))
+	}
+}
+
+// unwind restores the controller to its pre-transaction state: flow
+// tables to their pre-images (reverse touch order), admitted classes out
+// of the store, replaced/removed classes back in, provisioned instances
+// cancelled and de-pooled, and the portion/global-tag maps swapped back
+// wholesale.
+func (t *RuleTxn) unwind(cause error) {
+	t.finished = true
+	c := t.c
+	restored := 0
+	for i := len(t.touched) - 1; i >= 0; i-- {
+		k := t.touched[i]
+		tbl, err := c.deviceTable(k.dev, k.table)
+		if err != nil {
+			continue
+		}
+		for _, name := range tbl.Names() {
+			tbl.Remove(name)
+		}
+		snap := t.tableSnaps[k]
+		if len(snap) > 0 {
+			ops := make([]flowtable.BatchOp, len(snap))
+			for j, r := range snap {
+				ops[j] = flowtable.BatchOp{Rule: r}
+			}
+			// Re-installing a previously valid rule set into an emptied
+			// table cannot fail validation or capacity.
+			_, _ = tbl.ApplyBatch(ops)
+		}
+		restored++
+	}
+	for i := len(t.admitted) - 1; i >= 0; i-- {
+		c.assign.remove(t.admitted[i])
+	}
+	for i := len(t.prevOrder) - 1; i >= 0; i-- {
+		id := t.prevOrder[i]
+		c.assign.replace(id, t.prevAssign[id])
+	}
+	for _, id := range t.provisioned {
+		_ = c.orch.Cancel(id)
+		c.dropFromPool(id)
+	}
+	c.instPortion = t.prevPortion
+	c.hostGlobalTags = t.prevGlobalTags
+	metrics.Txn.Unwound.Add(1)
+	metrics.Txn.TablesRestored.Add(int64(restored))
+	if c.tracer.Enabled() {
+		c.tracer.Emit(trace.Ev(trace.KindTxnUnwind).WithVal(int64(restored)).WithErr(cause))
+	}
+}
+
+// fail triggers the named failpoint when the test hook is set.
+func (t *RuleTxn) fail(point string, id core.ClassID) error {
+	if t.failpoint == nil {
+		return nil
+	}
+	return t.failpoint(fmt.Sprintf("%s:%d", point, id))
+}
+
+// snapshotTable records a table's pre-image before its first mutation.
+func (t *RuleTxn) snapshotTable(k tableKey) error {
+	if _, ok := t.tableSnaps[k]; ok {
+		return nil
+	}
+	tbl, err := t.c.deviceTable(k.dev, k.table)
+	if err != nil {
+		return err
+	}
+	t.tableSnaps[k] = tbl.Rules()
+	t.touched = append(t.touched, k)
+	return nil
+}
+
+// sizeOf sums the current rule counts of the given tables.
+func (t *RuleTxn) sizeOf(keys []tableKey) int {
+	total := 0
+	for _, k := range keys {
+		if tbl, err := t.c.deviceTable(k.dev, k.table); err == nil {
+			total += tbl.Size()
+		}
+	}
+	return total
+}
+
+// distinctTables lists the tables a staged-op sequence touches, in
+// first-appearance order.
+func distinctTables(ops []stagedOp) []tableKey {
+	var keys []tableKey
+	seen := make(map[tableKey]bool)
+	for _, op := range ops {
+		k := tableKey{op.dev, op.table}
+		if !seen[k] {
+			seen[k] = true
+			keys = append(keys, k)
+		}
+	}
+	return keys
+}
+
+// apply snapshots every table the ops touch and then installs them via
+// the serial apply path, accounting installed and removed rules.
+func (t *RuleTxn) apply(ops []stagedOp) (int, error) {
+	keys := distinctTables(ops)
+	for _, k := range keys {
+		if err := t.snapshotTable(k); err != nil {
+			return 0, err
+		}
+	}
+	before := t.sizeOf(keys)
+	n, err := t.c.applyStaged(ops)
+	after := t.sizeOf(keys)
+	t.installed += n
+	if rem := before + n - after; rem > 0 {
+		t.removed += rem
+	}
+	return n, err
+}
+
+// ensurePassBy snapshots the APPLE table of every switch still missing
+// the shared pass-by rule, then installs through the controller's
+// idempotent path.
+func (t *RuleTxn) ensurePassBy() error {
+	for v, sw := range t.c.switches {
+		tbl, err := sw.Pipeline.Table(TableAPPLE)
+		if err != nil {
+			return fmt.Errorf("controller: %w", err)
+		}
+		if tbl.Has("pass-by") {
+			continue
+		}
+		if err := t.snapshotTable(tableKey{dev: device{node: v}, table: TableAPPLE}); err != nil {
+			return err
+		}
+	}
+	return t.c.ensurePassBy()
+}
+
+// trackPrevAssign records the pre-image of a class the transaction is
+// about to replace or remove (first write wins).
+func (t *RuleTxn) trackPrevAssign(id core.ClassID, a *Assignment) {
+	if _, ok := t.prevAssign[id]; ok {
+		return
+	}
+	t.prevAssign[id] = a
+	t.prevOrder = append(t.prevOrder, id)
+}
+
+// trackAdmitted and trackProvisioned record admit-stage side effects
+// performed outside commitAdd — the lower-level capture API the batched
+// pipeline uses.
+func (t *RuleTxn) trackAdmitted(id core.ClassID) { t.admitted = append(t.admitted, id) }
+func (t *RuleTxn) trackProvisioned(ids []vnf.ID) { t.provisioned = append(t.provisioned, ids...) }
+
+// commitAdd installs one new class: the serial admit → emit → apply
+// sequence of the historical AddClass path, with every side effect
+// tracked for unwind.
+func (t *RuleTxn) commitAdd(op txnOp, opts TxnOptions) error {
+	c := t.c
+	cl := op.cl
+	if err := cl.Validate(c.g); err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
+	if c.assign.has(cl.ID) {
+		return fmt.Errorf("controller: class %d already installed", cl.ID)
+	}
+	if err := t.ensurePassBy(); err != nil {
+		return err
+	}
+	var subs []core.Subclass
+	if op.kind == txnAdd {
+		if err := t.fail("add:plan", cl.ID); err != nil {
+			return err
+		}
+		planned, provisioned, err := c.planClass(cl)
+		// planClass is all-or-nothing: on failure its own provisioning is
+		// already cancelled.
+		t.trackProvisioned(provisioned)
+		if err != nil {
+			return err
+		}
+		subs = planned
+	} else {
+		if err := t.fail("install:plan", cl.ID); err != nil {
+			return err
+		}
+		derived, err := core.Subclasses(cl, op.dist)
+		if err != nil {
+			return fmt.Errorf("controller: %w", err)
+		}
+		subs = derived
+	}
+	if err := t.fail("add:admit", cl.ID); err != nil {
+		return err
+	}
+	a, err := c.admitClass(cl, subs)
+	if err != nil {
+		return err
+	}
+	t.trackAdmitted(cl.ID)
+	if err := t.fail("add:emit", cl.ID); err != nil {
+		return err
+	}
+	ops, err := c.emitClassRules(a)
+	if err != nil {
+		return err
+	}
+	if c.tracer.Enabled() {
+		c.tracer.Emit(trace.Ev(trace.KindFlowEmit).WithClass(int64(cl.ID)).WithVal(int64(len(ops))))
+	}
+	if err := t.fail("add:apply", cl.ID); err != nil {
+		return err
+	}
+	n, err := t.apply(ops)
+	if c.tracer.Enabled() {
+		c.tracer.Emit(trace.Ev(trace.KindFlowApply).WithClass(int64(cl.ID)).WithVal(int64(n)).WithErr(err))
+	}
+	if err != nil {
+		return err
+	}
+	if opts.Verify {
+		if err := t.fail("add:verify", cl.ID); err != nil {
+			return err
+		}
+		metrics.FlowSetup.VerifyProbes.Add(1)
+		if err := c.CheckClassEnforcement(cl.ID); err != nil {
+			return err
+		}
+		if c.tracer.Enabled() {
+			c.tracer.Emit(trace.Ev(trace.KindFlowVerify).WithClass(int64(cl.ID)))
+		}
+	}
+	return nil
+}
+
+// groupStaged partitions staged ops by target table, preserving
+// first-appearance order.
+func groupStaged(ops []stagedOp) (map[tableKey][]stagedOp, []tableKey) {
+	groups := make(map[tableKey][]stagedOp)
+	var order []tableKey
+	for _, op := range ops {
+		k := tableKey{op.dev, op.table}
+		if _, ok := groups[k]; !ok {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], op)
+	}
+	return groups, order
+}
+
+// ownedRemovals builds remove operations for the class-owned rule names
+// (vsw-<id>-* steering, cls-<id> classification) present in a group's
+// ops. Shared idempotent rules (route-*, host-match, pass-by) are never
+// removed — other classes may depend on them.
+func ownedRemovals(cl core.ClassID, k tableKey, ops []stagedOp) []stagedOp {
+	vswPrefix := fmt.Sprintf("vsw-%d-", cl)
+	clsName := fmt.Sprintf("cls-%d", cl)
+	var out []stagedOp
+	seen := make(map[string]bool)
+	for _, op := range ops {
+		name := op.op.Rule.Name
+		if op.op.Remove != "" {
+			name = op.op.Remove
+		}
+		if name == "" || seen[name] {
+			continue
+		}
+		if strings.HasPrefix(name, vswPrefix) || name == clsName {
+			seen[name] = true
+			out = append(out, stagedOp{dev: k.dev, table: k.table, op: flowtable.BatchOp{Remove: name}})
+		}
+	}
+	return out
+}
+
+// commitUpdate cuts an installed class over to a new distribution with
+// zero transient violations:
+//
+//  1. shared adds and changed steering tables swap first — each table's
+//     old steering rules are removed and the new ones installed in one
+//     ApplyBatch (packets in flight match either the complete old or the
+//     complete new rule set of that table, never a mix);
+//  2. the ingress classification flips (emitClassification's batch is
+//     already remove-then-install);
+//  3. the store pointer swaps to the new assignment;
+//  4. tables only the old placement used are cleaned of the class's
+//     rules, old global tags are released and old portions retired.
+//
+// Tables whose old and new rule groups compile identically are skipped —
+// this is what makes rules-touched proportional to drift.
+func (t *RuleTxn) commitUpdate(op txnOp, opts TxnOptions) error {
+	c := t.c
+	cl := op.cl
+	old, ok := c.assign.get(cl.ID)
+	if !ok {
+		return fmt.Errorf("controller: class %d is not installed", cl.ID)
+	}
+	if err := t.fail("update:plan", cl.ID); err != nil {
+		return err
+	}
+	subs, err := core.Subclasses(cl, op.dist)
+	if err != nil {
+		return fmt.Errorf("controller: %w", err)
+	}
+	if err := t.ensurePassBy(); err != nil {
+		return err
+	}
+	if err := t.fail("update:build", cl.ID); err != nil {
+		return err
+	}
+	// Build the replacement assignment without registering it. Old global
+	// tags are still registered, so a global class draws fresh,
+	// non-conflicting tags; portions double-count old+new until retire —
+	// the capacity a make-before-break window genuinely holds.
+	newA, err := c.buildAssignment(cl, subs)
+	if err != nil {
+		return err
+	}
+	oldOps, err := c.emitClassRules(old)
+	if err != nil {
+		return err
+	}
+	newOps, err := c.emitClassRules(newA)
+	if err != nil {
+		return err
+	}
+	oldG, oldOrder := groupStaged(oldOps)
+	newG, newOrder := groupStaged(newOps)
+	clsKey := tableKey{dev: device{node: cl.Path[0]}, table: TableAPPLE}
+
+	// Phase 1: shared adds and changed steering tables, new rules in the
+	// same batch that drops that table's old generation.
+	if err := t.fail("update:steer", cl.ID); err != nil {
+		return err
+	}
+	var clsBatch []stagedOp
+	for _, k := range newOrder {
+		if reflect.DeepEqual(oldG[k], newG[k]) {
+			continue // identical compilation — untouched
+		}
+		batch := append(ownedRemovals(old.Class.ID, k, oldG[k]), newG[k]...)
+		if k == clsKey {
+			clsBatch = batch
+			continue
+		}
+		if _, err := t.apply(batch); err != nil {
+			return err
+		}
+	}
+	// Phase 2: ingress classification flip.
+	if clsBatch != nil {
+		if err := t.fail("update:cls", cl.ID); err != nil {
+			return err
+		}
+		if _, err := t.apply(clsBatch); err != nil {
+			return err
+		}
+	}
+	// Phase 3: swap the control-plane view.
+	if err := t.fail("update:swap", cl.ID); err != nil {
+		return err
+	}
+	t.trackPrevAssign(cl.ID, old)
+	c.assign.replace(cl.ID, newA)
+	c.journalAdmit(newA)
+	// Phase 4: retire the old generation — tables the new placement no
+	// longer touches, old global tags, old portions.
+	if err := t.fail("update:retire", cl.ID); err != nil {
+		return err
+	}
+	for _, k := range oldOrder {
+		if _, inNew := newG[k]; inNew {
+			continue
+		}
+		if batch := ownedRemovals(old.Class.ID, k, oldG[k]); len(batch) > 0 {
+			if _, err := t.apply(batch); err != nil {
+				return err
+			}
+		}
+	}
+	c.releaseSubTags(old, 0)
+	retirePortions(c, old)
+	if opts.Verify {
+		if err := t.fail("update:verify", cl.ID); err != nil {
+			return err
+		}
+		metrics.FlowSetup.VerifyProbes.Add(1)
+		if err := c.CheckClassEnforcement(cl.ID); err != nil {
+			return err
+		}
+		if c.tracer.Enabled() {
+			c.tracer.Emit(trace.Ev(trace.KindFlowVerify).WithClass(int64(cl.ID)))
+		}
+	}
+	return nil
+}
+
+// commitRefresh replaces an installed class's assignment with one
+// carrying a new rate but the same sub-class shape: no rules move, only
+// the store entry and the instance-portion ledger.
+func (t *RuleTxn) commitRefresh(op txnOp) error {
+	c := t.c
+	cl := op.cl
+	old, ok := c.assign.get(cl.ID)
+	if !ok {
+		return fmt.Errorf("controller: class %d is not installed", cl.ID)
+	}
+	if err := t.fail("refresh:swap", cl.ID); err != nil {
+		return err
+	}
+	newA := &Assignment{
+		Class:      cl,
+		Prefix:     old.Prefix,
+		Subclasses: old.Subclasses,
+		Weights:    append([]float64(nil), old.Weights...),
+		Base:       append([]float64(nil), old.Base...),
+		Instances:  old.Instances,
+		Global:     old.Global,
+		SubTags:    old.SubTags,
+	}
+	t.trackPrevAssign(cl.ID, old)
+	c.assign.replace(cl.ID, newA)
+	retirePortions(c, old)
+	addPortions(c, newA)
+	return nil
+}
+
+// commitRemove tears one class down: classification first (arriving
+// packets stop matching), steering after, shared rules untouched.
+func (t *RuleTxn) commitRemove(op txnOp) error {
+	c := t.c
+	a, ok := c.assign.get(op.id)
+	if !ok {
+		return fmt.Errorf("controller: class %d is not installed", op.id)
+	}
+	if err := t.fail("remove:emit", op.id); err != nil {
+		return err
+	}
+	ops, err := c.emitClassRules(a)
+	if err != nil {
+		return err
+	}
+	groups, order := groupStaged(ops)
+	clsKey := tableKey{dev: device{node: a.Class.Path[0]}, table: TableAPPLE}
+	if err := t.fail("remove:cls", op.id); err != nil {
+		return err
+	}
+	if batch := ownedRemovals(a.Class.ID, clsKey, groups[clsKey]); len(batch) > 0 {
+		if _, err := t.apply(batch); err != nil {
+			return err
+		}
+	}
+	if err := t.fail("remove:steer", op.id); err != nil {
+		return err
+	}
+	for _, k := range order {
+		if k == clsKey {
+			continue
+		}
+		if batch := ownedRemovals(a.Class.ID, k, groups[k]); len(batch) > 0 {
+			if _, err := t.apply(batch); err != nil {
+				return err
+			}
+		}
+	}
+	if err := t.fail("remove:unregister", op.id); err != nil {
+		return err
+	}
+	t.trackPrevAssign(op.id, a)
+	c.assign.remove(op.id)
+	c.releaseSubTags(a, 0)
+	retirePortions(c, a)
+	return nil
+}
+
+// retirePortions subtracts an assignment's per-instance planned load
+// from the portion ledger; addPortions is its inverse.
+func retirePortions(c *Controller, a *Assignment) {
+	for s, sub := range a.Subclasses {
+		for j := range a.Class.Chain {
+			c.instPortion[a.Instances[s][j]] -= a.Class.RateMbps * sub.Portion
+		}
+	}
+}
+
+func addPortions(c *Controller, a *Assignment) {
+	for s, sub := range a.Subclasses {
+		for j := range a.Class.Chain {
+			c.instPortion[a.Instances[s][j]] += a.Class.RateMbps * sub.Portion
+		}
+	}
+}

@@ -1,0 +1,408 @@
+package controller
+
+// Fault-injection suite for the rule-transaction unwind contract: a
+// failure at ANY commit step must leave the controller byte-identical to
+// its pre-transaction state (excluding monotone telemetry — metrics
+// counters, the rule-update odometer, and the trace journal record that
+// the TCAMs really were programmed and unprogrammed).
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/flowtable"
+	"github.com/apple-nfv/apple/internal/orchestrator"
+	"github.com/apple-nfv/apple/internal/policy"
+	"github.com/apple-nfv/apple/internal/sim"
+	"github.com/apple-nfv/apple/internal/topology"
+	"github.com/apple-nfv/apple/internal/vnf"
+)
+
+var errInjected = errors.New("injected fault")
+
+func fmtPtr[T any](p *T) string {
+	if p == nil {
+		return "-"
+	}
+	return fmt.Sprint(*p)
+}
+
+// fmtRule renders a rule with its match pointers dereferenced, so two
+// semantically identical tables produce identical digests.
+func fmtRule(r flowtable.Rule) string {
+	m := r.Match
+	return fmt.Sprintf("%s p%d ht=%s st=%s in=%s src=%s dst=%s proto=%s sp=%s dp=%s act=%v",
+		r.Name, r.Priority, fmtPtr(m.HostTag), fmtPtr(m.SubTag), fmtPtr(m.InPort),
+		fmtPtr(m.Src), fmtPtr(m.Dst), fmtPtr(m.Proto), fmtPtr(m.SrcPort), fmtPtr(m.DstPort),
+		r.Actions)
+}
+
+// stateDigest serializes every piece of controller state the unwind
+// contract covers: assignments, portion ledger, global tags, instance
+// pools, orchestrator inventory, host resource usage, and every rule of
+// every switch and vSwitch table.
+func stateDigest(t *testing.T, c *Controller) string {
+	t.Helper()
+	var b strings.Builder
+
+	snap := c.assign.snapshot()
+	ids := make([]int, 0, len(snap))
+	for id := range snap {
+		ids = append(ids, int(id))
+	}
+	sort.Ints(ids)
+	for _, idi := range ids {
+		a := snap[core.ClassID(idi)]
+		fmt.Fprintf(&b, "class %d: cl=%+v prefix=%v subs=%v w=%v base=%v inst=%v global=%v tags=%v\n",
+			idi, a.Class, a.Prefix, a.Subclasses, a.Weights, a.Base, a.Instances, a.Global, a.SubTags)
+	}
+
+	pids := make([]string, 0, len(c.instPortion))
+	for id := range c.instPortion {
+		pids = append(pids, string(id))
+	}
+	sort.Strings(pids)
+	for _, id := range pids {
+		fmt.Fprintf(&b, "portion %s=%.9f\n", id, c.instPortion[vnf.ID(id)])
+	}
+
+	tagNodes := make([]int, 0, len(c.hostGlobalTags))
+	for v := range c.hostGlobalTags {
+		tagNodes = append(tagNodes, int(v))
+	}
+	sort.Ints(tagNodes)
+	for _, vi := range tagNodes {
+		tags := c.hostGlobalTags[topology.NodeID(vi)]
+		keys := make([]int, 0, len(tags))
+		for tag, on := range tags {
+			if on {
+				keys = append(keys, int(tag))
+			}
+		}
+		sort.Ints(keys)
+		fmt.Fprintf(&b, "gtags %d=%v\n", vi, keys)
+	}
+
+	poolNodes := make([]int, 0, len(c.instPool))
+	for v := range c.instPool {
+		poolNodes = append(poolNodes, int(v))
+	}
+	sort.Ints(poolNodes)
+	for _, vi := range poolNodes {
+		byNF := c.instPool[topology.NodeID(vi)]
+		nfs := make([]int, 0, len(byNF))
+		for nf := range byNF {
+			nfs = append(nfs, int(nf))
+		}
+		sort.Ints(nfs)
+		for _, nfi := range nfs {
+			var names []string
+			for _, inst := range byNF[policy.NF(nfi)] {
+				names = append(names, string(inst.ID()))
+			}
+			fmt.Fprintf(&b, "pool %d/%d=%v\n", vi, nfi, names)
+		}
+	}
+
+	fmt.Fprintf(&b, "orch=%v\n", c.orch.Instances())
+	hostNodes := make([]int, 0, len(c.hosts))
+	for v := range c.hosts {
+		hostNodes = append(hostNodes, int(v))
+	}
+	sort.Ints(hostNodes)
+	for _, vi := range hostNodes {
+		fmt.Fprintf(&b, "hostres %d=%+v\n", vi, c.hosts[topology.NodeID(vi)].Used())
+	}
+
+	swNodes := make([]int, 0, len(c.switches))
+	for v := range c.switches {
+		swNodes = append(swNodes, int(v))
+	}
+	sort.Ints(swNodes)
+	for _, vi := range swNodes {
+		pl := c.switches[topology.NodeID(vi)].Pipeline
+		for ti := 0; ti < pl.NumTables(); ti++ {
+			tbl, err := pl.Table(ti)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range tbl.Rules() {
+				fmt.Fprintf(&b, "sw %d/%d %s\n", vi, ti, fmtRule(r))
+			}
+		}
+	}
+	for _, vi := range hostNodes {
+		pl := c.hosts[topology.NodeID(vi)].VSwitch()
+		for ti := 0; ti < pl.NumTables(); ti++ {
+			tbl, err := pl.Table(ti)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, r := range tbl.Rules() {
+				fmt.Fprintf(&b, "vsw %d/%d %s\n", vi, ti, fmtRule(r))
+			}
+		}
+	}
+	return b.String()
+}
+
+func firstDiff(a, b string) string {
+	al, bl := strings.Split(a, "\n"), strings.Split(b, "\n")
+	for i := 0; i < len(al) || i < len(bl); i++ {
+		var x, y string
+		if i < len(al) {
+			x = al[i]
+		}
+		if i < len(bl) {
+			y = bl[i]
+		}
+		if x != y {
+			return fmt.Sprintf("line %d:\n  pre:  %s\n  post: %s", i+1, x, y)
+		}
+	}
+	return ""
+}
+
+// txnFixture is a controller with three installed classes plus a staged
+// five-op transaction exercising every op kind: a greedy add (NAT,
+// global tags, in-txn provisioning), a placement-driven install, a full
+// cutover update that moves class 0's hops, a rate-only refresh, and a
+// removal.
+type txnFixture struct {
+	c       *Controller
+	handler *DynamicHandler
+	stage   func(*RuleTxn)
+}
+
+func zeroDist(hops, chain int) [][]float64 {
+	d := make([][]float64, hops)
+	for h := range d {
+		d[h] = make([]float64, chain)
+	}
+	return d
+}
+
+func newTxnFixture(t *testing.T) *txnFixture {
+	t.Helper()
+	g := lineTopo(t, 4)
+	c, err := New(Config{Topology: g, Clock: sim.New(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cl := range reoptClasses() {
+		if err := c.AddClass(cl); err != nil {
+			t.Fatalf("AddClass(%d): %v", cl.ID, err)
+		}
+	}
+	handler, err := NewDynamicHandler(c)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Pre-provision firewall+IDS at a switch class 0 does not currently
+	// use, so the staged update genuinely moves its steering rules.
+	cl0 := reoptClasses()[0]
+	a0, ok := c.assign.get(0)
+	if !ok {
+		t.Fatal("class 0 not installed")
+	}
+	newHop := 1
+	if a0.Subclasses[0].Hops[0] == 1 {
+		newHop = 2
+	}
+	v2 := cl0.Path[newHop]
+	for _, nf := range []policy.NF{policy.Firewall, policy.IDS} {
+		inst, _, err := c.orch.PlaceNow(nf, v2)
+		if err != nil {
+			t.Fatalf("PlaceNow(%v,%d): %v", nf, v2, err)
+		}
+		c.poolAdd(v2, nf, inst)
+	}
+
+	cl0u := cl0
+	cl0u.RateMbps = 600
+	dist0 := zeroDist(len(cl0.Path), len(cl0.Chain))
+	for j := range cl0.Chain {
+		dist0[newHop][j] = 1
+	}
+	cl4 := core.Class{ID: 4, Path: linePath(4), Chain: policy.Chain{policy.Firewall}, RateMbps: 120}
+	dist4 := zeroDist(4, 1)
+	dist4[newHop][0] = 1
+	cl5 := core.Class{ID: 5, Path: linePath(4), Chain: policy.Chain{policy.NAT}, RateMbps: 200}
+	cl1r := reoptClasses()[1]
+	cl1r.RateMbps = 300
+
+	return &txnFixture{c: c, handler: handler, stage: func(txn *RuleTxn) {
+		txn.StageAdd(cl5)
+		txn.StageInstall(cl4, dist4)
+		txn.StageUpdate(cl0u, dist0)
+		txn.StageRefresh(cl1r)
+		txn.StageRemove(2)
+	}}
+}
+
+func (fx *txnFixture) opts() TxnOptions {
+	return TxnOptions{Verify: true, Audit: fx.handler.CheckInvariants}
+}
+
+// probeFailpoints commits the fixture's transaction with a recording
+// failpoint hook and returns every point that fired, in order.
+func probeFailpoints(t *testing.T) []string {
+	t.Helper()
+	fx := newTxnFixture(t)
+	var points []string
+	txn := fx.c.Begin()
+	fx.stage(txn)
+	txn.failpoint = func(p string) error {
+		points = append(points, p)
+		return nil
+	}
+	if err := txn.Commit(fx.opts()); err != nil {
+		t.Fatalf("probe commit: %v", err)
+	}
+	if err := fx.c.CheckEnforcement(); err != nil {
+		t.Fatalf("probe enforcement: %v", err)
+	}
+	return points
+}
+
+// TestTxnFailpointCoverage pins the set of commit steps the injection
+// suite exercises: every stage boundary of every op kind must fire.
+func TestTxnFailpointCoverage(t *testing.T) {
+	points := probeFailpoints(t)
+	fired := make(map[string]bool, len(points))
+	for _, p := range points {
+		fired[p] = true
+	}
+	required := []string{
+		"add:plan:5", "add:admit:5", "add:emit:5", "add:apply:5", "add:verify:5",
+		"install:plan:4", "add:admit:4", "add:emit:4", "add:apply:4", "add:verify:4",
+		"update:plan:0", "update:build:0", "update:steer:0",
+		"update:swap:0", "update:retire:0", "update:verify:0",
+		"refresh:swap:1",
+		"remove:emit:2", "remove:cls:2", "remove:steer:2", "remove:unregister:2",
+	}
+	for _, p := range required {
+		if !fired[p] {
+			t.Errorf("failpoint %q did not fire (fired: %v)", p, points)
+		}
+	}
+}
+
+// TestTxnUnwindRestoresStateAtEveryFailpoint injects a failure at each
+// commit step in turn, on a fresh fixture each time, and asserts the
+// post-unwind controller is byte-identical to its pre-transaction state
+// and passes the Dynamic Handler's invariant audit.
+func TestTxnUnwindRestoresStateAtEveryFailpoint(t *testing.T) {
+	points := probeFailpoints(t)
+	if len(points) == 0 {
+		t.Fatal("no failpoints fired")
+	}
+	for _, pt := range points {
+		pt := pt
+		t.Run(pt, func(t *testing.T) {
+			fx := newTxnFixture(t)
+			pre := stateDigest(t, fx.c)
+			txn := fx.c.Begin()
+			fx.stage(txn)
+			txn.failpoint = func(p string) error {
+				if p == pt {
+					return errInjected
+				}
+				return nil
+			}
+			if err := txn.Commit(fx.opts()); !errors.Is(err, errInjected) {
+				t.Fatalf("Commit = %v, want injected fault", err)
+			}
+			post := stateDigest(t, fx.c)
+			if post != pre {
+				t.Errorf("state not restored after fault at %s: %s", pt, firstDiff(pre, post))
+			}
+			if err := fx.handler.CheckInvariants(); err != nil {
+				t.Errorf("CheckInvariants after unwind: %v", err)
+			}
+			if err := fx.c.CheckEnforcement(); err != nil {
+				t.Errorf("CheckEnforcement after unwind: %v", err)
+			}
+		})
+	}
+}
+
+// TestTxnUnwindSurvivesCancelFailure: a lost cancel RPC during unwind
+// must not stop the rest of the restore — the instance leaks in the
+// orchestrator (as a real lost RPC would) but every piece of controller
+// state still rolls back.
+func TestTxnUnwindSurvivesCancelFailure(t *testing.T) {
+	c, err := New(Config{Topology: lineTopo(t, 4), Clock: sim.New(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.orch.InjectFaults(orchestrator.FaultPlan{CancelFailOn: []int{1}}); err != nil {
+		t.Fatal(err)
+	}
+	txn := c.Begin()
+	txn.StageAdd(core.Class{ID: 0, Path: linePath(4), Chain: policy.Chain{policy.Firewall}, RateMbps: 100})
+	txn.StageRemove(99) // forces the commit to fail after the add landed
+	if err := txn.Commit(TxnOptions{}); err == nil {
+		t.Fatal("commit should fail")
+	}
+	if _, err := c.Assignment(0); err == nil {
+		t.Error("unwound class 0 still installed")
+	}
+	for v, byNF := range c.instPool {
+		for nf, insts := range byNF {
+			if len(insts) != 0 {
+				t.Errorf("pool %d/%v still holds %d instances after unwind", v, nf, len(insts))
+			}
+		}
+	}
+	if len(c.instPortion) != 0 {
+		t.Errorf("portion ledger not empty after unwind: %v", c.instPortion)
+	}
+}
+
+// TestAddClassBatchAdmitFailureKeepsPrefix: an admission failure mid-batch
+// preserves the serial postcondition — classes admitted before the failure
+// stay installed, the failing class leaves nothing behind, and no
+// provisioned instance leaks.
+func TestAddClassBatchAdmitFailureKeepsPrefix(t *testing.T) {
+	c, err := New(Config{Topology: lineTopo(t, 4), Clock: sim.New(), Seed: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	classes := []core.Class{
+		{ID: 0, Path: linePath(4), Chain: policy.Chain{policy.Firewall}, RateMbps: 200},
+		{ID: 1, Path: linePath(4), Chain: policy.Chain{policy.Proxy}, RateMbps: 150},
+		// Rate far beyond what the line's hosts can serve: admission fails.
+		{ID: 2, Path: linePath(4), Chain: policy.Chain{policy.IDS}, RateMbps: 1e9},
+	}
+	if err := c.AddClassBatch(classes, BatchOptions{Verify: true}); err == nil {
+		t.Fatal("batch with an unplaceable class should fail")
+	}
+	for _, id := range []core.ClassID{0, 1} {
+		if _, err := c.Assignment(id); err != nil {
+			t.Errorf("Assignment(%d): %v — prefix classes must stay installed", id, err)
+		}
+	}
+	if _, err := c.Assignment(2); err == nil {
+		t.Error("failed class 2 should not be installed")
+	}
+	if err := c.CheckEnforcement(); err != nil {
+		t.Errorf("CheckEnforcement: %v", err)
+	}
+	// No orphans: everything the orchestrator runs is pooled, and
+	// everything pooled is a running instance the orchestrator knows.
+	pooled := 0
+	for _, byNF := range c.instPool {
+		for _, insts := range byNF {
+			pooled += len(insts)
+		}
+	}
+	if orch := len(c.orch.Instances()); orch != pooled {
+		t.Errorf("orchestrator runs %d instances but pool holds %d — leak", orch, pooled)
+	}
+}

@@ -1,0 +1,481 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+	"time"
+
+	"github.com/apple-nfv/apple/internal/lp"
+	"github.com/apple-nfv/apple/internal/policy"
+	"github.com/apple-nfv/apple/internal/topology"
+	"github.com/apple-nfv/apple/internal/trace"
+)
+
+// IncrementalEngine is the continuous re-optimization variant of the
+// Optimization Engine: it solves the placement LP for a *sequence* of
+// traffic snapshots over a fixed class universe, carrying the simplex
+// basis from one snapshot to the next.
+//
+// The standard model (buildModel) cannot warm-start across snapshots:
+// per-class rates enter Eq. (5) as constraint COEFFICIENTS, so a rate
+// change rewrites the matrix and invalidates the basis. This engine uses
+// an equivalent parametric reformulation in absolute flow:
+//
+//	x_{h,j}^i = T_h · d_{h,j}^i   (Mbps of class h processed at hop i,
+//	                               chain position j)
+//	r_h                           (class h's rate, a variable pinned by
+//	                               bounds: lo = hi = T_h)
+//
+//	Eq. (4):  Σ_i x_{h,j}^i − r_h = 0          (per class, position)
+//	Eq. (3):  prefix sums of x dominate         (rate-free: multiply the
+//	          the next position's prefix sums    d form by T_h ≥ 0)
+//	Eq. (5):  Σ x − capacity·q ≤ 0              (coefficients all 1)
+//	Eq. (6):  unchanged (q only)
+//
+// Every coefficient is now rate-independent; a new snapshot is purely a
+// change of the r bounds, so Solver.ReSolve's dual simplex repairs the
+// previous optimal basis in a few pivots instead of solving cold.
+//
+// The consolidation bias on q (see buildModel) is computed once from the
+// universe's base rates and kept across snapshots: it only breaks ties
+// among equal-instance-count optima, and a stable bias keeps successive
+// placements close together — exactly what a delta-rule commit wants.
+//
+// The engine is not safe for concurrent use.
+type IncrementalEngine struct {
+	prob   *Problem
+	opts   IncrementalOptions
+	md     *model
+	solver *lp.Solver
+	rVar   []lp.VarID // per class index, bounds pin the snapshot rate
+	qKeys  []qKey     // deterministic order of md.qVar
+	solved bool
+}
+
+// IncrementalOptions tunes the incremental engine.
+type IncrementalOptions struct {
+	// MaxRepairRounds bounds the round-and-repair loop (default 25).
+	MaxRepairRounds int
+	// Tracer, when non-nil, journals one lp.solve span per Place call
+	// plus an lp.resolve event per repair re-solve.
+	Tracer *trace.Recorder
+}
+
+// PlaceStats instruments one Place call. Pivot counts are deterministic
+// for a fixed problem and snapshot sequence, which makes them the right
+// CI gate for "warm ≪ cold" (wall times also reported, but noisy).
+type PlaceStats struct {
+	// Warm reports whether the solve reused the previous snapshot's
+	// basis (false on the first Place and after a failed solve).
+	Warm bool
+	// WarmAccepted reports whether the dual simplex actually repaired
+	// the carried basis, as opposed to rejecting it and solving cold.
+	WarmAccepted bool
+	// Pivots totals simplex pivots across the solve and all repair
+	// re-solves; DualPivots is the dual-simplex share.
+	Pivots     int
+	DualPivots int
+	// RepairRounds counts round-and-repair iterations.
+	RepairRounds int
+	// SolveTime is the wall-clock time of the whole Place call.
+	SolveTime time.Duration
+}
+
+// NewIncrementalEngine builds the parametric model over the problem's
+// class universe. The per-class RateMbps values in prob seed the
+// consolidation bias; the actual rates of each snapshot are supplied to
+// Place.
+func NewIncrementalEngine(prob *Problem, opts IncrementalOptions) (*IncrementalEngine, error) {
+	if opts.MaxRepairRounds <= 0 {
+		opts.MaxRepairRounds = 25
+	}
+	if err := prob.Validate(); err != nil {
+		return nil, err
+	}
+	md, rVar, err := buildParametricModel(prob)
+	if err != nil {
+		return nil, err
+	}
+	qKeys := make([]qKey, 0, len(md.qVar))
+	for key := range md.qVar {
+		qKeys = append(qKeys, key)
+	}
+	sort.Slice(qKeys, func(i, j int) bool {
+		if qKeys[i].v != qKeys[j].v {
+			return qKeys[i].v < qKeys[j].v
+		}
+		return qKeys[i].nf < qKeys[j].nf
+	})
+	return &IncrementalEngine{
+		prob:   prob,
+		opts:   opts,
+		md:     md,
+		solver: lp.NewSolver(md.m),
+		rVar:   rVar,
+		qKeys:  qKeys,
+	}, nil
+}
+
+// Problem returns the class universe the engine was built over.
+func (e *IncrementalEngine) Problem() *Problem { return e.prob }
+
+// Place solves the snapshot whose per-class rates are given and returns
+// a placement over the classes with positive rate. Classes missing from
+// rates (or mapped to 0) are inactive this snapshot: they consume no
+// capacity and appear in neither Counts nor Dist. Negative, NaN or Inf
+// rates are rejected.
+//
+// The first call solves cold; every further call warm-starts from the
+// previous basis (falling back to a cold solve automatically if the
+// basis is rejected).
+func (e *IncrementalEngine) Place(rates map[ClassID]float64) (pl *Placement, st PlaceStats, err error) {
+	start := time.Now()
+	if e.opts.Tracer.Enabled() {
+		sp := e.opts.Tracer.Begin(trace.Ev(trace.KindLPSolve).WithVal(int64(len(rates))))
+		defer func() { sp.End(int64(st.Pivots), err) }()
+	}
+	// Retarget the parametric bounds: pin each r to the snapshot rate and
+	// lift the previous snapshot's repair caps — except caps the basis is
+	// resting on. Hardware does not grow between snapshots, so a binding
+	// cap is still true; and relaxing it to +Inf would evict the variable
+	// from its resting bound and destroy the dual feasibility the warm
+	// start needs (the reason repair-heavy topologies used to fall back
+	// cold on every pass).
+	changes := make([]lp.BoundChange, 0, len(e.rVar)+len(e.qKeys))
+	for ci, c := range e.prob.Classes {
+		r := rates[c.ID]
+		if r < 0 || math.IsNaN(r) || math.IsInf(r, 0) {
+			return nil, st, fmt.Errorf("core: class %d has invalid rate %v", c.ID, r)
+		}
+		changes = append(changes, lp.BoundChange{Var: e.rVar[ci], Lo: r, Hi: r})
+	}
+	kept := 0
+	for _, key := range e.qKeys {
+		qv := e.md.qVar[key]
+		if e.solver.RestingAtUpper(qv) {
+			kept++
+			continue
+		}
+		changes = append(changes, lp.BoundChange{Var: qv, Lo: 0, Hi: math.Inf(1)})
+	}
+	if err := e.solver.ApplyBounds(changes); err != nil {
+		return nil, st, fmt.Errorf("core: %w", err)
+	}
+
+	st.Warm = e.solved && e.solver.HasBasis()
+	var sol lp.Solution
+	if st.Warm {
+		sol, err = e.solver.ReSolve()
+	} else {
+		sol, err = e.solver.Solve()
+	}
+	recordSolve(&sol, st.Warm)
+	st.Pivots = sol.Iterations
+	st.DualPivots = sol.DualIterations
+	st.WarmAccepted = sol.WarmStarted
+	if err != nil && kept > 0 && errors.Is(err, lp.ErrInfeasible) {
+		// The carried caps over-constrain this snapshot (demand moved onto
+		// capped switches). Lift them all and solve cold — correctness
+		// first, the next pass warm-starts again.
+		lift := make([]lp.BoundChange, 0, len(e.qKeys))
+		for _, key := range e.qKeys {
+			lift = append(lift, lp.BoundChange{Var: e.md.qVar[key], Lo: 0, Hi: math.Inf(1)})
+		}
+		if aerr := e.solver.ApplyBounds(lift); aerr != nil {
+			return nil, st, fmt.Errorf("core: %w", aerr)
+		}
+		st.Warm = false
+		st.WarmAccepted = false
+		sol, err = e.solver.Solve()
+		recordSolve(&sol, false)
+		st.Pivots += sol.Iterations
+	}
+	if err != nil {
+		e.solved = false
+		return nil, st, fmt.Errorf("core: incremental optimization failed: %w", err)
+	}
+	e.solved = true
+
+	// Round-and-repair, warm throughout (same loop as Engine.Solve: cap
+	// the largest offender at a violated switch, re-solve, backtrack on
+	// infeasibility).
+	var counts map[topology.NodeID]map[policy.NF]int
+	for {
+		counts = extractCounts(e.md, &sol, true)
+		violSwitch, ok := findViolatedSwitch(e.prob, counts)
+		if !ok {
+			break
+		}
+		if st.RepairRounds >= e.opts.MaxRepairRounds {
+			return nil, st, fmt.Errorf("core: could not repair resource violation at switch %d after %d rounds",
+				violSwitch, st.RepairRounds)
+		}
+		st.RepairRounds++
+		progressed := false
+		for _, key := range repairCandidates(violSwitch, counts) {
+			newCap := float64(counts[key.v][key.nf] - 1)
+			if newCap < 0 {
+				continue
+			}
+			qv := e.md.qVar[key]
+			_, prevCap, err := e.md.m.Bounds(qv)
+			if err != nil {
+				return nil, st, fmt.Errorf("core: %w", err)
+			}
+			if err := e.solver.SetUpper(qv, newCap); err != nil {
+				return nil, st, fmt.Errorf("core: %w", err)
+			}
+			sol2, err := e.solver.ReSolve()
+			recordSolve(&sol2, true)
+			st.Pivots += sol2.Iterations
+			st.DualPivots += sol2.DualIterations
+			if e.opts.Tracer.Enabled() {
+				e.opts.Tracer.Emit(trace.Ev(trace.KindLPResolve).
+					WithNode(int64(violSwitch)).
+					WithVal(int64(sol2.TotalPivots())).
+					WithErr(err))
+			}
+			if err != nil {
+				if errors.Is(err, lp.ErrInfeasible) {
+					if err := e.solver.SetUpper(qv, prevCap); err != nil {
+						return nil, st, fmt.Errorf("core: %w", err)
+					}
+					continue
+				}
+				e.solved = false
+				return nil, st, fmt.Errorf("core: repair re-solve failed: %w", err)
+			}
+			sol = sol2
+			progressed = true
+			break
+		}
+		if !progressed {
+			return nil, st, fmt.Errorf("core: irreparable resource violation at switch %d", violSwitch)
+		}
+	}
+
+	pl = &Placement{
+		Counts:     counts,
+		Dist:       e.extractDistParametric(&sol, rates),
+		SolveTime:  time.Since(start),
+		Iterations: st.Pivots,
+		Method:     "lp-parametric",
+	}
+	pl.Objective = pl.TotalInstances()
+	st.SolveTime = pl.SolveTime
+	return pl, st, nil
+}
+
+// extractDistParametric converts absolute flows x back into per-class
+// distributions d = x / rate, renormalized per chain position. Classes
+// with zero rate this snapshot are omitted.
+func (e *IncrementalEngine) extractDistParametric(sol *lp.Solution, rates map[ClassID]float64) map[ClassID][][]float64 {
+	out := make(map[ClassID][][]float64)
+	for ci, c := range e.prob.Classes {
+		if rates[c.ID] <= 0 {
+			continue
+		}
+		dist := make([][]float64, len(c.Path))
+		for i := range c.Path {
+			dist[i] = make([]float64, len(c.Chain))
+			for j := range c.Chain {
+				if v := e.md.dVar[ci][i][j]; v >= 0 {
+					x := sol.Value(v)
+					if x < 0 {
+						x = 0
+					}
+					dist[i][j] = x
+				}
+			}
+		}
+		for j := range c.Chain {
+			total := 0.0
+			for i := range c.Path {
+				total += dist[i][j]
+			}
+			if total > 0 {
+				for i := range c.Path {
+					dist[i][j] /= total
+				}
+			}
+		}
+		out[c.ID] = dist
+	}
+	return out
+}
+
+// buildParametricModel constructs the rate-free reformulation described
+// on IncrementalEngine. Variable layout mirrors buildModel (md.dVar holds
+// the x variables); the returned slice maps class index → r variable.
+func buildParametricModel(prob *Problem) (*model, []lp.VarID, error) {
+	m := lp.NewModel("apple-placement-parametric")
+	md := &model{m: m, qVar: make(map[qKey]lp.VarID)}
+	md.dVar = make([][][]lp.VarID, len(prob.Classes))
+	rVar := make([]lp.VarID, len(prob.Classes))
+
+	needed := make(map[qKey]bool)
+	for ci, c := range prob.Classes {
+		hops := prob.eligibleHops(c)
+		if len(hops) == 0 {
+			return nil, nil, fmt.Errorf("core: class %d has no APPLE host on its path", c.ID)
+		}
+		rv, err := m.AddVariable(fmt.Sprintf("r[%d]", c.ID), c.RateMbps, c.RateMbps, 0)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		rVar[ci] = rv
+		md.dVar[ci] = make([][]lp.VarID, len(c.Path))
+		for i := range c.Path {
+			md.dVar[ci][i] = make([]lp.VarID, len(c.Chain))
+			for j := range c.Chain {
+				md.dVar[ci][i][j] = -1
+			}
+		}
+		for _, i := range hops {
+			for j, nf := range c.Chain {
+				name := fmt.Sprintf("x[%d][%d][%d]", c.ID, i, j)
+				v, err := m.AddVariable(name, 0, math.Inf(1), 0)
+				if err != nil {
+					return nil, nil, fmt.Errorf("core: %w", err)
+				}
+				md.dVar[ci][i][j] = v
+				needed[qKey{v: c.Path[i], nf: nf}] = true
+			}
+		}
+	}
+
+	// Consolidation bias from the universe's base rates (see buildModel);
+	// q variables are created in sorted key order so the tableau layout —
+	// and hence pivot counts — are deterministic across runs.
+	potential := make(map[qKey]float64)
+	maxPotential := 0.0
+	for _, c := range prob.Classes {
+		for _, i := range prob.eligibleHops(c) {
+			for _, nf := range c.Chain {
+				k := qKey{v: c.Path[i], nf: nf}
+				potential[k] += c.RateMbps
+				if potential[k] > maxPotential {
+					maxPotential = potential[k]
+				}
+			}
+		}
+	}
+	keys := make([]qKey, 0, len(needed))
+	for key := range needed {
+		keys = append(keys, key)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].v != keys[j].v {
+			return keys[i].v < keys[j].v
+		}
+		return keys[i].nf < keys[j].nf
+	})
+	for _, key := range keys {
+		obj := 1.0
+		if maxPotential > 0 {
+			obj += 1e-3 * (1 - potential[key]/maxPotential)
+		}
+		obj += 1e-7 * float64(key.v)
+		v, err := m.AddVariable(fmt.Sprintf("q[%d][%v]", key.v, key.nf), 0, math.Inf(1), obj)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		if err := m.SetInteger(v); err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		md.qVar[key] = v
+	}
+
+	for ci, c := range prob.Classes {
+		hops := prob.eligibleHops(c)
+		// Eq. (4), parametric: Σ_i x = r at every chain position.
+		for j := range c.Chain {
+			terms := make([]lp.Term, 0, len(hops)+1)
+			for _, i := range hops {
+				terms = append(terms, lp.Term{Var: md.dVar[ci][i][j], Coef: 1})
+			}
+			terms = append(terms, lp.Term{Var: rVar[ci], Coef: -1})
+			if err := m.AddConstraint(fmt.Sprintf("full[%d][%d]", c.ID, j), lp.EQ, 0, terms...); err != nil {
+				return nil, nil, fmt.Errorf("core: %w", err)
+			}
+		}
+		// Eq. (3), parametric: identical prefix-sum dominance in x (the d
+		// form scaled by the nonnegative rate).
+		for j := 1; j < len(c.Chain); j++ {
+			for hi, i := range hops {
+				terms := make([]lp.Term, 0, 2*(hi+1))
+				for _, k := range hops[:hi+1] {
+					terms = append(terms,
+						lp.Term{Var: md.dVar[ci][k][j-1], Coef: 1},
+						lp.Term{Var: md.dVar[ci][k][j], Coef: -1})
+				}
+				name := fmt.Sprintf("order[%d][%d][%d]", c.ID, i, j)
+				if err := m.AddConstraint(name, lp.GE, 0, terms...); err != nil {
+					return nil, nil, fmt.Errorf("core: %w", err)
+				}
+			}
+		}
+	}
+
+	// Eq. (5), parametric: Σ x − capacity·q ≤ 0 per (v, nf) — every x
+	// coefficient is 1, so rates never touch the matrix.
+	loads := make(map[qKey][]lp.VarID)
+	for ci, c := range prob.Classes {
+		for _, i := range prob.eligibleHops(c) {
+			for j, nf := range c.Chain {
+				key := qKey{v: c.Path[i], nf: nf}
+				loads[key] = append(loads[key], md.dVar[ci][i][j])
+			}
+		}
+	}
+	for _, key := range keys {
+		spec, err := policy.SpecOf(key.nf)
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		ts := loads[key]
+		terms := make([]lp.Term, 0, len(ts)+1)
+		for _, xv := range ts {
+			terms = append(terms, lp.Term{Var: xv, Coef: 1})
+		}
+		terms = append(terms, lp.Term{Var: md.qVar[key], Coef: -spec.CapacityMbps})
+		name := fmt.Sprintf("cap[%d][%v]", key.v, key.nf)
+		if err := m.AddConstraint(name, lp.LE, 0, terms...); err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+	}
+
+	// Eq. (6): per-switch resources, unchanged from buildModel.
+	byswitch := make(map[topology.NodeID][]qKey)
+	for _, key := range keys {
+		byswitchAppend(byswitch, key)
+	}
+	switches := make([]topology.NodeID, 0, len(byswitch))
+	for v := range byswitch {
+		switches = append(switches, v)
+	}
+	sort.Slice(switches, func(i, j int) bool { return switches[i] < switches[j] })
+	for _, v := range switches {
+		avail := prob.Avail[v]
+		vkeys := byswitch[v]
+		coreTerms := make([]lp.Term, 0, len(vkeys))
+		memTerms := make([]lp.Term, 0, len(vkeys))
+		for _, key := range vkeys {
+			spec, err := policy.SpecOf(key.nf)
+			if err != nil {
+				return nil, nil, fmt.Errorf("core: %w", err)
+			}
+			coreTerms = append(coreTerms, lp.Term{Var: md.qVar[key], Coef: float64(spec.Cores)})
+			memTerms = append(memTerms, lp.Term{Var: md.qVar[key], Coef: float64(spec.MemoryMB)})
+		}
+		if err := m.AddConstraint(fmt.Sprintf("cores[%d]", v), lp.LE, float64(avail.Cores), coreTerms...); err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+		if err := m.AddConstraint(fmt.Sprintf("mem[%d]", v), lp.LE, float64(avail.MemoryMB), memTerms...); err != nil {
+			return nil, nil, fmt.Errorf("core: %w", err)
+		}
+	}
+	return md, rVar, nil
+}

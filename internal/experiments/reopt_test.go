@@ -1,0 +1,70 @@
+package experiments
+
+import "testing"
+
+func TestRunReoptInternet2(t *testing.T) {
+	sc, err := Internet2(Options{Seed: 1, Snapshots: 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunReopt(sc, ReoptConfig{Snapshots: 4, Stride: 2, Verify: true, Reap: true})
+	if err != nil {
+		t.Fatalf("RunReopt: %v", err)
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations = %d, want 0", res.Violations)
+	}
+	if len(res.Passes) != 4 {
+		t.Fatalf("passes = %d, want 4", len(res.Passes))
+	}
+	first := res.Passes[0]
+	if first.Warm {
+		t.Error("first pass must solve cold")
+	}
+	if first.Added == 0 || first.RulesTouched == 0 {
+		t.Errorf("first pass should install the class set: %+v", first)
+	}
+	for i, p := range res.Passes[1:] {
+		if !p.Warm {
+			t.Errorf("pass %d did not carry the basis", i+1)
+		}
+		if p.Added != 0 {
+			t.Errorf("pass %d re-added %d classes", i+1, p.Added)
+		}
+		if p.RateDrift <= 0 {
+			t.Errorf("pass %d reports no rate drift on a diurnal series", i+1)
+		}
+	}
+	if rt := res.RulesTouched(); rt >= first.RulesTouched*len(res.Passes[1:]) {
+		t.Errorf("steady-state churn %d not below full reinstall %d",
+			rt, first.RulesTouched*len(res.Passes[1:]))
+	}
+}
+
+func TestRunReoptColdBaseline(t *testing.T) {
+	sc, err := GEANT(Options{Seed: 1, Snapshots: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := RunReopt(sc, ReoptConfig{Snapshots: 3, Stride: 2, Verify: true, Reap: true, ColdBaseline: true})
+	if err != nil {
+		t.Fatalf("RunReopt: %v", err)
+	}
+	if res.Violations != 0 {
+		t.Errorf("violations = %d, want 0", res.Violations)
+	}
+	for i, p := range res.Passes {
+		if p.ColdPivots == 0 {
+			t.Errorf("pass %d has no cold baseline", i)
+		}
+	}
+	if w, c := res.WarmPivots(), res.ColdPivots(); w >= c {
+		t.Errorf("warm pivots %d not below cold %d", w, c)
+	}
+}
+
+func TestRunReoptValidation(t *testing.T) {
+	if _, err := RunReopt(nil, ReoptConfig{}); err == nil {
+		t.Error("nil scenario should fail")
+	}
+}

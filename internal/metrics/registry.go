@@ -26,6 +26,8 @@ type Registry struct {
 	counters map[string]*Counters          // guarded by mu
 	lp       map[string]*LPCounters        // guarded by mu
 	flow     map[string]*FlowSetupCounters // guarded by mu
+	txn      map[string]*TxnCounters       // guarded by mu
+	reopt    map[string]*ReoptCounters     // guarded by mu
 	gauges   map[string]func() float64     // guarded by mu
 }
 
@@ -35,6 +37,8 @@ func NewRegistry() *Registry {
 		counters: make(map[string]*Counters),
 		lp:       make(map[string]*LPCounters),
 		flow:     make(map[string]*FlowSetupCounters),
+		txn:      make(map[string]*TxnCounters),
+		reopt:    make(map[string]*ReoptCounters),
 		gauges:   make(map[string]func() float64),
 	}
 }
@@ -48,8 +52,10 @@ func (r *Registry) registerLocked(name string, kind string) error {
 	_, c := r.counters[name]
 	_, l := r.lp[name]
 	_, f := r.flow[name]
+	_, t := r.txn[name]
+	_, re := r.reopt[name]
 	_, g := r.gauges[name]
-	if c || l || f || g {
+	if c || l || f || t || re || g {
 		return fmt.Errorf("metrics: duplicate registry name %q", name)
 	}
 	return nil
@@ -99,6 +105,36 @@ func (r *Registry) AddFlowSetup(name string, c *FlowSetupCounters) error {
 	return nil
 }
 
+// AddTxn registers a named rule-transaction counter family (usually the
+// process-wide &Txn).
+func (r *Registry) AddTxn(name string, c *TxnCounters) error {
+	if c == nil {
+		return fmt.Errorf("metrics: nil txn counters %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.registerLocked(name, "txn counters"); err != nil {
+		return err
+	}
+	r.txn[name] = c
+	return nil
+}
+
+// AddReopt registers a named re-optimization counter family (usually the
+// process-wide &Reopt).
+func (r *Registry) AddReopt(name string, c *ReoptCounters) error {
+	if c == nil {
+		return fmt.Errorf("metrics: nil reopt counters %q", name)
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if err := r.registerLocked(name, "reopt counters"); err != nil {
+		return err
+	}
+	r.reopt[name] = c
+	return nil
+}
+
 // AddGauge registers a named gauge callback, read at snapshot time.
 func (r *Registry) AddGauge(name string, fn func() float64) error {
 	if fn == nil {
@@ -120,6 +156,8 @@ type RegistrySnapshot struct {
 	Counters  map[string]map[string]uint64 `json:"counters,omitempty"`
 	LP        map[string]LPSnapshot        `json:"lp,omitempty"`
 	FlowSetup map[string]FlowSetupSnapshot `json:"flow_setup,omitempty"`
+	Txn       map[string]TxnSnapshot       `json:"txn,omitempty"`
+	Reopt     map[string]ReoptSnapshot     `json:"reopt,omitempty"`
 	Gauges    map[string]float64           `json:"gauges,omitempty"`
 }
 
@@ -139,6 +177,14 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 	flows := make(map[string]*FlowSetupCounters, len(r.flow))
 	for k, v := range r.flow {
 		flows[k] = v
+	}
+	txns := make(map[string]*TxnCounters, len(r.txn))
+	for k, v := range r.txn {
+		txns[k] = v
+	}
+	reopts := make(map[string]*ReoptCounters, len(r.reopt))
+	for k, v := range r.reopt {
+		reopts[k] = v
 	}
 	gauges := make(map[string]func() float64, len(r.gauges))
 	for k, v := range r.gauges {
@@ -163,6 +209,18 @@ func (r *Registry) Snapshot() RegistrySnapshot {
 		snap.FlowSetup = make(map[string]FlowSetupSnapshot, len(flows))
 		for name, c := range flows {
 			snap.FlowSetup[name] = c.Snapshot()
+		}
+	}
+	if len(txns) > 0 {
+		snap.Txn = make(map[string]TxnSnapshot, len(txns))
+		for name, c := range txns {
+			snap.Txn[name] = c.Snapshot()
+		}
+	}
+	if len(reopts) > 0 {
+		snap.Reopt = make(map[string]ReoptSnapshot, len(reopts))
+		for name, c := range reopts {
+			snap.Reopt[name] = c.Snapshot()
 		}
 	}
 	if len(gauges) > 0 {
@@ -198,7 +256,7 @@ func (s RegistrySnapshot) WriteJSON(w io.Writer) error {
 func (r *Registry) Names() []string {
 	r.mu.Lock()
 	defer r.mu.Unlock()
-	out := make([]string, 0, len(r.counters)+len(r.lp)+len(r.flow)+len(r.gauges))
+	out := make([]string, 0, len(r.counters)+len(r.lp)+len(r.flow)+len(r.txn)+len(r.reopt)+len(r.gauges))
 	for k := range r.counters {
 		out = append(out, k)
 	}
@@ -206,6 +264,12 @@ func (r *Registry) Names() []string {
 		out = append(out, k)
 	}
 	for k := range r.flow {
+		out = append(out, k)
+	}
+	for k := range r.txn {
+		out = append(out, k)
+	}
+	for k := range r.reopt {
 		out = append(out, k)
 	}
 	for k := range r.gauges {

@@ -129,6 +129,23 @@ const (
 	KindLPResolve Kind = "lp.resolve"
 )
 
+// Rule-transaction and re-optimization events.
+const (
+	// KindTxnBegin: a RuleTxn started committing; Val is the number of
+	// staged class operations.
+	KindTxnBegin Kind = "txn.begin"
+	// KindTxnCommit: the transaction committed; Val is the number of
+	// rules installed across every table it touched.
+	KindTxnCommit Kind = "txn.commit"
+	// KindTxnUnwind: the transaction failed and was rolled back; Val is
+	// the number of flow tables restored to their pre-transaction
+	// images, Err the failure that triggered the unwind.
+	KindTxnUnwind Kind = "txn.unwind"
+	// KindReoptSnapshot: one ReOptimize pass over a traffic snapshot
+	// committed; Val is the number of classes whose rules changed.
+	KindReoptSnapshot Kind = "reopt.snapshot"
+)
+
 // Phase distinguishes the two events of a span.
 type Phase string
 
