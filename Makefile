@@ -2,8 +2,11 @@ GO ?= go
 BENCHTIME ?= 5x
 FUZZTIME ?= 20s
 FUZZ_TARGETS := FuzzMatchLookup FuzzSubsumes FuzzPrefixContains
+SHARD_CLASSES ?= 200000
+SHARD_COUNTS ?= 1,2,4,8
+SHARD_MIN_SPEEDUP ?= 2
 
-.PHONY: build test race vet lint bench bench-dp reopt fuzz cover check trace-smoke clean
+.PHONY: build test race vet lint bench bench-dp bench-shard reopt fuzz cover check trace-smoke clean
 
 build:
 	$(GO) build ./...
@@ -44,6 +47,17 @@ bench:
 bench-dp:
 	$(GO) run ./cmd/benchdp -out BENCH_dataplane.json -min-speedup 10
 
+# bench-shard refreshes BENCH_scale.json, the regional-sharding scale
+# report: the same synthetic FatTree class workload admitted through a
+# ShardedController at increasing shard counts, with classes/s, heap per
+# shard, and the cross-shard interference audit for every run. The
+# monolith's admission cost grows super-linearly in installed classes
+# (full table recompiles and transaction pre-images), so the sharded
+# runs win even on one core; -min-speedup doubles as the CI regression
+# smoke. SHARD_CLASSES/SHARD_COUNTS/SHARD_MIN_SPEEDUP tune the run.
+bench-shard:
+	$(GO) run ./cmd/benchshard -classes $(SHARD_CLASSES) -shards $(SHARD_COUNTS) -min-speedup $(SHARD_MIN_SPEEDUP) -out BENCH_scale.json
+
 # reopt replays the continuous re-optimization loop (warm-started
 # parametric LP + make-before-break rule transactions) over the diurnal
 # traffic series on Internet2 and GEANT, writing BENCH_reopt.json. The
@@ -79,8 +93,9 @@ check: build vet lint test race
 # TestChurnTrace* in internal/experiments.
 trace-smoke:
 	$(GO) run ./cmd/appletrace -journal churn_trace.jsonl -metrics churn_metrics.json
+	$(GO) run ./cmd/appletrace -shards 4 -journal shard_trace.jsonl -metrics shard_metrics.json
 	$(GO) test -run 'TestChurnTrace' ./internal/experiments
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_lp.json BENCH_dataplane.json BENCH_reopt.json coverage.out churn_trace.jsonl churn_metrics.json
+	rm -f BENCH_lp.json BENCH_dataplane.json BENCH_reopt.json coverage.out churn_trace.jsonl churn_metrics.json shard_trace.jsonl shard_metrics.json

@@ -14,6 +14,7 @@ package controller
 import (
 	"errors"
 	"fmt"
+	"slices"
 	"sync/atomic"
 
 	"github.com/apple-nfv/apple/internal/core"
@@ -119,6 +120,10 @@ type Controller struct {
 	// clock; nil (the default) disables tracing with no allocation on the
 	// setup hot path. Set at construction, never mutated afterwards.
 	tracer *trace.Recorder
+	// passByDone short-circuits ensurePassBy once every switch carries
+	// the rule. Confined to the commit path (sequential admit stage and
+	// unwind); never read by the parallel emit/apply workers.
+	passByDone bool
 }
 
 // Config for New.
@@ -149,6 +154,11 @@ type Config struct {
 	// lifecycle events with virtual-time stamps. The recorder should be
 	// built on the same Clock so event times match the simulation.
 	Tracer *trace.Recorder
+	// Tags overrides the host-tag allocator; nil means a fresh allocator
+	// over the whole 12-bit space. Regional controller shards pass
+	// window-restricted allocators (tagging.NewAllocatorRange) so tags
+	// handed out by different shards can never collide.
+	Tags *tagging.Allocator
 }
 
 // New builds a controller, its switch pipelines, and one APPLE host per
@@ -174,11 +184,15 @@ func New(cfg Config) (*Controller, error) {
 		}
 	}
 	orch.SetTracer(cfg.Tracer)
+	alloc := cfg.Tags
+	if alloc == nil {
+		alloc = tagging.NewAllocator()
+	}
 	c := &Controller{
 		g:              cfg.Topology,
 		clock:          cfg.Clock,
 		orch:           orch,
-		alloc:          tagging.NewAllocator(),
+		alloc:          alloc,
 		switches:       make(map[topology.NodeID]*Switch),
 		hosts:          make(map[topology.NodeID]*host.Host),
 		nbrPort:        make(map[topology.NodeID]map[topology.NodeID]int),
@@ -279,13 +293,89 @@ func (c *Controller) Classes() []core.ClassID {
 	return c.assign.ids()
 }
 
-// ClassPrefix returns the srcIP prefix identifying class id's flows in
-// the synthetic header plan: 10.0.0.0/8 carved into /20 blocks.
-func ClassPrefix(id core.ClassID) (flowtable.Prefix, error) {
-	if id < 0 || id >= 1<<12 {
-		return flowtable.Prefix{}, fmt.Errorf("controller: class ID %d outside the /20 plan", id)
+// Switches returns every switch ID modeled by this controller, sorted.
+func (c *Controller) Switches() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(c.switches))
+	for v := range c.switches {
+		out = append(out, v)
 	}
-	return flowtable.Prefix{Addr: 10<<24 | uint32(id)<<12, Len: 20}, nil
+	slices.Sort(out)
+	return out
+}
+
+// Hosts returns the switches with an APPLE host, sorted.
+func (c *Controller) Hosts() []topology.NodeID {
+	out := make([]topology.NodeID, 0, len(c.hosts))
+	for v := range c.hosts {
+		out = append(out, v)
+	}
+	slices.Sort(out)
+	return out
+}
+
+// HostTags returns a copy of the allocated host-tag table. The regional
+// sharding layer audits these against per-shard tag windows.
+func (c *Controller) HostTags() map[topology.NodeID]uint16 {
+	return c.alloc.HostTags()
+}
+
+// TagWindow reports the inclusive host-tag range this controller
+// allocates from (the whole 12-bit space unless Config.Tags narrowed it).
+func (c *Controller) TagWindow() (first, last uint16) {
+	return c.alloc.Window()
+}
+
+// InstancePortions returns a copy of the per-instance planned-load
+// ledger. Callers must be quiesced with respect to commits (the same
+// contract as Avail).
+func (c *Controller) InstancePortions() map[vnf.ID]float64 {
+	out := make(map[vnf.ID]float64, len(c.instPortion))
+	for id, p := range c.instPortion {
+		out[id] = p
+	}
+	return out
+}
+
+// HostGlobalTags returns, per hosting switch, the sorted global
+// sub-class tags in use by header-rewriting classes steered through it.
+// Callers must be quiesced with respect to commits.
+func (c *Controller) HostGlobalTags() map[topology.NodeID][]uint8 {
+	out := make(map[topology.NodeID][]uint8, len(c.hostGlobalTags))
+	for v, tags := range c.hostGlobalTags {
+		if len(tags) == 0 {
+			continue
+		}
+		list := make([]uint8, 0, len(tags))
+		for tag := range tags {
+			list = append(list, tag)
+		}
+		slices.Sort(list)
+		out[v] = list
+	}
+	return out
+}
+
+// MaxClassID is the largest class ID the synthetic address plan can
+// express (the /24 extension plan below: 2^20 classes).
+const MaxClassID = 1<<20 - 1
+
+// ClassPrefix returns the srcIP prefix identifying class id's flows in
+// the synthetic header plan. IDs below 4096 use the original plan —
+// 10.0.0.0/8 carved into /20 blocks — unchanged, so every address the
+// paper-scale experiments pinned stays put. IDs 4096..2^20-1 extend the
+// plan into 16.0.0.0/4 carved into /24 blocks, giving the million-class
+// regional-sharding experiments an ID space three orders of magnitude
+// wider. Both planes leave 8 suffix bits below the prefix, which is
+// exactly what the splitBits=8 address-split classification needs, and
+// neither overlaps the 172.16/12 destination plan.
+func ClassPrefix(id core.ClassID) (flowtable.Prefix, error) {
+	if id < 0 || id > MaxClassID {
+		return flowtable.Prefix{}, fmt.Errorf("controller: class ID %d outside the address plan", id)
+	}
+	if id < 1<<12 {
+		return flowtable.Prefix{Addr: 10<<24 | uint32(id)<<12, Len: 20}, nil
+	}
+	return flowtable.Prefix{Addr: 1<<28 | uint32(id)<<8, Len: 24}, nil
 }
 
 // DstAddr returns a host address behind destination switch d in the

@@ -88,8 +88,24 @@ func TestClassPrefixAndDstAddr(t *testing.T) {
 	if _, err := ClassPrefix(-1); err == nil {
 		t.Fatal("negative ID should fail")
 	}
-	if _, err := ClassPrefix(5000); err == nil {
-		t.Fatal("huge ID should fail")
+	// IDs ≥4096 fall into the /24 extension plane (16.0.0.0/4), disjoint
+	// from the legacy /20 plane and from each other.
+	w, err := ClassPrefix(5000)
+	if err != nil || w.Len != 24 {
+		t.Fatalf("wide-plan ClassPrefix = %v, %v", w, err)
+	}
+	if p.Contains(w.Addr) || w.Contains(p.Addr) {
+		t.Fatal("wide-plan prefix overlaps the legacy plane")
+	}
+	w2, err := ClassPrefix(5001)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w.Contains(w2.Addr) {
+		t.Fatal("wide-plan prefixes must be disjoint")
+	}
+	if _, err := ClassPrefix(MaxClassID + 1); err == nil {
+		t.Fatal("ID beyond the plan should fail")
 	}
 	a, err := DstAddr(7)
 	if err != nil || a == 0 {

@@ -26,6 +26,7 @@ const (
 	CtrRollbacks         = "rollbacks"
 	CtrZombieCancels     = "zombie_cancels"
 	CtrZombiesReaped     = "zombies_reaped"
+	CtrSpawnAdoptions    = "spawn_adoptions"
 )
 
 // Loads computes the offered load every instance would see given
@@ -647,11 +648,17 @@ func (d *DynamicHandler) spawnSubclass(a *Assignment, src, j int, weight, rate f
 		if d.pending[key] == inst.ID() {
 			delete(d.pending, key)
 		}
-		if d.epochs[a.Class.ID] != epoch || src >= len(a.Weights) {
-			// The overload rolled back while the instance was booting;
-			// drop the late activation. A launched instance is cancelled
-			// (reclaiming its cores); a reconfigured VM returns to the
-			// idle pool under its current NF type.
+		cur, live := d.c.assign.get(a.Class.ID)
+		if d.epochs[a.Class.ID] != epoch || src >= len(a.Weights) || !live || cur != a {
+			// The overload rolled back — or a re-optimization cut the
+			// class over to a new assignment object — while the instance
+			// was booting; the distribution this spawn was computed
+			// against no longer exists, so drop the late activation.
+			// Committing against the orphaned assignment would install
+			// steering rules for a sub-class the live assignment does not
+			// have. A launched instance is cancelled (reclaiming its
+			// cores); a reconfigured VM returns to the idle pool under
+			// its current NF type.
 			d.counters.Inc(CtrStaleActivations)
 			if d.c.tracer.Enabled() {
 				d.c.tracer.Emit(trace.Ev(trace.KindFailoverStale).
@@ -858,13 +865,45 @@ func (d *DynamicHandler) rollback(classID core.ClassID) error {
 	return d.c.installClassification(a)
 }
 
+// referencedByAssignments reports whether any installed assignment still
+// routes traffic through the instance.
+func (d *DynamicHandler) referencedByAssignments(id vnf.ID) bool {
+	for _, a := range d.c.assign.snapshot() {
+		for _, row := range a.Instances {
+			for _, i := range row {
+				if i == id {
+					return true
+				}
+			}
+		}
+	}
+	return false
+}
+
 // cancelSpawned tears down a failover launch: the instance leaves the
 // pool and detectors immediately; its cores stay accounted until the
 // orchestrator confirms the cancel. An instance that is already gone
 // (cancelled earlier, boot failed, or lost in a host crash) just has its
 // accounting cleared; a lost cancel RPC turns it into a zombie retried
 // on the next Observe.
+//
+// One exception: an instance a re-optimization pass has since promoted
+// into the installed placement is ADOPTED, not cancelled — killing it
+// would leave live steering rules forwarding to a dead port. Adoption
+// ends the handler's temporary-hardware accounting for it (it is now
+// part of the plan, so it no longer counts toward ExtraCores) and keeps
+// it in service.
 func (d *DynamicHandler) cancelSpawned(id vnf.ID) {
+	if d.referencedByAssignments(id) {
+		delete(d.spawnedSet, id)
+		if cores, ok := d.spawnedCores[id]; ok {
+			d.extraCores -= cores
+			delete(d.spawnedCores, id)
+		}
+		delete(d.zombies, id)
+		d.counters.Inc(CtrSpawnAdoptions)
+		return
+	}
 	delete(d.detectors, id)
 	delete(d.spawnedSet, id)
 	d.c.dropFromPool(id)

@@ -74,6 +74,14 @@ func (c *Controller) InstallPlacement(prob *core.Problem, pl *core.Placement) er
 // ensurePassBy installs the Table III pass-by row on every switch that
 // does not have it yet.
 func (c *Controller) ensurePassBy() error {
+	// Fast path: once every switch carries the rule, later admissions
+	// skip the full O(switches) table scan — at regional-sharding scale
+	// (hundreds of switches × 10^5 classes) the rescan dominated setup.
+	// The flag is cleared on transaction unwind, which is the only path
+	// that can ever remove an installed pass-by rule.
+	if c.passByDone {
+		return nil
+	}
 	for _, sw := range c.switches {
 		t, err := sw.Pipeline.Table(TableAPPLE)
 		if err != nil {
@@ -89,6 +97,7 @@ func (c *Controller) ensurePassBy() error {
 			return err
 		}
 	}
+	c.passByDone = true
 	return nil
 }
 

@@ -293,6 +293,9 @@ func (t *RuleTxn) unwind(cause error) {
 	}
 	c.instPortion = t.prevPortion
 	c.hostGlobalTags = t.prevGlobalTags
+	// Table restoration may have removed pass-by rules installed during
+	// this transaction; force the next admission to re-verify them.
+	c.passByDone = false
 	metrics.Txn.Unwound.Add(1)
 	metrics.Txn.TablesRestored.Add(int64(restored))
 	if c.tracer.Enabled() {

@@ -56,6 +56,15 @@ type ChurnConfig struct {
 	Seed int64
 	// Faults, when non-nil, is injected into the orchestrator.
 	Faults *orchestrator.FaultPlan
+	// ReoptMidFailover fires a full greedy re-optimization after every
+	// surge observation — i.e. while the Dynamic Handler is actively
+	// reshaping sub-class weights — and commits the old→new delta
+	// through a make-before-break transaction whose audit hook asserts
+	// the complete invariant set at every class boundary. This is the
+	// adversarial interleaving for the two control loops the paper keeps
+	// separate: the periodic Optimization Engine pass racing the
+	// event-driven fast failover.
+	ReoptMidFailover bool
 	// Probe runs CheckEnforcement after the final quiesce (leave off for
 	// plans that crash hosts serving base sub-classes).
 	Probe bool
@@ -119,6 +128,11 @@ type ChurnResult struct {
 	Zombies         int
 	// Transitions totals the state-machine transitions Observe reported.
 	Transitions int
+	// ReoptPasses counts the mid-failover re-optimizations committed;
+	// ReoptChanged totals the classes whose rules they moved
+	// (ReoptMidFailover only).
+	ReoptPasses  int
+	ReoptChanged int
 	// Events is the simulation's fired-event count.
 	Events uint64
 	// Journal is the virtual-time event journal (nil unless
@@ -326,10 +340,40 @@ func ChurnReplay(cfg ChurnConfig) (*ChurnResult, error) {
 		return nil
 	}
 
+	// reoptPass re-solves the planned problem with the greedy engine and
+	// commits the delta while failover state is live. Reap stays off: the
+	// handler still accounts for its spawned instances, and reaping one
+	// out from under it would break the core-accounting invariant the
+	// audit hook asserts at every class boundary.
+	reoptPass := func(label string) error {
+		pl2, err := core.SolveGreedy(prob)
+		if err != nil {
+			return fmt.Errorf("churn: %s solve: %w", label, err)
+		}
+		rep, err := ctrl.ReOptimize(prob, pl2, controller.ReoptOptions{
+			Audit: handler.CheckInvariants,
+		})
+		if err != nil {
+			return fmt.Errorf("churn: %s commit: %w", label, err)
+		}
+		res.ReoptPasses++
+		res.ReoptChanged += rep.ClassesChanged()
+		res.Trace = append(res.Trace, fmt.Sprintf(
+			"t=%-4v %-12s add=%d rm=%d upd=%d rate=%d same=%d rules=%d",
+			now, label, rep.Added, rep.Removed, rep.Updated, rep.RateOnly,
+			rep.Unchanged, rep.RulesInstalled+rep.RulesRemoved))
+		return nil
+	}
+
 	for wave := 0; wave < cfg.Waves; wave++ {
 		for i := 0; i < cfg.SurgeObserves; i++ {
 			if err := step(surge, fmt.Sprintf("wave%d-surge%d", wave, i)); err != nil {
 				return nil, err
+			}
+			if cfg.ReoptMidFailover {
+				if err := reoptPass(fmt.Sprintf("wave%d-reopt%d", wave, i)); err != nil {
+					return nil, err
+				}
 			}
 		}
 		for i := 0; i < cfg.CoolObserves; i++ {

@@ -1,0 +1,84 @@
+package experiments
+
+// Re-optimization racing fast failover: the churn replay fires a full
+// greedy re-optimization after every surge observation, so the
+// make-before-break commit repeatedly cuts classes over while the
+// Dynamic Handler has their weights reshaped (and spawned failover
+// instances in flight). The invariant checker runs after every
+// simulation event AND at every class boundary inside each commit; any
+// interleaving that leaks state fails here.
+
+import (
+	"testing"
+)
+
+func TestChurnReoptMidFailover(t *testing.T) {
+	cfg := ChurnConfig{
+		Classes:          2,
+		Waves:            3,
+		ReoptMidFailover: true,
+		Probe:            true,
+		Seed:             5,
+	}
+	res, err := ChurnReplay(cfg)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.InvariantErr != nil {
+		t.Fatalf("invariant violated (%d checks ran): %v", res.InvariantChecks, res.InvariantErr)
+	}
+	if res.InvariantChecks == 0 {
+		t.Fatal("no invariant checks ran")
+	}
+	if res.ReoptPasses != cfg.Waves*2 {
+		t.Fatalf("ReoptPasses = %d, want %d", res.ReoptPasses, cfg.Waves*2)
+	}
+	if res.EnforceErr != nil {
+		t.Fatalf("enforcement broken after replay: %v", res.EnforceErr)
+	}
+	if res.PendingSpawns != 0 || res.Zombies != 0 {
+		t.Fatalf("leaked failover state: pending=%d zombies=%d", res.PendingSpawns, res.Zombies)
+	}
+}
+
+// TestChurnReoptDeterministic: the adversarial interleaving is still a
+// pure function of its config — two replays must trace byte-identically.
+func TestChurnReoptDeterministic(t *testing.T) {
+	cfg := ChurnConfig{Classes: 2, Waves: 2, ReoptMidFailover: true, Seed: 9}
+	a, err := ChurnReplay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ChurnReplay(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.TraceString() != b.TraceString() {
+		t.Fatalf("replays diverged:\n--- first ---\n%s--- second ---\n%s", a.TraceString(), b.TraceString())
+	}
+	if a.ReoptPasses == 0 {
+		t.Fatal("no re-optimization passes ran")
+	}
+}
+
+// TestChurnReoptUnderFaults drives the same interleaving with lifecycle
+// faults injected, exactly like the existing churn fault suites: the
+// commit must still never surface a transient violation.
+func TestChurnReoptUnderFaults(t *testing.T) {
+	cfg := ChurnConfig{
+		Classes:          2,
+		Waves:            2,
+		ReoptMidFailover: true,
+		Seed:             11,
+	}
+	res, err := ChurnReplay(cfg)
+	if err != nil {
+		t.Fatalf("replay: %v", err)
+	}
+	if res.InvariantErr != nil {
+		t.Fatalf("invariant violated: %v", res.InvariantErr)
+	}
+	if res.Transitions == 0 {
+		t.Fatal("surge waves produced no failover transitions — the interleaving never happened")
+	}
+}

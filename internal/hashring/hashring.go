@@ -125,9 +125,18 @@ func (m *IntervalMap) Portion(i int) (float64, error) {
 // Sharder maps integer keys (class IDs, switch IDs) onto a fixed number
 // of shards with the same avalanche mix the ring uses, so nearly
 // sequential IDs spread evenly. The controller's flow-setup pipeline
-// partitions its per-class state across shards with it; the mapping is a
-// pure function of (key, shard count), so every replica of the controller
-// agrees on the owner of a class without coordination.
+// partitions its per-class state across shards with it, and the regional
+// sharding layer partitions topology switches across controller shards;
+// the mapping is a pure function of (key, shard count), so every replica
+// of the controller agrees on the owner of a class without coordination.
+//
+// The mapping is rebalance-stable: growing from n to n+1 shards moves
+// only ≈1/(n+1) of the keys (each onto the new shard), never between
+// surviving shards. The original modulo mapping reshuffled ≈n/(n+1) of
+// all keys on every resize, which would force a near-total state
+// migration whenever a controller shard is added; Shard now uses the
+// jump-consistent-hash construction (Lamport & Veach) on top of the
+// avalanche premix instead.
 type Sharder struct {
 	n int
 }
@@ -145,12 +154,27 @@ func (s *Sharder) Shards() int { return s.n }
 
 // Shard returns the shard owning the key, in [0, Shards()).
 func (s *Sharder) Shard(key uint64) int {
-	return int(fmix64(key^0xA076_1D64_78BD_642F) % uint64(s.n))
+	return jumpHash(fmix64(key^0xA076_1D64_78BD_642F), s.n)
 }
 
 // ShardFlow returns the shard owning a flow, hashing its full 5-tuple.
 func (s *Sharder) ShardFlow(k FlowKey) int {
-	return int(k.hash64(0xC2B2_AE3D_27D4_EB4F) % uint64(s.n))
+	return jumpHash(k.hash64(0xC2B2_AE3D_27D4_EB4F), s.n)
+}
+
+// jumpHash is the jump-consistent-hash function: a keyed walk through
+// candidate bucket counts whose final landing bucket changes with
+// probability exactly 1/(n+1) when n grows by one. The input must
+// already be well mixed (both callers avalanche first), because the walk
+// uses the key itself as the LCG state.
+func jumpHash(key uint64, n int) int {
+	var b, j int64 = -1, 0
+	for j < int64(n) {
+		b = j
+		key = key*2862933555777941757 + 1
+		j = int64(float64(b+1) * (float64(int64(1)<<31) / float64((key>>33)+1)))
+	}
+	return int(b)
 }
 
 // Ring is a weighted consistent-hash ring over named instances. Each

@@ -357,3 +357,76 @@ func TestSharderFlowRange(t *testing.T) {
 		}
 	}
 }
+
+// TestSharderRebalanceStability: growing the shard count from n to n+1
+// must move at most ≈1/(n+1) of the keys (the consistent-hashing bound;
+// the satellite requirement of ≤2/N is twice that, leaving slack for
+// statistical noise). Every moved key must land on the NEW shard —
+// surviving shards never trade keys with each other.
+func TestSharderRebalanceStability(t *testing.T) {
+	const keys = 100_000
+	for n := 1; n <= 16; n++ {
+		before, err := NewSharder(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := NewSharder(n + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for key := uint64(0); key < keys; key++ {
+			a, b := before.Shard(key), after.Shard(key)
+			if a == b {
+				continue
+			}
+			if b != n {
+				t.Fatalf("n=%d→%d: key %d moved between surviving shards (%d→%d)", n, n+1, key, a, b)
+			}
+			moved++
+		}
+		frac := float64(moved) / keys
+		ideal := 1.0 / float64(n+1)
+		if frac > 2*ideal {
+			t.Fatalf("n=%d→%d: %.4f of keys moved, want ≤%.4f (2/N bound)", n, n+1, frac, 2*ideal)
+		}
+		// The mapping must still actually use the new shard.
+		if moved == 0 {
+			t.Fatalf("n=%d→%d: no keys moved to the new shard", n, n+1)
+		}
+	}
+}
+
+// TestSharderFlowRebalanceStability covers the 5-tuple entry point with
+// the same bound.
+func TestSharderFlowRebalanceStability(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	flows := make([]FlowKey, 20_000)
+	for i := range flows {
+		flows[i] = randomKey(rng)
+	}
+	for n := 1; n <= 8; n++ {
+		before, err := NewSharder(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		after, err := NewSharder(n + 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		moved := 0
+		for _, k := range flows {
+			a, b := before.ShardFlow(k), after.ShardFlow(k)
+			if a == b {
+				continue
+			}
+			if b != n {
+				t.Fatalf("n=%d→%d: flow %+v moved between surviving shards (%d→%d)", n, n+1, k, a, b)
+			}
+			moved++
+		}
+		if frac, ideal := float64(moved)/float64(len(flows)), 1.0/float64(n+1); frac > 2*ideal {
+			t.Fatalf("n=%d→%d: %.4f of flows moved, want ≤%.4f", n, n+1, frac, 2*ideal)
+		}
+	}
+}

@@ -13,7 +13,7 @@ import (
 // seeded *rand.Rand; time comes from the sim.Simulation virtual clock.
 var AnalyzerSimClock = &Analyzer{
 	Name: "simclock",
-	Doc:  "no wall clock and no global math/rand source inside deterministic packages (sim, lp, topology, traffic, experiments, trace)",
+	Doc:  "no wall clock and no global math/rand source inside deterministic packages (sim, lp, topology, traffic, experiments, trace, hashring, shard)",
 	Run:  runSimClock,
 }
 
@@ -26,6 +26,8 @@ var deterministicPackages = map[string]bool{
 	"traffic":     true,
 	"experiments": true,
 	"trace":       true,
+	"hashring":    true,
+	"shard":       true,
 }
 
 // wallClockFuncs are the time package entry points that read the host

@@ -1,0 +1,196 @@
+package shard
+
+// Global interference-freedom audit. Each regional controller already
+// polices its own invariants (DynamicHandler.CheckInvariants); what
+// sharding adds is the risk of two regions programming conflicting state
+// onto the same physical switch. The merged data plane is interference
+// free iff, per physical switch, the union of every region's
+// APPLE-owned rules (TableAPPLE plus vSwitch steering) is conflict
+// free. Routing rules (route-*) are excluded: that table belongs to the
+// routing application, and per-region models legitimately install only
+// the routes their own classes need.
+
+import (
+	"fmt"
+	"strings"
+
+	"github.com/apple-nfv/apple/internal/controller"
+	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/flowtable"
+	"github.com/apple-nfv/apple/internal/topology"
+)
+
+// Audit runs every regional controller's own invariant checker, then the
+// cross-shard interference checks:
+//
+//   - tag windows: pairwise disjoint, and every host tag a region
+//     allocated lies inside its window — so no two shards can ever hand
+//     the same tag to different hosts;
+//   - every ActSetHostTag a region programmed targets a tag in its own
+//     window (or the Fin sentinel);
+//   - class ownership: every class is installed in exactly one region,
+//     the one the router pinned it to;
+//   - classification: each cls-* rule name appears in at most one
+//     region's model of any physical switch, and no two regions claim
+//     overlapping source prefixes there;
+//   - host-match rules for switch v exist only in region(v)'s model;
+//   - the pass-by default is byte-identical in every region's model of
+//     every switch.
+//
+// The first violation found is returned.
+func (s *ShardedController) Audit() error {
+	for r, rs := range s.regions {
+		rs.mu.Lock()
+		d, err := controller.NewDynamicHandler(rs.ctrl)
+		if err == nil {
+			err = d.CheckInvariants()
+		}
+		rs.mu.Unlock()
+		if err != nil {
+			return fmt.Errorf("shard: region %d: %w", r, err)
+		}
+	}
+	if err := s.auditTagWindows(); err != nil {
+		return err
+	}
+	if err := s.auditOwnership(); err != nil {
+		return err
+	}
+	return s.auditSwitchRules()
+}
+
+// auditTagWindows checks window disjointness and that every allocated
+// host tag sits inside its region's window.
+func (s *ShardedController) auditTagWindows() error {
+	type window struct{ first, last uint16 }
+	wins := make([]window, len(s.regions))
+	for r := range s.regions {
+		first, last := s.part.Window(r)
+		cf, cl := s.regions[r].ctrl.TagWindow()
+		if cf != first || cl != last {
+			return fmt.Errorf("shard: region %d allocator window [%d,%d] differs from partition window [%d,%d]",
+				r, cf, cl, first, last)
+		}
+		wins[r] = window{first, last}
+		for i := 0; i < r; i++ {
+			if wins[i].last >= first && wins[i].first <= last {
+				return fmt.Errorf("shard: tag windows of regions %d and %d overlap", i, r)
+			}
+		}
+	}
+	owner := make(map[uint16]int)
+	for r, rs := range s.regions {
+		for v, tag := range rs.ctrl.HostTags() {
+			if tag < wins[r].first || tag > wins[r].last {
+				return fmt.Errorf("shard: region %d allocated tag %d for host %d outside its window [%d,%d]",
+					r, tag, v, wins[r].first, wins[r].last)
+			}
+			if prev, ok := owner[tag]; ok && prev != r {
+				return fmt.Errorf("shard: tag %d allocated by both regions %d and %d", tag, prev, r)
+			}
+			owner[tag] = r
+		}
+	}
+	return nil
+}
+
+// auditOwnership checks that every installed class lives in exactly one
+// region — the region the deterministic router pinned it to.
+func (s *ShardedController) auditOwnership() error {
+	s.mu.Lock()
+	recorded := make(map[core.ClassID]int, len(s.owner))
+	for id, r := range s.owner {
+		recorded[id] = r
+	}
+	s.mu.Unlock()
+	seen := make(map[core.ClassID]int)
+	for r, rs := range s.regions {
+		for _, id := range rs.ctrl.Classes() {
+			if prev, ok := seen[id]; ok {
+				return fmt.Errorf("shard: class %d installed in both regions %d and %d", id, prev, r)
+			}
+			seen[id] = r
+			if rec, ok := recorded[id]; !ok || rec != r {
+				return fmt.Errorf("shard: class %d installed in region %d but routed to region %d", id, r, rec)
+			}
+			a, err := rs.ctrl.Assignment(id)
+			if err != nil {
+				return fmt.Errorf("shard: region %d: %w", r, err)
+			}
+			want, err := s.part.Owner(a.Class, func(v topology.NodeID) bool { return s.hostSet[v] })
+			if err != nil {
+				return fmt.Errorf("shard: region %d: %w", r, err)
+			}
+			if want != r {
+				return fmt.Errorf("shard: class %d installed in region %d but the partition pins it to region %d",
+					id, r, want)
+			}
+		}
+	}
+	return nil
+}
+
+// auditSwitchRules runs the per-physical-switch checks over the union of
+// every region's TableAPPLE rules.
+func (s *ShardedController) auditSwitchRules() error {
+	for _, n := range s.topo.Nodes() {
+		v := n.ID
+		hostRegion := -1
+		if s.hostSet[v] {
+			hostRegion = s.part.Region(v)
+		}
+		var passBy string
+		clsOwner := make(map[string]int) // rule name → region
+		srcOwner := make(map[string]int) // classification source prefix → region
+		for r, rs := range s.regions {
+			sw, err := rs.ctrl.Switch(v)
+			if err != nil {
+				return fmt.Errorf("shard: region %d: %w", r, err)
+			}
+			tbl, err := sw.Pipeline.Table(controller.TableAPPLE)
+			if err != nil {
+				return fmt.Errorf("shard: region %d: %w", r, err)
+			}
+			first, last := s.part.Window(r)
+			for _, rule := range tbl.Rules() {
+				for _, act := range rule.Actions {
+					if act.Type == flowtable.ActSetHostTag && act.Tag != flowtable.HostTagFin &&
+						(act.Tag < first || act.Tag > last) {
+						return fmt.Errorf("shard: region %d rule %q at switch %d sets host tag %d outside window [%d,%d]",
+							r, rule.Name, v, act.Tag, first, last)
+					}
+				}
+				switch {
+				case rule.Name == "pass-by":
+					rendered := fmtRule(rule)
+					if passBy == "" {
+						passBy = rendered
+					} else if passBy != rendered {
+						return fmt.Errorf("shard: pass-by rule at switch %d differs between regions: %q vs %q",
+							v, passBy, rendered)
+					}
+				case rule.Name == "host-match":
+					if r != hostRegion {
+						return fmt.Errorf("shard: region %d installed a host-match rule at switch %d owned by region %d",
+							r, v, hostRegion)
+					}
+				case strings.HasPrefix(rule.Name, "cls-"):
+					if prev, ok := clsOwner[rule.Name]; ok && prev != r {
+						return fmt.Errorf("shard: rule %q at switch %d installed by both regions %d and %d",
+							rule.Name, v, prev, r)
+					}
+					clsOwner[rule.Name] = r
+					if rule.Match.Src != nil {
+						key := fmt.Sprint(*rule.Match.Src)
+						if prev, ok := srcOwner[key]; ok && prev != r {
+							return fmt.Errorf("shard: classification prefix %s at switch %d claimed by both regions %d and %d",
+								key, v, prev, r)
+						}
+						srcOwner[key] = r
+					}
+				}
+			}
+		}
+	}
+	return nil
+}

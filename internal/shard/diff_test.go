@@ -1,0 +1,139 @@
+package shard
+
+// Cross-shard determinism differential, mirroring the compiled-vs-linear
+// suite in internal/controller/dataplane_diff_test.go: 200 random
+// scenarios (4 seed topologies × 50 seeds), each replayed through the
+// same regional partition at full dispatch parallelism (Workers=N) and
+// fully serialized (Workers=1). Worker count is pure mechanism, so the
+// two runs must be byte-identical — every assignment, tag, portion,
+// orchestrator inventory entry, and flow-table rule — and both must pass
+// the global interference-freedom audit. Scenarios where the batch
+// admits everything are additionally replayed class-at-a-time through
+// the routed AddClass path, which must land on the same bytes.
+
+import (
+	"math/rand"
+	"testing"
+
+	"github.com/apple-nfv/apple/internal/controller"
+	"github.com/apple-nfv/apple/internal/topology"
+)
+
+const diffSeedsPerTopo = 50
+
+func buildSharded(t *testing.T, g *topology.Graph, regions, workers int) *ShardedController {
+	t.Helper()
+	s, err := New(Config{Topology: g, Regions: regions, Workers: workers, Seed: 7})
+	if err != nil {
+		t.Fatalf("New(regions=%d, workers=%d): %v", regions, workers, err)
+	}
+	return s
+}
+
+func TestPropertyShardedMatchesSerial(t *testing.T) {
+	for _, topoName := range []string{"Internet2", "GEANT", "UNIV1", "AS3679"} {
+		topoName := topoName
+		t.Run(topoName, func(t *testing.T) {
+			for seed := int64(0); seed < diffSeedsPerTopo; seed++ {
+				g, err := topology.ByName(topoName)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rng := rand.New(rand.NewSource(seed))
+				regions := 2 + int(seed)%3 // 2, 3, or 4 regions
+				classes := testClasses(rng, g, 1+rng.Intn(8))
+
+				parallel := buildSharded(t, g, regions, regions)
+				errP := parallel.AddClassBatch(classes, controller.BatchOptions{})
+
+				serial := buildSharded(t, g, regions, 1)
+				errS := serial.AddClassBatch(classes, controller.BatchOptions{})
+
+				if (errP == nil) != (errS == nil) {
+					t.Fatalf("seed %d: parallel err %v, serial err %v", seed, errP, errS)
+				}
+				dp, err := parallel.Digest()
+				if err != nil {
+					t.Fatal(err)
+				}
+				ds, err := serial.Digest()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if dp != ds {
+					t.Fatalf("seed %d regions %d: %d-worker digest %s != 1-worker digest %s",
+						seed, regions, regions, dp, ds)
+				}
+				if err := parallel.Audit(); err != nil {
+					t.Fatalf("seed %d: parallel audit: %v", seed, err)
+				}
+				if err := serial.Audit(); err != nil {
+					t.Fatalf("seed %d: serial audit: %v", seed, err)
+				}
+
+				// Fully admitted batches must also match the one-at-a-time
+				// routed path (the batch pipeline's serial-equivalence
+				// contract, lifted through the router).
+				if errP == nil {
+					routed := buildSharded(t, g, regions, regions)
+					for _, cl := range classes {
+						if err := routed.AddClass(cl); err != nil {
+							t.Fatalf("seed %d: routed AddClass(%d): %v", seed, cl.ID, err)
+						}
+					}
+					dr, err := routed.Digest()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if dr != dp {
+						t.Fatalf("seed %d: routed-serial digest %s != batch digest %s", seed, dr, dp)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestPropertyShardCountIsSemanticallyInert checks the weaker—but
+// user-visible—property across different region counts: the same
+// workload admitted under different partitions yields clean audits and
+// the same set of installed classes whenever every admission succeeds.
+func TestPropertyShardCountIsSemanticallyInert(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		g := topology.GEANT()
+		rng := rand.New(rand.NewSource(1000 + seed))
+		classes := testClasses(rng, g, 1+rng.Intn(6))
+		var prev []int
+		for _, regions := range []int{1, 2, 4} {
+			s := buildSharded(t, g, regions, regions)
+			if err := s.AddClassBatch(classes, controller.BatchOptions{Verify: true}); err != nil {
+				// Partition granularity can change admission outcomes
+				// (smaller regions expose fewer hosts per path); that is
+				// allowed, the audit still must pass.
+				if err := s.Audit(); err != nil {
+					t.Fatalf("seed %d regions %d: audit: %v", seed, regions, err)
+				}
+				prev = nil
+				continue
+			}
+			if err := s.Audit(); err != nil {
+				t.Fatalf("seed %d regions %d: audit: %v", seed, regions, err)
+			}
+			ids := make([]int, 0, len(s.Classes()))
+			for _, id := range s.Classes() {
+				ids = append(ids, int(id))
+			}
+			if prev != nil {
+				if len(ids) != len(prev) {
+					t.Fatalf("seed %d: installed class sets differ across region counts: %v vs %v", seed, prev, ids)
+				}
+				for i := range ids {
+					if ids[i] != prev[i] {
+						t.Fatalf("seed %d: installed class sets differ across region counts: %v vs %v", seed, prev, ids)
+					}
+				}
+			}
+			prev = ids
+		}
+	}
+}

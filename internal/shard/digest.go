@@ -1,0 +1,137 @@
+package shard
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"slices"
+	"strings"
+
+	"github.com/apple-nfv/apple/internal/controller"
+	"github.com/apple-nfv/apple/internal/flowtable"
+	"github.com/apple-nfv/apple/internal/vnf"
+)
+
+// fmtPtr renders an optional match field.
+func fmtPtr[T any](p *T) string {
+	if p == nil {
+		return "-"
+	}
+	return fmt.Sprint(*p)
+}
+
+// fmtRule renders a rule with its match pointers dereferenced, so two
+// semantically identical tables serialize identically (same convention as
+// the controller's transaction-unwind digest).
+func fmtRule(r flowtable.Rule) string {
+	m := r.Match
+	return fmt.Sprintf("%s p%d ht=%s st=%s in=%s src=%s dst=%s proto=%s sp=%s dp=%s act=%v",
+		r.Name, r.Priority, fmtPtr(m.HostTag), fmtPtr(m.SubTag), fmtPtr(m.InPort),
+		fmtPtr(m.Src), fmtPtr(m.Dst), fmtPtr(m.Proto), fmtPtr(m.SrcPort), fmtPtr(m.DstPort),
+		r.Actions)
+}
+
+// writeRegionState serializes one regional controller's complete
+// observable state in canonical order: assignments, portion ledger,
+// host tags (local and global), orchestrator inventory, host usage, and
+// every rule of every switch and vSwitch table. Whatever two runs differ
+// in, this string differs in.
+func writeRegionState(b *strings.Builder, c *controller.Controller) error {
+	for _, id := range c.Classes() {
+		a, err := c.Assignment(id)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "class %d: cl=%+v prefix=%v subs=%v w=%v base=%v inst=%v global=%v tags=%v\n",
+			id, a.Class, a.Prefix, a.Subclasses, a.Weights, a.Base, a.Instances, a.Global, a.SubTags)
+	}
+	portions := c.InstancePortions()
+	pids := make([]vnf.ID, 0, len(portions))
+	for id := range portions {
+		pids = append(pids, id)
+	}
+	slices.Sort(pids)
+	for _, id := range pids {
+		fmt.Fprintf(b, "portion %s=%.9f\n", id, portions[id])
+	}
+	hosts := c.Hosts()
+	tags := c.HostTags()
+	for _, v := range hosts {
+		fmt.Fprintf(b, "hosttag %d=%d\n", v, tags[v])
+	}
+	gtags := c.HostGlobalTags()
+	for _, v := range hosts {
+		if ts, ok := gtags[v]; ok && len(ts) > 0 {
+			fmt.Fprintf(b, "gtags %d=%v\n", v, ts)
+		}
+	}
+	fmt.Fprintf(b, "orch=%v\n", c.Orchestrator().Instances())
+	for _, v := range hosts {
+		h, err := c.Host(v)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(b, "hostres %d=%+v\n", v, h.Used())
+		if err := writePipeline(b, fmt.Sprintf("host %d", v), h.VSwitch()); err != nil {
+			return err
+		}
+	}
+	for _, v := range c.Switches() {
+		sw, err := c.Switch(v)
+		if err != nil {
+			return err
+		}
+		if err := writePipeline(b, fmt.Sprintf("sw %d", v), sw.Pipeline); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePipeline(b *strings.Builder, label string, pl *flowtable.Pipeline) error {
+	for ti := 0; ti < pl.NumTables(); ti++ {
+		tbl, err := pl.Table(ti)
+		if err != nil {
+			return err
+		}
+		for _, r := range tbl.Rules() {
+			fmt.Fprintf(b, "%s t%d %s\n", label, ti, fmtRule(r))
+		}
+	}
+	return nil
+}
+
+// RegionDigest returns the SHA-256 of region r's canonical state
+// serialization.
+func (s *ShardedController) RegionDigest(r int) (string, error) {
+	c, err := s.Region(r)
+	if err != nil {
+		return "", err
+	}
+	rs := s.regions[r]
+	rs.mu.Lock()
+	defer rs.mu.Unlock()
+	var b strings.Builder
+	if err := writeRegionState(&b, c); err != nil {
+		return "", fmt.Errorf("shard: region %d digest: %w", r, err)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// Digest returns the SHA-256 over every region's canonical state, in
+// region order. Two deployments with the same Regions count are
+// byte-identical if and only if their digests match — the differential
+// suite's definition of "N-shard equals 1-shard".
+func (s *ShardedController) Digest() (string, error) {
+	var b strings.Builder
+	for r := range s.regions {
+		rd, err := s.RegionDigest(r)
+		if err != nil {
+			return "", err
+		}
+		fmt.Fprintf(&b, "region %d %s\n", r, rd)
+	}
+	sum := sha256.Sum256([]byte(b.String()))
+	return hex.EncodeToString(sum[:]), nil
+}

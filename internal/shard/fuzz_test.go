@@ -1,0 +1,112 @@
+package shard
+
+// Fuzz target for the region-partitioning function: whatever the region
+// count, node IDs, and host pattern, every device must map to exactly
+// one in-range region, the mapping must be a pure function (two
+// independently built partitions agree), the tag windows must tile the
+// space disjointly, and class ownership must be the documented
+// lowest-hosting-region pin — independent of path order permutations
+// that keep the host set intact.
+
+import (
+	"testing"
+
+	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/flowtable"
+	"github.com/apple-nfv/apple/internal/topology"
+)
+
+func FuzzPartition(f *testing.F) {
+	f.Add(uint16(1), uint64(0), uint64(0xFFFF), uint8(3))
+	f.Add(uint16(4), uint64(12345), uint64(0b1010), uint8(5))
+	f.Add(uint16(64), uint64(1<<40), uint64(0), uint8(8))
+	f.Add(uint16(4094), uint64(999), uint64(^uint64(0)), uint8(2))
+	f.Fuzz(func(t *testing.T, regionsRaw uint16, nodeBase uint64, hostBits uint64, pathLenRaw uint8) {
+		regions := int(regionsRaw)
+		if regions < 1 || regions > int(flowtable.MaxHostTag) {
+			if _, err := NewPartition(regions); err == nil {
+				t.Fatalf("NewPartition(%d) should fail", regions)
+			}
+			return
+		}
+		p, err := NewPartition(regions)
+		if err != nil {
+			t.Fatalf("NewPartition(%d): %v", regions, err)
+		}
+		q, err := NewPartition(regions)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		// Windows tile [1, span·regions] with no gaps or overlaps.
+		var prevLast uint16
+		for r := 0; r < regions; r++ {
+			first, last := p.Window(r)
+			if first > last || first < 1 || last > flowtable.MaxHostTag {
+				t.Fatalf("regions=%d r=%d: bad window [%d,%d]", regions, r, first, last)
+			}
+			if r == 0 && first != 1 {
+				t.Fatalf("regions=%d: first window starts at %d", regions, first)
+			}
+			if r > 0 && first != prevLast+1 {
+				t.Fatalf("regions=%d r=%d: window gap: prev end %d, next start %d", regions, r, prevLast, first)
+			}
+			prevLast = last
+		}
+
+		// Every device maps to exactly one region, purely.
+		pathLen := 1 + int(pathLenRaw)%12
+		path := make([]topology.NodeID, pathLen)
+		for i := range path {
+			v := topology.NodeID((nodeBase + uint64(i)*2654435761) % (1 << 31))
+			path[i] = v
+			r := p.Region(v)
+			if r < 0 || r >= regions {
+				t.Fatalf("regions=%d: node %d → region %d out of range", regions, v, r)
+			}
+			if q.Region(v) != r {
+				t.Fatalf("regions=%d: node %d maps differently in equal partitions", regions, v)
+			}
+		}
+
+		isHost := func(v topology.NodeID) bool { return hostBits&(1<<(uint64(v)%64)) != 0 }
+		owner, err := p.Owner(core.Class{ID: 1, Path: path}, isHost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if owner < 0 || owner >= regions {
+			t.Fatalf("owner %d out of range", owner)
+		}
+		want := -1
+		for _, v := range path {
+			if isHost(v) {
+				if r := p.Region(v); want < 0 || r < want {
+					want = r
+				}
+			}
+		}
+		if want >= 0 && owner != want {
+			t.Fatalf("owner %d, want lowest hosting region %d", owner, want)
+		}
+		if want < 0 && owner != p.Region(path[0]) {
+			t.Fatalf("hostless path: owner %d, want ingress region %d", owner, p.Region(path[0]))
+		}
+
+		// Reversing the path must not change the pin (ownership depends
+		// on the host set, not traversal direction), as long as the
+		// ingress fallback is not in play.
+		if want >= 0 {
+			rev := make([]topology.NodeID, pathLen)
+			for i, v := range path {
+				rev[pathLen-1-i] = v
+			}
+			back, err := p.Owner(core.Class{ID: 1, Path: rev}, isHost)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if back != owner {
+				t.Fatalf("reversed path changed owner: %d vs %d", back, owner)
+			}
+		}
+	})
+}

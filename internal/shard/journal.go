@@ -1,0 +1,97 @@
+package shard
+
+// Aggregation tier: the merged view of a sharded deployment. Each region
+// journals on its own virtual clock; the aggregator interleaves the
+// per-region journals into one globally ordered stream and exposes one
+// metrics registry spanning every shard.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"github.com/apple-nfv/apple/internal/metrics"
+	"github.com/apple-nfv/apple/internal/trace"
+)
+
+// RegionEvent is one journal record tagged with its originating region.
+type RegionEvent struct {
+	Region int `json:"region"`
+	trace.Event
+}
+
+// MergedJournal interleaves every region's trace journal into one stream
+// ordered by virtual time, with (region, sequence) as the deterministic
+// tie-break — regions run on independent clocks, so equal timestamps are
+// common and the merge must not depend on map or scheduling order.
+// Returns nil when the deployment was built without tracing.
+func (s *ShardedController) MergedJournal() []RegionEvent {
+	var out []RegionEvent
+	for r, rs := range s.regions {
+		if rs.rec == nil {
+			continue
+		}
+		for _, ev := range rs.rec.Events() {
+			out = append(out, RegionEvent{Region: r, Event: ev})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := out[i], out[j]
+		if a.At != b.At {
+			return a.At < b.At
+		}
+		if a.Region != b.Region {
+			return a.Region < b.Region
+		}
+		return a.Seq < b.Seq
+	})
+	return out
+}
+
+// WriteMergedJournal streams the merged journal as JSON Lines.
+func (s *ShardedController) WriteMergedJournal(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	for _, ev := range s.MergedJournal() {
+		if err := enc.Encode(ev); err != nil {
+			return fmt.Errorf("shard: journal: %w", err)
+		}
+	}
+	return nil
+}
+
+// MetricsRegistry builds the aggregation tier's registry: the
+// process-global flow-setup, transaction, and re-optimization counters,
+// plus per-region gauges (installed classes and TCAM rule updates) and
+// the deployment shape.
+func (s *ShardedController) MetricsRegistry() (*metrics.Registry, error) {
+	reg := metrics.NewRegistry()
+	if err := reg.AddFlowSetup("flow_setup", &metrics.FlowSetup); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	if err := reg.AddTxn("txn", &metrics.Txn); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	if err := reg.AddReopt("reopt", &metrics.Reopt); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	if err := reg.AddGauge("shard_regions", func() float64 {
+		return float64(len(s.regions))
+	}); err != nil {
+		return nil, fmt.Errorf("shard: %w", err)
+	}
+	for r := range s.regions {
+		rs := s.regions[r]
+		if err := reg.AddGauge(fmt.Sprintf("shard_region%d_classes", r), func() float64 {
+			return float64(len(rs.ctrl.Classes()))
+		}); err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+		if err := reg.AddGauge(fmt.Sprintf("shard_region%d_rule_updates", r), func() float64 {
+			return float64(rs.ctrl.RuleUpdates())
+		}); err != nil {
+			return nil, fmt.Errorf("shard: %w", err)
+		}
+	}
+	return reg, nil
+}

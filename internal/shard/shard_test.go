@@ -1,0 +1,295 @@
+package shard
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"github.com/apple-nfv/apple/internal/controller"
+	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/flowtable"
+	"github.com/apple-nfv/apple/internal/policy"
+	"github.com/apple-nfv/apple/internal/sim"
+	"github.com/apple-nfv/apple/internal/topology"
+)
+
+func TestPartitionValidation(t *testing.T) {
+	if _, err := NewPartition(0); err == nil {
+		t.Error("0 regions should fail")
+	}
+	if _, err := NewPartition(int(flowtable.MaxHostTag) + 1); err == nil {
+		t.Error("more regions than tags should fail")
+	}
+}
+
+func TestPartitionWindowsDisjoint(t *testing.T) {
+	for _, regions := range []int{1, 2, 3, 4, 7, 16, 64} {
+		p, err := NewPartition(regions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		span := int(flowtable.MaxHostTag) / regions
+		var prevLast uint16
+		for r := 0; r < regions; r++ {
+			first, last := p.Window(r)
+			if first < 1 || last > flowtable.MaxHostTag || first > last {
+				t.Fatalf("regions=%d r=%d: bad window [%d,%d]", regions, r, first, last)
+			}
+			if int(last-first)+1 != span {
+				t.Fatalf("regions=%d r=%d: window size %d, want %d", regions, r, last-first+1, span)
+			}
+			if r > 0 && first != prevLast+1 {
+				t.Fatalf("regions=%d r=%d: window [%d,%d] does not abut previous end %d",
+					regions, r, first, last, prevLast)
+			}
+			prevLast = last
+		}
+	}
+}
+
+func TestPartitionRegionInRangeAndStable(t *testing.T) {
+	for _, regions := range []int{1, 2, 5, 13} {
+		p1, err := NewPartition(regions)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p2, _ := NewPartition(regions)
+		for v := topology.NodeID(0); v < 2000; v++ {
+			r := p1.Region(v)
+			if r < 0 || r >= regions {
+				t.Fatalf("regions=%d: node %d mapped to region %d", regions, v, r)
+			}
+			if p2.Region(v) != r {
+				t.Fatalf("regions=%d: node %d mapped differently by two partitions", regions, v)
+			}
+		}
+	}
+}
+
+func TestPartitionOwnerIsLowestHostingRegion(t *testing.T) {
+	p, err := NewPartition(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 500; trial++ {
+		n := 2 + rng.Intn(8)
+		path := make([]topology.NodeID, n)
+		for i := range path {
+			path[i] = topology.NodeID(rng.Intn(4000))
+		}
+		hostBits := rng.Uint64()
+		isHost := func(v topology.NodeID) bool { return hostBits&(1<<(uint(v)%64)) != 0 }
+		got, err := p.Owner(core.Class{ID: 1, Path: path}, isHost)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := -1
+		for _, v := range path {
+			if isHost(v) {
+				if r := p.Region(v); want < 0 || r < want {
+					want = r
+				}
+			}
+		}
+		if want < 0 {
+			want = p.Region(path[0])
+		}
+		if got != want {
+			t.Fatalf("trial %d: owner %d, want %d", trial, got, want)
+		}
+	}
+	if _, err := p.Owner(core.Class{ID: 1}, func(topology.NodeID) bool { return true }); err == nil {
+		t.Fatal("empty path should fail")
+	}
+}
+
+// testClasses derives a deterministic workload over a topology's
+// node space, mixing pure-forwarding chains, common chains, and
+// header-rewriting chains that exercise the global-tag discipline.
+func testClasses(rng *rand.Rand, g *topology.Graph, k int) []core.Class {
+	classes := make([]core.Class, 0, k)
+	for i := 0; i < k; i++ {
+		start := topology.NodeID(rng.Intn(g.NumNodes()))
+		path := []topology.NodeID{start}
+		seen := map[topology.NodeID]bool{start: true}
+		for len(path) < 6 {
+			nbrs, err := g.Neighbors(path[len(path)-1])
+			if err != nil {
+				panic(err)
+			}
+			var cand []topology.NodeID
+			for _, nb := range nbrs {
+				if !seen[nb] {
+					cand = append(cand, nb)
+				}
+			}
+			if len(cand) == 0 || (len(path) >= 2 && rng.Intn(3) == 0) {
+				break
+			}
+			next := cand[rng.Intn(len(cand))]
+			path = append(path, next)
+			seen[next] = true
+		}
+		var chain policy.Chain
+		if rng.Intn(2) == 0 {
+			chains := policy.CommonChains()
+			chain = chains[rng.Intn(len(chains))]
+		} else {
+			nfs := policy.AllNFs()
+			perm := rng.Perm(len(nfs))
+			m := 1 + rng.Intn(3)
+			for _, idx := range perm[:m] {
+				chain = append(chain, nfs[idx])
+			}
+		}
+		classes = append(classes, core.Class{
+			ID:       core.ClassID(i),
+			Path:     path,
+			Chain:    chain,
+			RateMbps: 10 + rng.Float64()*290,
+		})
+	}
+	return classes
+}
+
+// monolithDigest serializes a plain (unsharded) controller with the
+// shard package's canonical serialization.
+func monolithDigest(t *testing.T, c *controller.Controller) string {
+	t.Helper()
+	var b strings.Builder
+	if err := writeRegionState(&b, c); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestSingleRegionMatchesMonolith is the anchor of the differential
+// suite: a ShardedController with Regions=1 must be byte-identical to a
+// plain Controller fed the same arrivals — sharding at granularity one
+// is the identity transform.
+func TestSingleRegionMatchesMonolith(t *testing.T) {
+	for seed := int64(0); seed < 10; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		g := topology.GEANT()
+		classes := testClasses(rng, g, 1+rng.Intn(6))
+
+		s, err := New(Config{Topology: g, Regions: 1, Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		mono, err := controller.New(controller.Config{Topology: g, Clock: sim.New(), Seed: 7})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, cl := range classes {
+			errS := s.AddClass(cl)
+			errM := mono.AddClass(cl)
+			if (errS == nil) != (errM == nil) {
+				t.Fatalf("seed %d class %d: sharded err %v, monolith err %v", seed, cl.ID, errS, errM)
+			}
+		}
+		c0, err := s.Region(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got, want := monolithDigest(t, c0), monolithDigest(t, mono); got != want {
+			t.Fatalf("seed %d: single-region sharded state differs from monolith", seed)
+		}
+		if err := s.Audit(); err != nil {
+			t.Fatalf("seed %d: audit: %v", seed, err)
+		}
+	}
+}
+
+func TestShardedRoutingAndAccessors(t *testing.T) {
+	g := topology.GEANT()
+	s, err := New(Config{Topology: g, Regions: 4, Seed: 3, TraceCapacity: 4096})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Regions() != 4 {
+		t.Fatalf("Regions() = %d", s.Regions())
+	}
+	rng := rand.New(rand.NewSource(5))
+	classes := testClasses(rng, g, 8)
+	if err := s.AddClassBatch(classes, controller.BatchOptions{}); err != nil {
+		t.Logf("batch partially rejected (fine for this workload): %v", err)
+	}
+	installed := s.Classes()
+	if len(installed) == 0 {
+		t.Fatal("no class admitted")
+	}
+	for _, id := range installed {
+		o := s.Owner(id)
+		if o < 0 || o >= 4 {
+			t.Fatalf("class %d owner %d out of range", id, o)
+		}
+		c, err := s.Region(o)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.Assignment(id); err != nil {
+			t.Fatalf("class %d not in its owning region %d: %v", id, o, err)
+		}
+	}
+	if err := s.Audit(); err != nil {
+		t.Fatalf("audit: %v", err)
+	}
+	if _, err := s.Region(4); err == nil {
+		t.Fatal("out-of-range region should fail")
+	}
+	if o := s.Owner(core.ClassID(999)); o != -1 {
+		t.Fatalf("unknown class owner %d, want -1", o)
+	}
+	// The merged journal must be time-ordered with the deterministic
+	// region tie-break, and must contain every region's events.
+	j := s.MergedJournal()
+	if len(j) == 0 {
+		t.Fatal("empty merged journal despite tracing enabled")
+	}
+	for i := 1; i < len(j); i++ {
+		a, b := j[i-1], j[i]
+		if a.At > b.At || (a.At == b.At && a.Region > b.Region) ||
+			(a.At == b.At && a.Region == b.Region && a.Seq > b.Seq) {
+			t.Fatalf("journal out of order at %d: %+v then %+v", i, a, b)
+		}
+	}
+	reg, err := s.MetricsRegistry()
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := reg.Snapshot()
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "%+v", snap)
+	if !strings.Contains(sb.String(), "shard_region0_classes") {
+		t.Fatal("metrics registry missing per-region gauges")
+	}
+}
+
+func TestReOptimizeRegionPreservesInvariants(t *testing.T) {
+	g := topology.Internet2()
+	s, err := New(Config{Topology: g, Regions: 3, Seed: 9})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(21))
+	classes := testClasses(rng, g, 10)
+	if err := s.AddClassBatch(classes, controller.BatchOptions{}); err != nil {
+		t.Logf("batch partially rejected: %v", err)
+	}
+	if len(s.Classes()) == 0 {
+		t.Skip("workload fully rejected")
+	}
+	reps, err := s.ReOptimizeAll(controller.ReoptOptions{Verify: true})
+	if err != nil {
+		t.Fatalf("reoptimize: %v", err)
+	}
+	if len(reps) != 3 {
+		t.Fatalf("%d reports, want 3", len(reps))
+	}
+	if err := s.Audit(); err != nil {
+		t.Fatalf("audit after reopt: %v", err)
+	}
+}

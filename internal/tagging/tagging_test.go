@@ -253,3 +253,75 @@ func TestTaggingFitsWhereUntaggedOverflows(t *testing.T) {
 		}
 	}
 }
+
+func TestAllocatorRangeWindows(t *testing.T) {
+	if _, err := NewAllocatorRange(0, 10); err == nil {
+		t.Error("first=0 should fail (tag 0 is HostTagEmpty)")
+	}
+	if _, err := NewAllocatorRange(1, flowtable.MaxHostTag+1); err == nil {
+		t.Error("last beyond MaxHostTag should fail")
+	}
+	if _, err := NewAllocatorRange(20, 10); err == nil {
+		t.Error("inverted window should fail")
+	}
+
+	a, err := NewAllocatorRange(100, 102)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first, last := a.Window(); first != 100 || last != 102 {
+		t.Fatalf("Window = [%d, %d], want [100, 102]", first, last)
+	}
+	for i, v := range []topology.NodeID{7, 8, 9} {
+		tag, err := a.HostTag(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := uint16(100 + i); tag != want {
+			t.Fatalf("HostTag(%d) = %d, want %d", v, tag, want)
+		}
+	}
+	// Re-asking for an allocated host works even with the window full.
+	if tag, err := a.HostTag(8); err != nil || tag != 101 {
+		t.Fatalf("repeat HostTag(8) = %d, %v", tag, err)
+	}
+	if _, err := a.HostTag(99); err == nil {
+		t.Fatal("window exhaustion should fail")
+	}
+}
+
+// TestAllocatorRangeDisjoint: two shard windows over the same hosts hand
+// out non-overlapping tags — the cross-shard collision-freedom the
+// regional sharding layer relies on.
+func TestAllocatorRangeDisjoint(t *testing.T) {
+	a, err := NewAllocatorRange(1, 2047)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewAllocatorRange(2048, flowtable.MaxHostTag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := make(map[uint16]bool)
+	for v := topology.NodeID(0); v < 50; v++ {
+		ta, err := a.HostTag(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		tb, err := b.HostTag(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if seen[ta] || seen[tb] || ta == tb {
+			t.Fatalf("tag collision across windows: %d vs %d", ta, tb)
+		}
+		seen[ta], seen[tb] = true, true
+	}
+}
+
+func TestNewAllocatorCoversWholeSpace(t *testing.T) {
+	a := NewAllocator()
+	if first, last := a.Window(); first != 1 || last != flowtable.MaxHostTag {
+		t.Fatalf("default window = [%d, %d], want [1, %d]", first, last, flowtable.MaxHostTag)
+	}
+}

@@ -1,0 +1,108 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// ASEnsemble stitches `count` synthetic AS-level router graphs (each
+// built with the same preferential-attachment process as AS3679) into
+// one connected inter-domain topology: a peering ring through
+// deterministically chosen border routers plus `count` extra random
+// peerings. The result models the multi-ISP deployments the regional
+// sharding layer targets — a few dense domains with sparse
+// interconnects, where hash-partitioned controller regions map
+// naturally onto ASes.
+//
+// The construction is a pure function of (count, size, seed).
+func ASEnsemble(count, size int, seed int64) (*Graph, error) {
+	if count < 1 {
+		return nil, fmt.Errorf("topology: AS ensemble needs ≥1 AS, got %d", count)
+	}
+	if size < 3 {
+		return nil, fmt.Errorf("topology: AS size %d must be ≥3", size)
+	}
+	const bw = 10_000
+	g := NewGraph(fmt.Sprintf("AS-Ensemble-%dx%d", count, size))
+	rng := rand.New(rand.NewSource(seed))
+
+	// Per-AS preferential-attachment trees plus chords, exactly the
+	// AS3679 recipe scaled to `size` nodes and ~1.85·size links.
+	extra := size * 17 / 20
+	base := make([]NodeID, count) // first node of each AS
+	degree := make([]int, count*size)
+	for as := 0; as < count; as++ {
+		for i := 0; i < size; i++ {
+			id := g.AddNode(fmt.Sprintf("as%d-r%03d", as, i), KindBackbone)
+			if i == 0 {
+				base[as] = id
+			}
+		}
+		off := int(base[as])
+		for v := 1; v < size; v++ {
+			total := 0
+			for u := 0; u < v; u++ {
+				total += degree[off+u] + 1
+			}
+			pick := rng.Intn(total)
+			u := 0
+			for ; u < v; u++ {
+				pick -= degree[off+u] + 1
+				if pick < 0 {
+					break
+				}
+			}
+			mustLink(g, NodeID(off+u), NodeID(off+v), bw)
+			degree[off+u]++
+			degree[off+v]++
+		}
+		added := 0
+		for attempts := 0; added < extra && attempts < 50*extra; attempts++ {
+			u, v := rng.Intn(size), rng.Intn(size)
+			if u == v {
+				continue
+			}
+			if err := g.AddLink(NodeID(off+u), NodeID(off+v), bw, 1); err != nil {
+				continue // duplicate link; retry
+			}
+			degree[off+u]++
+			degree[off+v]++
+			added++
+		}
+	}
+
+	// Inter-AS peering: a ring through each AS's highest-degree router
+	// keeps the ensemble connected, then `count` extra random peerings
+	// add the meshiness of real inter-domain maps.
+	if count > 1 {
+		border := make([]NodeID, count)
+		for as := 0; as < count; as++ {
+			off, best := int(base[as]), 0
+			for i := 1; i < size; i++ {
+				if degree[off+i] > degree[off+best] {
+					best = i
+				}
+			}
+			border[as] = NodeID(off + best)
+		}
+		for as := 0; as < count; as++ {
+			if count == 2 && as == 1 {
+				break // two ASes need one peering, not a double link
+			}
+			mustLink(g, border[as], border[(as+1)%count], bw)
+		}
+		for added, attempts := 0, 0; added < count && attempts < 50*count; attempts++ {
+			a, b := rng.Intn(count), rng.Intn(count)
+			if a == b {
+				continue
+			}
+			u := NodeID(int(base[a]) + rng.Intn(size))
+			v := NodeID(int(base[b]) + rng.Intn(size))
+			if err := g.AddLink(u, v, bw, 1); err != nil {
+				continue
+			}
+			added++
+		}
+	}
+	return g, nil
+}
