@@ -20,12 +20,15 @@ race:
 vet:
 	$(GO) vet ./...
 
-# lint runs applelint (cmd/applelint), the project-specific static
-# analyzers proving the concurrency, callback, and determinism contracts
-# (see DESIGN.md §12), plus the gofmt formatting gate. Any diagnostic or
-# unformatted file fails the target.
+# lint runs applelint (cmd/applelint), the ten project-specific static
+# analyzers proving the concurrency, callback, determinism, transaction,
+# confinement, and lock-order contracts (see DESIGN.md §12 and §17), plus
+# the gofmt formatting gate. Findings are duplicated into lint_findings.txt
+# (the artifact CI uploads), and the whole suite must finish inside the
+# 30s wall-clock budget — any diagnostic, unformatted file, or budget
+# overrun fails the target.
 lint:
-	$(GO) run ./cmd/applelint .
+	$(GO) run ./cmd/applelint -report lint_findings.txt -budget 30s .
 	@unformatted=$$(gofmt -l .); \
 	if [ -n "$$unformatted" ]; then \
 		echo "gofmt: needs formatting:"; echo "$$unformatted"; exit 1; \
@@ -98,4 +101,4 @@ trace-smoke:
 
 clean:
 	$(GO) clean ./...
-	rm -f BENCH_lp.json BENCH_dataplane.json BENCH_reopt.json coverage.out churn_trace.jsonl churn_metrics.json shard_trace.jsonl shard_metrics.json
+	rm -f lint_findings.txt BENCH_lp.json BENCH_dataplane.json BENCH_reopt.json coverage.out churn_trace.jsonl churn_metrics.json shard_trace.jsonl shard_metrics.json

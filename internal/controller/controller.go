@@ -99,12 +99,16 @@ type Controller struct {
 	nbrPort  map[topology.NodeID]map[topology.NodeID]int
 	// assign partitions per-class data-plane state across lock-striped
 	// shards (consistent hashing over class IDs), so concurrent readers
-	// of different classes never contend on one lock.
+	// of different classes never contend on one lock. txn-owned: admit
+	// and install paths mutate it only through staged RuleTxn ops.
 	assign *assignStore
 	// instPool[v][nf] lists the running instances available at v.
+	// txn-owned: admit and re-optimization paths mutate it only through
+	// staged RuleTxn ops.
 	instPool map[topology.NodeID]map[policy.NF][]*vnf.Instance
 	// instPortion tracks the total traffic portion×rate assigned per
-	// instance, for least-loaded selection.
+	// instance, for least-loaded selection. txn-owned: admit and
+	// re-optimization paths mutate it only through staged RuleTxn ops.
 	instPortion map[vnf.ID]float64
 	// ruleUpdates counts TCAM rule (re)installations, each costing the
 	// measured 70 ms when driven through the clock. Atomic: the batch
@@ -114,7 +118,8 @@ type Controller struct {
 	// tags in use by header-rewriting classes steered through its APPLE
 	// host (§X). Their vSwitch rules match ⟨in-port, tag⟩ without a
 	// source prefix, so two such classes visiting the same host must not
-	// share a tag.
+	// share a tag. txn-owned: admit and re-optimization paths mutate it
+	// only through staged RuleTxn ops.
 	hostGlobalTags map[topology.NodeID]map[uint8]bool
 	// tracer journals flow-setup and failover events on the virtual
 	// clock; nil (the default) disables tracing with no allocation on the
@@ -122,7 +127,8 @@ type Controller struct {
 	tracer *trace.Recorder
 	// passByDone short-circuits ensurePassBy once every switch carries
 	// the rule. Confined to the commit path (sequential admit stage and
-	// unwind); never read by the parallel emit/apply workers.
+	// unwind); never read by the parallel emit/apply workers. txn-owned:
+	// entry points mutate it only through staged RuleTxn ops.
 	passByDone bool
 }
 

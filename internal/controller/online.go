@@ -36,28 +36,34 @@ func (c *Controller) AddClass(cl core.Class) error {
 
 // admitArrival runs the sequential stage of online flow setup for one
 // arrival: validation, greedy placement (planClass), and class admission.
-// No rules are installed; the returned provisioned IDs let the caller
-// unwind orchestrated instances if the later stages fail.
-func (c *Controller) admitArrival(cl core.Class) (*Assignment, []vnf.ID, error) {
+// No rules are installed. Every admit-stage side effect is recorded in
+// the transaction — the provisioned instance IDs and the admitted class —
+// so a failure in any later stage unwinds them; admitArrival itself still
+// cancels the instances it provisioned when admission of the same class
+// fails, because that error leaves the class out of the batch rather than
+// unwinding the whole transaction.
+func (c *Controller) admitArrival(cl core.Class, txn *RuleTxn) (*Assignment, error) {
 	if err := cl.Validate(c.g); err != nil {
-		return nil, nil, fmt.Errorf("controller: %w", err)
+		return nil, fmt.Errorf("controller: %w", err)
 	}
 	if c.assign.has(cl.ID) {
-		return nil, nil, fmt.Errorf("controller: class %d already installed", cl.ID)
+		return nil, fmt.Errorf("controller: class %d already installed", cl.ID)
 	}
 	if err := c.ensurePassBy(); err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	subs, provisioned, err := c.planClass(cl)
 	if err != nil {
-		return nil, nil, err
+		return nil, err
 	}
 	a, err := c.admitClass(cl, subs)
 	if err != nil {
 		c.unwindProvisioned(provisioned)
-		return nil, nil, err
+		return nil, err
 	}
-	return a, provisioned, nil
+	txn.trackProvisioned(provisioned)
+	txn.trackAdmitted(cl.ID)
+	return a, nil
 }
 
 // planClass greedily places one class against live capacity and returns
@@ -201,6 +207,7 @@ func (c *Controller) dropFromPool(id vnf.ID) {
 				delete(byNF, nf)
 				continue
 			}
+			//lint:ignore txnguard reap-after-commit decommissioning (ReOptimize phase 3) is deliberately outside the transaction: cancelling an idle instance is irreversible, so it must not be staged where an unwind would pretend to restore it
 			c.instPool[v][nf] = kept
 		}
 	}

@@ -1,6 +1,7 @@
 package controller
 
 import (
+	"errors"
 	"testing"
 
 	"github.com/apple-nfv/apple/internal/core"
@@ -119,5 +120,48 @@ func TestAddClassWithDynamicHandler(t *testing.T) {
 	// Surge the online class: the handler must see its instances.
 	if _, err := d.Observe(map[core.ClassID]float64{0: 300, 9: 1500}); err != nil {
 		t.Fatalf("Observe with online class: %v", err)
+	}
+}
+
+// TestAdmitArrivalRecordsSideEffectsInTxn pins the batch-admit leak fix:
+// admitArrival itself records every admit-stage side effect — the
+// instances it provisioned and the class it admitted — in the
+// transaction it is handed, so an unwind triggered by a later stage
+// restores the controller even though the caller never handled the
+// provisioned IDs. Before the fix the caller had to copy the IDs into
+// the transaction by hand, and a missed copy leaked live instances.
+func TestAdmitArrivalRecordsSideEffectsInTxn(t *testing.T) {
+	// Class 0 saturates the only firewall, so the arrival below must
+	// provision a fresh instance during admit.
+	classes := []core.Class{
+		{ID: 0, Path: linePath(4), Chain: policy.Chain{policy.Firewall}, RateMbps: 900},
+	}
+	c, _, _, _ := setup(t, classes)
+	before := len(c.Orchestrator().Instances())
+
+	txn := c.Begin()
+	txn.capture()
+	cl := core.Class{ID: 9, Path: linePath(4), Chain: policy.Chain{policy.Firewall}, RateMbps: 500}
+	if _, err := c.admitArrival(cl, txn); err != nil {
+		t.Fatalf("admitArrival: %v", err)
+	}
+	if len(txn.provisioned) == 0 {
+		t.Fatal("admitArrival provisioned a firewall but recorded nothing in the transaction")
+	}
+	if len(txn.admitted) != 1 || txn.admitted[0] != cl.ID {
+		t.Fatalf("txn.admitted = %v, want [%d]", txn.admitted, cl.ID)
+	}
+
+	// Simulate a later-stage failure: the unwind alone must erase every
+	// admit-stage side effect.
+	txn.unwind(errors.New("install failed"))
+	if c.assign.has(cl.ID) {
+		t.Fatal("unwind left the admitted class in the assignment store")
+	}
+	if after := len(c.Orchestrator().Instances()); after != before {
+		t.Fatalf("unwind left provisioned instances alive: %d instances before, %d after", before, after)
+	}
+	if _, ok := c.instPortion[txn.provisioned[0]]; ok {
+		t.Fatal("unwind left the cancelled instance in the portion ledger")
 	}
 }

@@ -67,7 +67,6 @@ func newAssignStore(n int) *assignStore {
 	}
 	st := &assignStore{sharder: sh, shards: make([]assignShard, n)}
 	for i := range st.shards {
-		//lint:ignore guardedfield constructor initialization before the store is published to any other goroutine
 		st.shards[i].m = make(map[core.ClassID]*Assignment)
 	}
 	return st
@@ -252,19 +251,18 @@ func (c *Controller) AddClassBatch(classes []core.Class, opts BatchOptions) erro
 	txn := c.Begin()
 	txn.capture()
 
-	// Stage 1 — admit, sequentially in arrival order. Provisioned
-	// instance IDs are tracked in the transaction even for successful
-	// admissions: if a later stage fails, the unwind cancels them.
+	// Stage 1 — admit, sequentially in arrival order. admitArrival
+	// records its own side effects (provisioned instances, the admitted
+	// class) in the transaction: if a later stage fails, the unwind
+	// cancels them.
 	admitted := make([]*Assignment, 0, len(classes))
 	var admitErr error
 	for _, cl := range classes {
-		a, provisioned, err := c.admitArrival(cl)
-		txn.trackProvisioned(provisioned)
+		a, err := c.admitArrival(cl, txn)
 		if err != nil {
 			admitErr = fmt.Errorf("controller: batch admit class %d: %w", cl.ID, err)
 			break
 		}
-		txn.trackAdmitted(cl.ID)
 		admitted = append(admitted, a)
 	}
 

@@ -166,6 +166,8 @@ func (t *RuleTxn) Removed() int   { return t.removed }
 // first, updates next, removals last — and either commits them all or
 // unwinds every side effect. After Commit returns the transaction is
 // finished and must not be reused.
+//
+//apple:boundary
 func (t *RuleTxn) Commit(opts TxnOptions) (err error) {
 	if t.finished {
 		return fmt.Errorf("controller: transaction already finished")
@@ -255,6 +257,8 @@ func (t *RuleTxn) finish() {
 // of the store, replaced/removed classes back in, provisioned instances
 // cancelled and de-pooled, and the portion/global-tag maps swapped back
 // wholesale.
+//
+//apple:boundary
 func (t *RuleTxn) unwind(cause error) {
 	t.finished = true
 	c := t.c

@@ -12,18 +12,20 @@ import (
 // completion closure on the simulation clock must invoke exactly one
 // callback exactly once on every control path through that closure.
 //
-// The analyzer enumerates the closure's paths over if/else, switch, and
-// select branching. The nil-guard idiom
+// The analyzer enumerates paths over the closure's CFG (cfg.go), so
+// if/else, switch, select, goto, and labeled-break shapes are all
+// covered by construction. The nil-guard idiom
 //
 //	if onFail != nil {
 //	    onFail(id, err)
 //	}
 //
 // counts as one logical invocation on every path (the contract lets
-// callers pass nil for a callback they don't care about). Paths ending
-// in panic are exempt — they are "unreachable by construction"
-// assertions, not lifecycle outcomes. A callback call inside a loop is
-// reported directly: it can fire once per iteration.
+// callers pass nil for a callback they don't care about); the builder
+// collapses it to an opaque weight-1 node. Loops are likewise collapsed:
+// a callback call inside one is reported directly — it can fire once
+// per iteration. Paths ending in panic are exempt — they are
+// "unreachable by construction" assertions, not lifecycle outcomes.
 //
 // Synchronous callback invocation from the scheduling function itself
 // is also reported: the contract requires callbacks to fire later, on
@@ -144,42 +146,153 @@ type termKind int
 const (
 	fallThrough termKind = iota
 	returned
-	aborted // panic — exempt from the contract
 )
 
-// outcome is one enumerated path suffix: how many callback invocations
-// it performed and how it ended.
+// outcome is one enumerated path: how many callback invocations it
+// performed and where it ended.
 type outcome struct {
 	count int
 	term  termKind
 	pos   token.Pos
 }
 
-// pathEnum enumerates callback invocations along control paths.
+// pathEnum enumerates callback invocations along CFG paths.
 type pathEnum struct {
 	pass     *Pass
 	cbs      map[types.Object]bool
+	weight   map[ast.Stmt]int // collapsed nil-guards and loops
 	reported map[token.Pos]bool
 }
 
 func enumerate(pass *Pass, lit *ast.FuncLit, cbs map[types.Object]bool) {
-	pe := &pathEnum{pass: pass, cbs: cbs, reported: make(map[token.Pos]bool)}
-	ends := pe.walk(lit.Body.List)
-	for _, o := range ends {
-		if o.term == aborted {
-			continue
+	pe := &pathEnum{
+		pass:     pass,
+		cbs:      cbs,
+		weight:   make(map[ast.Stmt]int),
+		reported: make(map[token.Pos]bool),
+	}
+	// Pre-pass: nil-guard ifs collapse to one logical invocation; loops
+	// collapse to opaque nodes — a callback inside one is reported
+	// directly, and the loop then counts as one logical invocation so
+	// the tail paths aren't double-flagged.
+	collapse := make(map[ast.Stmt]bool)
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.IfStmt:
+			if _, ok := pe.nilGuard(x); ok {
+				collapse[x] = true
+				pe.weight[x] = 1
+				return false
+			}
+		case *ast.ForStmt:
+			collapse[x] = true
+			if pe.loopCheck(x.Body) {
+				pe.weight[x] = 1
+			}
+			return false
+		case *ast.RangeStmt:
+			collapse[x] = true
+			if pe.loopCheck(x.Body) {
+				pe.weight[x] = 1
+			}
+			return false
+		case *ast.FuncLit:
+			// Nested literals run on their own schedule; they are not
+			// part of this closure's path structure.
+			return false
 		}
-		pos := o.pos
-		if o.term == fallThrough {
-			pos = lit.Body.Rbrace
+		return true
+	})
+
+	g := buildCFG(lit.Body.List, cfgOptions{
+		collapse: collapse,
+		isPanic:  func(call *ast.CallExpr) bool { return isPanicCall(pass, call) },
+	})
+
+	type item struct {
+		blk   *cfgBlock
+		count int
+	}
+	type visitKey struct {
+		idx   int
+		count int
+	}
+	seen := make(map[visitKey]bool)
+	stack := []item{{g.entry, 0}}
+	var ends []outcome
+	steps := 0
+	for len(stack) > 0 {
+		if steps++; steps > maxPaths {
+			// Give up quietly rather than explode; the closures under
+			// contract are small by construction.
+			break
 		}
+		it := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		c := it.count + pe.blockWeight(it.blk)
 		switch {
-		case o.count == 0:
-			pe.reportOnce(pos, "control path through the completion closure invokes no completion callback (exactly-once contract)")
-		case o.count > 1:
-			pe.reportOnce(pos, sprintf("control path through the completion closure invokes completion callbacks %d times (exactly-once contract)", o.count))
+		case it.blk.panics:
+			// Panic paths are assertions, exempt from the contract.
+		case it.blk.ret != nil:
+			ends = append(ends, outcome{count: c, term: returned, pos: it.blk.ret.Pos()})
+		case it.blk == g.exit:
+			ends = append(ends, outcome{count: c, term: fallThrough, pos: lit.Body.Rbrace})
+		default:
+			for _, s := range it.blk.succs {
+				k := visitKey{idx: s.index, count: c}
+				if seen[k] {
+					continue // also cuts goto cycles
+				}
+				seen[k] = true
+				stack = append(stack, item{blk: s, count: c})
+			}
 		}
 	}
+
+	for _, o := range ends {
+		switch {
+		case o.count == 0:
+			pe.reportOnce(o.pos, "control path through the completion closure invokes no completion callback (exactly-once contract)")
+		case o.count > 1:
+			pe.reportOnce(o.pos, sprintf("control path through the completion closure invokes completion callbacks %d times (exactly-once contract)", o.count))
+		}
+	}
+}
+
+// blockWeight sums the callback invocations of a block's straight-line
+// nodes. Only top-level calls count, matching the reviewer-auditable
+// level of the contract.
+func (pe *pathEnum) blockWeight(blk *cfgBlock) int {
+	total := 0
+	for _, n := range blk.nodes {
+		if n.stmt == nil {
+			continue
+		}
+		if w, ok := pe.weight[n.stmt]; ok {
+			total += w
+			continue
+		}
+		switch x := n.stmt.(type) {
+		case *ast.ExprStmt:
+			total += pe.exprWeight(x.X)
+		case *ast.AssignStmt:
+			for _, r := range x.Rhs {
+				total += pe.exprWeight(r)
+			}
+		case *ast.DeferStmt:
+			if isCallbackCall(pe.pass, x.Call, pe.cbs) {
+				total++
+			}
+		}
+	}
+	return total
+}
+
+func (pe *pathEnum) exprWeight(e ast.Expr) int {
+	if call, ok := ast.Unparen(e).(*ast.CallExpr); ok && isCallbackCall(pe.pass, call, pe.cbs) {
+		return 1
+	}
+	return 0
 }
 
 func (pe *pathEnum) reportOnce(pos token.Pos, msg string) {
@@ -188,124 +301,6 @@ func (pe *pathEnum) reportOnce(pos token.Pos, msg string) {
 	}
 	pe.reported[pos] = true
 	pe.pass.Reportf(pos, "%s", msg)
-}
-
-// walk enumerates a statement list. Partial paths carry accumulated
-// counts; terminated paths are emitted as outcomes.
-func (pe *pathEnum) walk(stmts []ast.Stmt) []outcome {
-	partials := []outcome{{count: 0, term: fallThrough}}
-	var done []outcome
-	for _, s := range stmts {
-		branches := pe.stmt(s)
-		var next []outcome
-		for _, p := range partials {
-			for _, b := range branches {
-				o := outcome{count: p.count + b.count, term: b.term, pos: b.pos}
-				if b.term == fallThrough {
-					next = append(next, o)
-				} else {
-					done = append(done, o)
-				}
-			}
-		}
-		partials = dedupe(next)
-		if len(partials) == 0 {
-			break
-		}
-		if len(done)+len(partials) > maxPaths {
-			// Give up quietly rather than explode; the closures under
-			// contract are small by construction.
-			return done
-		}
-	}
-	return append(done, partials...)
-}
-
-// stmt returns the possible outcomes of one statement.
-func (pe *pathEnum) stmt(s ast.Stmt) []outcome {
-	fall := []outcome{{term: fallThrough}}
-	switch x := s.(type) {
-	case *ast.ExprStmt:
-		return pe.exprOutcome(x.X)
-	case *ast.ReturnStmt:
-		return []outcome{{term: returned, pos: x.Pos()}}
-	case *ast.BranchStmt:
-		// break/continue: path leaves this statement list without
-		// reaching its end; treat like a return with no obligation —
-		// the loop-level rules handle repeated invocation.
-		return []outcome{{term: aborted, pos: x.Pos()}}
-	case *ast.BlockStmt:
-		return pe.walk(x.List)
-	case *ast.LabeledStmt:
-		return pe.stmt(x.Stmt)
-	case *ast.IfStmt:
-		return pe.ifOutcomes(x)
-	case *ast.ForStmt:
-		if pe.loopCheck(x.Body) {
-			// Already reported; count the loop as one logical
-			// invocation so the tail paths aren't double-flagged.
-			return []outcome{{count: 1, term: fallThrough}}
-		}
-		return fall
-	case *ast.RangeStmt:
-		if pe.loopCheck(x.Body) {
-			return []outcome{{count: 1, term: fallThrough}}
-		}
-		return fall
-	case *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt:
-		return pe.caseOutcomes(s)
-	case *ast.DeferStmt:
-		if isCallbackCall(pe.pass, x.Call, pe.cbs) {
-			return []outcome{{count: 1, term: fallThrough}}
-		}
-		return fall
-	case *ast.AssignStmt:
-		var out []outcome = []outcome{{term: fallThrough}}
-		for _, r := range x.Rhs {
-			out = combine(out, pe.exprOutcome(r))
-		}
-		return out
-	case *ast.GoStmt:
-		return fall
-	}
-	return fall
-}
-
-// exprOutcome classifies an expression-statement's call.
-func (pe *pathEnum) exprOutcome(e ast.Expr) []outcome {
-	call, ok := ast.Unparen(e).(*ast.CallExpr)
-	if !ok {
-		return []outcome{{term: fallThrough}}
-	}
-	if isCallbackCall(pe.pass, call, pe.cbs) {
-		return []outcome{{count: 1, term: fallThrough}}
-	}
-	// A panic path is an assertion, not a lifecycle outcome; it is
-	// exempt from the exactly-once obligation.
-	if id, ok := ast.Unparen(call.Fun).(*ast.Ident); ok && id.Name == "panic" {
-		if _, isBuiltin := pe.pass.Info.Uses[id].(*types.Builtin); isBuiltin {
-			return []outcome{{term: aborted, pos: call.Pos()}}
-		}
-	}
-	return []outcome{{term: fallThrough}}
-}
-
-// ifOutcomes handles branching, special-casing the nil-guard idiom.
-func (pe *pathEnum) ifOutcomes(x *ast.IfStmt) []outcome {
-	if _, ok := pe.nilGuard(x); ok {
-		return []outcome{{count: 1, term: fallThrough}}
-	}
-	thenOut := pe.walk(x.Body.List)
-	var elseOut []outcome
-	switch e := x.Else.(type) {
-	case *ast.BlockStmt:
-		elseOut = pe.walk(e.List)
-	case *ast.IfStmt:
-		elseOut = pe.ifOutcomes(e)
-	default:
-		elseOut = []outcome{{term: fallThrough}}
-	}
-	return dedupe(append(thenOut, elseOut...))
 }
 
 // nilGuard matches `if cb != nil { cb(...) }` with no else: one logical
@@ -341,42 +336,6 @@ func (pe *pathEnum) nilGuard(x *ast.IfStmt) (types.Object, bool) {
 	return pe.pass.Info.Uses[cbIdent], true
 }
 
-// caseOutcomes handles switch/type-switch/select: each clause is a
-// branch; without a default clause the zero branch is possible too.
-func (pe *pathEnum) caseOutcomes(s ast.Stmt) []outcome {
-	var body *ast.BlockStmt
-	switch x := s.(type) {
-	case *ast.SwitchStmt:
-		body = x.Body
-	case *ast.TypeSwitchStmt:
-		body = x.Body
-	case *ast.SelectStmt:
-		body = x.Body
-	}
-	out := []outcome{}
-	hasDefault := false
-	for _, c := range body.List {
-		var stmts []ast.Stmt
-		switch cc := c.(type) {
-		case *ast.CaseClause:
-			if cc.List == nil {
-				hasDefault = true
-			}
-			stmts = cc.Body
-		case *ast.CommClause:
-			if cc.Comm == nil {
-				hasDefault = true
-			}
-			stmts = cc.Body
-		}
-		out = append(out, pe.walk(stmts)...)
-	}
-	if !hasDefault {
-		out = append(out, outcome{term: fallThrough})
-	}
-	return dedupe(out)
-}
-
 // loopCheck reports callback calls (guarded or not) inside a loop body
 // and reports whether it found any.
 func (pe *pathEnum) loopCheck(body *ast.BlockStmt) bool {
@@ -392,33 +351,4 @@ func (pe *pathEnum) loopCheck(body *ast.BlockStmt) bool {
 		return true
 	})
 	return found
-}
-
-// combine crosses partial outcomes with a statement's branches.
-func combine(partials, branches []outcome) []outcome {
-	var out []outcome
-	for _, p := range partials {
-		for _, b := range branches {
-			if b.term == fallThrough {
-				out = append(out, outcome{count: p.count + b.count, term: fallThrough})
-			} else {
-				out = append(out, outcome{count: p.count + b.count, term: b.term, pos: b.pos})
-			}
-		}
-	}
-	return dedupe(out)
-}
-
-// dedupe collapses outcomes with identical (count, term, pos).
-func dedupe(outs []outcome) []outcome {
-	seen := make(map[outcome]bool, len(outs))
-	kept := outs[:0]
-	for _, o := range outs {
-		if seen[o] {
-			continue
-		}
-		seen[o] = true
-		kept = append(kept, o)
-	}
-	return kept
 }

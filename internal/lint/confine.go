@@ -1,0 +1,337 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// AnalyzerConfine polices the escape routes of sim-confined state — the
+// PR 2/8 interleaving class. The guardedfield analyzer already flags
+// *direct* accesses of "confined to the simulation loop" fields from
+// goroutines and worker-pool closures; confine closes the indirect
+// routes: a confined value copied into a local and then
+//
+//   - captured by a spawned goroutine or a worker-pool closure
+//     (pool.RunIndexed),
+//   - sent on a channel, or
+//   - captured by a closure stored into a field, container, or
+//     package-level variable (a stored callback runs on an unknown
+//     goroutine at an unknown time),
+//
+// leaks loop-owned state to another thread of control.
+//
+// Two annotation forms opt values in: the existing field form
+//
+//	pending []*event // confined to the simulation loop
+//
+// and the local form — the same comment trailing a declaration inside a
+// function body:
+//
+//	held := d.pending // confined to the simulation loop
+//
+// Taint propagates through assignments whose right-hand side is a
+// confined field (or a projection of one: index, slice, address, field
+// path) or an already-tainted local. Calls launder taint — a function
+// result is fresh by contract — which keeps the check at the level a
+// reviewer can audit.
+var AnalyzerConfine = &Analyzer{
+	Name: "confine",
+	Doc:  "values confined to the simulation loop must not escape via goroutine captures, channel sends, or stored callbacks",
+	Run:  runConfine,
+}
+
+func runConfine(pass *Pass) {
+	fields := confinedFieldVars(pass)
+	confinedLines := confinedCommentLines(pass)
+	for _, file := range pass.Files {
+		for _, decl := range file.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			cc := &confineCtx{
+				pass:     pass,
+				fields:   fields,
+				tainted:  make(map[*types.Var]string),
+				reported: make(map[token.Pos]bool),
+			}
+			cc.collectAnnotatedLocals(fd, confinedLines)
+			cc.propagate(fd)
+			cc.checkEscapes(fd)
+		}
+	}
+}
+
+// confinedFieldVars collects the confined struct fields, silently (the
+// guardedfield analyzer owns annotation-validity diagnostics).
+func confinedFieldVars(pass *Pass) map[*types.Var]string {
+	out := make(map[*types.Var]string)
+	for _, file := range pass.Files {
+		ast.Inspect(file, func(n ast.Node) bool {
+			ts, ok := n.(*ast.TypeSpec)
+			if !ok {
+				return true
+			}
+			st, ok := ts.Type.(*ast.StructType)
+			if !ok {
+				return true
+			}
+			for _, fld := range st.Fields.List {
+				text := fieldCommentText(fld)
+				if !confinedRe.MatchString(text) || guardedRe.MatchString(text) {
+					continue
+				}
+				for _, name := range fld.Names {
+					if obj, ok := pass.Info.Defs[name].(*types.Var); ok {
+						out[obj] = ts.Name.Name + "." + name.Name
+					}
+				}
+			}
+			return true
+		})
+	}
+	return out
+}
+
+// confinedCommentLines maps file:line positions of confinement comments
+// so local declarations can carry the annotation too.
+func confinedCommentLines(pass *Pass) map[suppressionKey]bool {
+	lines := make(map[suppressionKey]bool)
+	for _, file := range pass.Files {
+		for _, cg := range file.Comments {
+			for _, c := range cg.List {
+				if confinedRe.MatchString(c.Text) {
+					pos := pass.Fset.Position(c.Pos())
+					lines[suppressionKey{file: pos.Filename, line: pos.Line}] = true
+				}
+			}
+		}
+	}
+	return lines
+}
+
+type confineCtx struct {
+	pass     *Pass
+	fields   map[*types.Var]string
+	tainted  map[*types.Var]string // local var -> confinement origin
+	reported map[token.Pos]bool
+}
+
+func (cc *confineCtx) collectAnnotatedLocals(fd *ast.FuncDecl, lines map[suppressionKey]bool) {
+	if len(lines) == 0 {
+		return
+	}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok {
+			return true
+		}
+		v, ok := cc.pass.Info.Defs[id].(*types.Var)
+		if !ok {
+			return true
+		}
+		pos := cc.pass.Fset.Position(id.Pos())
+		if lines[suppressionKey{file: pos.Filename, line: pos.Line}] {
+			cc.tainted[v] = v.Name()
+		}
+		return true
+	})
+}
+
+// propagate runs the assignment taint to fixpoint over the body
+// (including nested literals — a capture of a tainted outer local is
+// resolved by object identity).
+func (cc *confineCtx) propagate(fd *ast.FuncDecl) {
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(fd.Body, func(n ast.Node) bool {
+			switch x := n.(type) {
+			case *ast.AssignStmt:
+				if len(x.Lhs) != len(x.Rhs) {
+					return true
+				}
+				for i, lhs := range x.Lhs {
+					origin := cc.taintOf(x.Rhs[i])
+					if origin == "" {
+						continue
+					}
+					id, ok := ast.Unparen(lhs).(*ast.Ident)
+					if !ok {
+						continue
+					}
+					v := cc.localVar(id)
+					if v == nil || cc.tainted[v] != "" {
+						continue
+					}
+					cc.tainted[v] = origin
+					changed = true
+				}
+			case *ast.ValueSpec:
+				if len(x.Names) != len(x.Values) {
+					return true
+				}
+				for i, name := range x.Names {
+					origin := cc.taintOf(x.Values[i])
+					if origin == "" {
+						continue
+					}
+					if v, ok := cc.pass.Info.Defs[name].(*types.Var); ok && cc.tainted[v] == "" {
+						cc.tainted[v] = origin
+						changed = true
+					}
+				}
+			}
+			return true
+		})
+	}
+}
+
+// taintOf reports the confinement origin of an expression, or "". Only
+// projections preserve taint: field reads of confined fields, indexes,
+// slices, addresses, and already-tainted locals. Calls launder.
+func (cc *confineCtx) taintOf(e ast.Expr) string {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.Ident:
+		if v := cc.localVar(x); v != nil {
+			return cc.tainted[v]
+		}
+	case *ast.SelectorExpr:
+		if sel, ok := cc.pass.Info.Selections[x]; ok && sel.Kind() == types.FieldVal {
+			if f, ok := sel.Obj().(*types.Var); ok {
+				if origin, confined := cc.fields[f]; confined {
+					return origin
+				}
+			}
+		}
+		return cc.taintOf(x.X)
+	case *ast.IndexExpr:
+		return cc.taintOf(x.X)
+	case *ast.SliceExpr:
+		return cc.taintOf(x.X)
+	case *ast.StarExpr:
+		return cc.taintOf(x.X)
+	case *ast.UnaryExpr:
+		if x.Op == token.AND {
+			return cc.taintOf(x.X)
+		}
+	}
+	return ""
+}
+
+func (cc *confineCtx) localVar(id *ast.Ident) *types.Var {
+	obj := cc.pass.Info.Uses[id]
+	if obj == nil {
+		obj = cc.pass.Info.Defs[id]
+	}
+	v, ok := obj.(*types.Var)
+	if !ok || v.IsField() {
+		return nil
+	}
+	if cc.pass.Pkg != nil && v.Parent() == cc.pass.Pkg.Scope() {
+		return nil // package-level vars are not loop locals
+	}
+	return v
+}
+
+// checkEscapes walks the body reporting the three escape routes.
+func (cc *confineCtx) checkEscapes(fd *ast.FuncDecl) {
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.GoStmt:
+			if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
+				cc.checkCapture(lit, "captured by a goroutine", false)
+			}
+		case *ast.CallExpr:
+			if calleeName(x) == "RunIndexed" {
+				for _, arg := range x.Args {
+					if lit, ok := arg.(*ast.FuncLit); ok {
+						cc.checkCapture(lit, "captured by a worker-pool closure", false)
+					}
+				}
+			}
+		case *ast.SendStmt:
+			if origin := cc.taintOf(x.Value); origin != "" {
+				cc.reportOnce(x.Arrow, sprintf(
+					"sim-confined value (from %s) is sent on a channel; confined state must stay on the simulation loop", origin))
+			}
+		case *ast.AssignStmt:
+			if len(x.Lhs) != len(x.Rhs) {
+				return true
+			}
+			for i, rhs := range x.Rhs {
+				lit, ok := ast.Unparen(rhs).(*ast.FuncLit)
+				if !ok || !cc.persistentTarget(x.Lhs[i]) {
+					continue
+				}
+				cc.checkCapture(lit, "captured by a stored callback", true)
+			}
+		}
+		return true
+	})
+}
+
+// persistentTarget reports whether an assignment target outlives the
+// function body: a struct field, a container element, or a
+// package-level variable.
+func (cc *confineCtx) persistentTarget(lhs ast.Expr) bool {
+	switch x := ast.Unparen(lhs).(type) {
+	case *ast.SelectorExpr, *ast.IndexExpr, *ast.StarExpr:
+		return true
+	case *ast.Ident:
+		if v, ok := cc.pass.Info.Uses[x].(*types.Var); ok && cc.pass.Pkg != nil && v.Parent() == cc.pass.Pkg.Scope() {
+			return true
+		}
+	}
+	return false
+}
+
+// checkCapture reports tainted locals referenced inside the literal but
+// defined outside it; for stored callbacks (fields=true) direct
+// confined-field reads are reported too. Direct confined-field accesses
+// inside goroutines and worker-pool closures are left to guardedfield,
+// which already reports them as async accesses.
+func (cc *confineCtx) checkCapture(lit *ast.FuncLit, how string, fields bool) {
+	ast.Inspect(lit.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.Ident:
+			v, ok := cc.pass.Info.Uses[x].(*types.Var)
+			if !ok {
+				return true
+			}
+			origin := cc.tainted[v]
+			if origin == "" {
+				return true
+			}
+			if x.Pos() > lit.Pos() && x.Pos() < lit.End() && v.Pos() < lit.Pos() {
+				cc.reportOnce(x.Pos(), sprintf(
+					"%s (sim-confined, from %s) is %s; confined state must stay on the simulation loop", v.Name(), origin, how))
+			}
+		case *ast.SelectorExpr:
+			if !fields {
+				return true
+			}
+			sel, ok := cc.pass.Info.Selections[x]
+			if !ok || sel.Kind() != types.FieldVal {
+				return true
+			}
+			f, ok := sel.Obj().(*types.Var)
+			if !ok {
+				return true
+			}
+			if origin, confined := cc.fields[f]; confined {
+				cc.reportOnce(x.Sel.Pos(), sprintf(
+					"%s is %s; confined state must stay on the simulation loop", origin, how))
+			}
+		}
+		return true
+	})
+}
+
+func (cc *confineCtx) reportOnce(pos token.Pos, msg string) {
+	if cc.reported[pos] {
+		return
+	}
+	cc.reported[pos] = true
+	cc.pass.Reportf(pos, "%s", msg)
+}

@@ -18,6 +18,10 @@ var goldenAnalyzers = map[string][]string{
 	"simclock":      {"simclock"},
 	"atomiccounter": {"atomiccounter"},
 	"noalloc":       {"noalloc"},
+	"txnguard":      {"txnguard"},
+	"confine":       {"confine"},
+	"stalepointer":  {"stalepointer"},
+	"lockorder":     {"lockorder"},
 	"suppress":      {"lockguard", "guardedfield", "simclock"},
 }
 
@@ -124,7 +128,7 @@ func claimWant(wants []*wantExpect, file string, line int, msg string) bool {
 }
 
 // TestModuleLintsClean is the integration gate: the entire repository
-// must pass all six analyzers with zero diagnostics, so any newly
+// must pass all ten analyzers with zero diagnostics, so any newly
 // introduced violation fails go test as well as make lint.
 func TestModuleLintsClean(t *testing.T) {
 	if testing.Short() {
@@ -154,8 +158,8 @@ func TestByNameUnknown(t *testing.T) {
 		t.Fatal("ByName accepted an unknown analyzer")
 	}
 	all, err := ByName(nil)
-	if err != nil || len(all) != 6 {
-		t.Fatalf("ByName(nil) = %d analyzers, err %v; want 6, nil", len(all), err)
+	if err != nil || len(all) != 10 {
+		t.Fatalf("ByName(nil) = %d analyzers, err %v; want 10, nil", len(all), err)
 	}
 }
 

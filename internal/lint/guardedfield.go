@@ -2,6 +2,7 @@ package lint
 
 import (
 	"go/ast"
+	"go/token"
 	"go/types"
 	"regexp"
 	"strings"
@@ -24,6 +25,12 @@ import (
 //
 // The annotation may appear anywhere in the field's doc comment or
 // trailing line comment.
+//
+// Fresh locals are exempt from the lock requirement: when every value a
+// local ever holds was allocated in the function itself (a composite
+// literal, &composite, or new), no other goroutine can have a reference
+// yet, so constructors may initialize guarded fields without the mutex
+// and without a suppression.
 var AnalyzerGuardedField = &Analyzer{
 	Name: "guardedfield",
 	Doc:  "fields annotated 'guarded by <mu>' are only touched with the mutex held; 'confined to the simulation loop' fields never leak into goroutines",
@@ -51,6 +58,7 @@ func runGuardedField(pass *Pass) {
 	facts := pass.lockFactsFor()
 	for decl, f := range facts {
 		callerHolds := strings.HasSuffix(decl.Name.Name, "Locked")
+		fresh := freshLocals(pass, decl)
 		for _, acc := range f.accesses {
 			g, ok := guards[acc.field]
 			if !ok {
@@ -66,6 +74,9 @@ func runGuardedField(pass *Pass) {
 			}
 			if callerHolds {
 				continue
+			}
+			if v := rootIdentVar(pass, acc.sel.X); v != nil && fresh[v] {
+				continue // unpublished object: no other goroutine can race
 			}
 			base := types.ExprString(acc.sel.X)
 			want := base + "." + g.mu
@@ -151,6 +162,100 @@ func collectGuards(pass *Pass) map[*types.Var]guardInfo {
 		})
 	}
 	return guards
+}
+
+// freshLocals returns the function's locals whose every assignment is
+// an allocation performed in the function itself: a composite literal,
+// the address of one, or builtin new. Such a value is unpublished for
+// the whole function body, so guarded-field accesses through it cannot
+// race.
+func freshLocals(pass *Pass, decl *ast.FuncDecl) map[*types.Var]bool {
+	fresh := make(map[*types.Var]bool)
+	poisoned := make(map[*types.Var]bool)
+	mark := func(id *ast.Ident, rhs ast.Expr) {
+		obj := pass.Info.Defs[id]
+		if obj == nil {
+			obj = pass.Info.Uses[id]
+		}
+		v, ok := obj.(*types.Var)
+		if !ok || v.IsField() {
+			return
+		}
+		if rhs != nil && isAllocExpr(pass, rhs) && !poisoned[v] {
+			fresh[v] = true
+		} else {
+			poisoned[v] = true
+			delete(fresh, v)
+		}
+	}
+	ast.Inspect(decl.Body, func(n ast.Node) bool {
+		switch x := n.(type) {
+		case *ast.AssignStmt:
+			for i, lhs := range x.Lhs {
+				id, ok := ast.Unparen(lhs).(*ast.Ident)
+				if !ok || id.Name == "_" {
+					continue
+				}
+				var rhs ast.Expr
+				if len(x.Lhs) == len(x.Rhs) {
+					rhs = x.Rhs[i]
+				}
+				mark(id, rhs)
+			}
+		case *ast.ValueSpec:
+			for i, name := range x.Names {
+				var rhs ast.Expr
+				if i < len(x.Values) {
+					rhs = x.Values[i]
+				} else if len(x.Values) == 0 {
+					continue // var with no initializer: zero value, neutral
+				}
+				mark(name, rhs)
+			}
+		}
+		return true
+	})
+	return fresh
+}
+
+// isAllocExpr matches the expressions that produce a brand-new object.
+func isAllocExpr(pass *Pass, e ast.Expr) bool {
+	switch x := ast.Unparen(e).(type) {
+	case *ast.CompositeLit:
+		return true
+	case *ast.UnaryExpr:
+		if x.Op != token.AND {
+			return false
+		}
+		_, ok := ast.Unparen(x.X).(*ast.CompositeLit)
+		return ok
+	case *ast.CallExpr:
+		if id, ok := ast.Unparen(x.Fun).(*ast.Ident); ok && id.Name == "new" {
+			_, isBuiltin := pass.Info.Uses[id].(*types.Builtin)
+			return isBuiltin
+		}
+	}
+	return false
+}
+
+// rootIdentVar resolves the base identifier of a field-access chain
+// (st.shards[i].m -> st) to its variable, nil for non-ident bases.
+func rootIdentVar(pass *Pass, e ast.Expr) *types.Var {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := pass.Info.Uses[x].(*types.Var)
+			return v
+		case *ast.SelectorExpr:
+			e = x.X
+		case *ast.IndexExpr:
+			e = x.X
+		case *ast.StarExpr:
+			e = x.X
+		default:
+			return nil
+		}
+	}
 }
 
 func fieldCommentText(fld *ast.Field) string {

@@ -5,7 +5,8 @@
 // explore. The suite is stdlib-only — go/parser + go/types + go/importer
 // — so the module stays zero-dependency.
 //
-// Six analyzers ship (see DESIGN.md §12 for the invariant catalogue):
+// Ten analyzers ship (see DESIGN.md §12 and §17 for the invariant
+// catalogue):
 //
 //   - lockguard: no blocking operation (channel send/recv, select,
 //     user-callback invocation, orchestrator Launch/ReconfigureIdle/
@@ -27,6 +28,20 @@
 //   - noalloc: functions annotated "//apple:noalloc" (the compiled
 //     data-plane lookup chain) contain no construct that can allocate
 //     and call only annotated, builtin, or sync/atomic callees.
+//   - txnguard: writes to "txn-owned" controller state reachable from
+//     AddClass/AddClassBatch/ReOptimize flow through a staged RuleTxn
+//     op (the PR 7 partial-install class).
+//   - confine: values confined to the simulation loop do not escape
+//     via goroutine captures, channel sends, or stored callbacks.
+//   - stalepointer: a pointer fetched before an "//apple:boundary"
+//     commit/unwind call is not dereferenced after it without a
+//     re-fetch (the PR 8 stale-assignment class).
+//   - lockorder: the package-level mutex acquisition graph, including
+//     acquisitions via in-package calls, is cycle-free.
+//
+// lockguard, guardedfield, and callbackonce run on a shared
+// intraprocedural CFG + dataflow core (cfg.go, dataflow.go); the
+// whole-program analyzers add a per-package call-summary cache on top.
 //
 // Diagnostics print as "file:line:col: [analyzer] message" and may be
 // suppressed with a "//lint:ignore <analyzer> <reason>" comment on the
@@ -66,6 +81,10 @@ type Pass struct {
 	// lockFacts caches the per-function lock analysis shared by
 	// lockguard and guardedfield (computed lazily, once per package).
 	lockFacts map[*ast.FuncDecl]*funcLockFacts
+
+	// summaryCache holds the per-package call summaries shared by the
+	// whole-program analyzers (computed lazily, once per package).
+	summaryCache *pkgSummaries
 }
 
 // Reportf records a diagnostic at pos.
@@ -93,6 +112,10 @@ func Analyzers() []*Analyzer {
 		AnalyzerSimClock,
 		AnalyzerAtomicCounter,
 		AnalyzerNoAlloc,
+		AnalyzerTxnGuard,
+		AnalyzerConfine,
+		AnalyzerStalePointer,
+		AnalyzerLockOrder,
 	}
 }
 

@@ -26,10 +26,7 @@ func (w *lockWalker) expr(e ast.Expr, st lockState, async bool) {
 	case *ast.UnaryExpr:
 		if x.Op.String() == "<-" {
 			if h := st.anyHeld(); h != nil {
-				w.facts.blocking = append(w.facts.blocking, lockFinding{
-					pos: x.Pos(),
-					msg: sprintf("channel receive while %s is held", describeLock(h, w.pass)),
-				})
+				w.blockingFinding(x.Pos(), sprintf("channel receive while %s is held", describeLock(h, w.pass)))
 			}
 		}
 		w.expr(x.X, st, async)
@@ -59,7 +56,7 @@ func (w *lockWalker) expr(e ast.Expr, st lockState, async bool) {
 		w.expr(x.Value, st, async)
 	case *ast.FuncLit:
 		// A literal in value position runs later, with unknown locks.
-		w.walkStmts(x.Body.List, make(lockState), async)
+		w.analyzeBody(x.Body.List, make(lockState), async, x.Body.Rbrace, false)
 	}
 }
 
@@ -98,41 +95,60 @@ func (w *lockWalker) call(call *ast.CallExpr, st lockState, async bool) {
 		switch op {
 		case "Lock", "RLock":
 			if h, already := st[key]; already && !(op == "RLock" && h.rlock) {
-				w.facts.blocking = append(w.facts.blocking, lockFinding{
-					pos: call.Pos(),
-					msg: sprintf("%s.%s() while %s is already held (self-deadlock)",
-						key, op, describeLock(h, w.pass)),
-				})
+				w.blockingFinding(call.Pos(), sprintf("%s.%s() while %s is already held (self-deadlock)",
+					key, op, describeLock(h, w.pass)))
 			}
-			st[key] = &heldLock{key: key, rlock: op == "RLock", pos: call.Pos()}
+			h := &heldLock{
+				key:   key,
+				class: w.lockClass(call.Fun.(*ast.SelectorExpr).X),
+				rlock: op == "RLock",
+				pos:   call.Pos(),
+			}
+			w.recordAcquire(h, st)
+			st[key] = h
 		case "Unlock", "RUnlock":
 			delete(st, key)
 		case "TryLock", "TryRLock":
-			// Only the `if mu.TryLock()` form is tracked (walkIf); a
+			// Only the `if mu.TryLock()` form is tracked (the CFG
+			// builder models it as an acquisition on the then-edge); a
 			// discarded or stored result is not modeled.
 		}
 		return
 	}
 
 	if key, rlock, ok := w.acquireHelper(call); ok {
-		st[key] = &heldLock{key: key, rlock: rlock, pos: call.Pos()}
+		sel := call.Fun.(*ast.SelectorExpr)
+		class := ""
+		if tv, ok := w.pass.Info.Types[sel.X]; ok {
+			if named, ok := deref(tv.Type).(*types.Named); ok {
+				class = named.Obj().Name() + ".mu"
+			}
+		}
+		h := &heldLock{
+			key:   key,
+			class: class,
+			rlock: rlock,
+			pos:   call.Pos(),
+		}
+		w.recordAcquire(h, st)
+		st[key] = h
 		return
 	}
 
 	if len(st) > 0 {
 		if desc := w.blockingCallee(call); desc != "" {
 			h := st.anyHeld()
-			w.facts.blocking = append(w.facts.blocking, lockFinding{
-				pos: call.Pos(),
-				msg: sprintf("%s while %s is held", desc, describeLock(h, w.pass)),
-			})
+			w.blockingFinding(call.Pos(), sprintf("%s while %s is held", desc, describeLock(h, w.pass)))
 		}
+		w.recordHeldCall(call, st)
 	}
 
 	// Immediately-invoked literal: runs synchronously under the current
-	// lock state.
+	// lock state, and its fall-through effects flow back into it.
 	if lit, ok := call.Fun.(*ast.FuncLit); ok {
-		w.walkStmts(lit.Body.List, st, async)
+		if out := w.analyzeBody(lit.Body.List, st, async, lit.Body.Rbrace, false); out != nil {
+			replace(st, out)
+		}
 	} else {
 		w.expr(call.Fun, st, async)
 	}
@@ -141,18 +157,41 @@ func (w *lockWalker) call(call *ast.CallExpr, st lockState, async bool) {
 		if lit, ok := a.(*ast.FuncLit); ok {
 			switch litMode {
 			case litAsync:
-				w.walkStmts(lit.Body.List, make(lockState), true)
+				w.analyzeBody(lit.Body.List, make(lockState), true, lit.Body.Rbrace, false)
 			case litDeferredLoop:
-				w.walkStmts(lit.Body.List, make(lockState), false)
+				w.analyzeBody(lit.Body.List, make(lockState), false, lit.Body.Rbrace, false)
 			default:
 				// Synchronous higher-order call (sort.Slice and
 				// friends): the literal runs under the caller's locks.
-				w.walkStmts(lit.Body.List, st.clone(), async)
+				w.analyzeBody(lit.Body.List, st.clone(), async, lit.Body.Rbrace, false)
 			}
 			continue
 		}
 		w.expr(a, st, async)
 	}
+}
+
+// recordHeldCall feeds lockorder's interprocedural edges: an in-package
+// call made while locks are held inherits ordering edges from the
+// callee's transitive acquire set.
+func (w *lockWalker) recordHeldCall(call *ast.CallExpr, st lockState) {
+	if !w.record {
+		return
+	}
+	fn := staticCallee(w.pass, call)
+	if fn == nil || fn.Pkg() != w.pass.Pkg {
+		return
+	}
+	var held []string
+	for _, k := range st.sortedKeys() {
+		if c := st[k].class; c != "" {
+			held = append(held, c)
+		}
+	}
+	if len(held) == 0 {
+		return
+	}
+	w.facts.heldCalls = append(w.facts.heldCalls, heldCallFact{callee: fn, held: held, pos: call.Pos()})
 }
 
 type funcLitMode int
@@ -284,6 +323,9 @@ func (w *lockWalker) blockingCallee(call *ast.CallExpr) string {
 // recordAccess snapshots a struct-field access with the current lock
 // state and concurrency context.
 func (w *lockWalker) recordAccess(sel *ast.SelectorExpr, write bool, st lockState, async bool) {
+	if !w.record {
+		return
+	}
 	selection, ok := w.pass.Info.Selections[sel]
 	if !ok || selection.Kind() != types.FieldVal {
 		return

@@ -8,17 +8,22 @@ import (
 )
 
 // This file implements the per-function lock-state analysis shared by
-// lockguard and guardedfield: a syntax-directed walk of each function
-// body that tracks which mutexes are held at every statement, records
-// blocking operations performed under a lock, checks Lock/Unlock
-// pairing across return paths, and snapshots the held set at every
-// struct-field access.
+// lockguard, guardedfield, and lockorder: a forward dataflow over the
+// shared CFG (cfg.go, dataflow.go) that tracks which mutexes are held
+// at every statement, records blocking operations performed under a
+// lock, checks Lock/Unlock pairing across all paths, and snapshots the
+// held set at every struct-field access and in-package call.
 //
-// Mutexes are identified by the printed source expression of their
-// receiver ("h.mu", "sh.mu", "t.mu"), which is canonical within one
-// function body. The walk is deliberately intraprocedural and
-// approximate — branches are analyzed independently and merged, loops
-// are required to leave the lock state unchanged — which is exactly the
+// Mutexes are identified two ways: by the printed source expression of
+// their receiver ("h.mu", "sh.mu"), which is canonical within one
+// function body and drives the pairing/guard checks, and by their
+// type-level class ("Handler.mu"), which is canonical across the whole
+// package and drives the lockorder acquisition graph.
+//
+// The analysis is intraprocedural and approximate: join blocks whose
+// predecessors disagree about the held set are themselves the
+// diagnostic (conditional lock/unlock), and loop heads must see the
+// same state on the back edge as on entry. That is exactly the
 // discipline the hand-written code follows; anything the approximation
 // cannot prove is reported and must be restructured or suppressed with
 // a reasoned //lint:ignore.
@@ -26,13 +31,14 @@ import (
 // heldLock is one currently-held mutex.
 type heldLock struct {
 	key      string // canonical receiver expression, e.g. "h.mu"
+	class    string // package-level lock class, e.g. "Handler.mu"
 	rlock    bool
 	pos      token.Pos // acquisition site
 	deferred bool      // release is registered via defer
 }
 
 // lockState maps mutex key → held lock. It is mutated in place along
-// straight-line flow and cloned at branches.
+// straight-line flow and cloned at block boundaries.
 type lockState map[string]*heldLock
 
 func (st lockState) clone() lockState {
@@ -77,9 +83,9 @@ func (st lockState) anyHeld() *heldLock {
 	return st[keys[0]]
 }
 
-// lockFinding is a diagnostic produced by the walk, tagged by category
-// so lockguard can report blocking/pairing issues while guardedfield
-// consumes only access facts.
+// lockFinding is a diagnostic produced by the analysis, tagged by
+// category so lockguard can report blocking/pairing issues while
+// guardedfield consumes only access facts.
 type lockFinding struct {
 	pos token.Pos
 	msg string
@@ -94,12 +100,31 @@ type accessFact struct {
 	async bool       // lexically inside a go statement or worker-pool closure
 }
 
+// lockAcqEdge is one "acquired B while holding A" event, in class terms,
+// feeding the lockorder acquisition graph.
+type lockAcqEdge struct {
+	from, to string // lock classes
+	pos      token.Pos
+}
+
+// heldCallFact is one in-package call made while locks were held; the
+// lockorder analyzer combines it with the callee's transitive acquire
+// set for interprocedural ordering edges.
+type heldCallFact struct {
+	callee *types.Func
+	held   []string // lock classes, sorted
+	pos    token.Pos
+}
+
 // funcLockFacts is the analysis result for one top-level function
 // declaration (including every function literal nested in it).
 type funcLockFacts struct {
-	blocking []lockFinding
-	pairing  []lockFinding
-	accesses []accessFact
+	blocking  []lockFinding
+	pairing   []lockFinding
+	accesses  []accessFact
+	acqEdges  []lockAcqEdge
+	heldCalls []heldCallFact
+	acquired  map[string]token.Pos // classes acquired in synchronous context
 }
 
 // lockFactsFor computes (and caches) the lock facts of every function
@@ -115,20 +140,13 @@ func (p *Pass) lockFactsFor() map[*ast.FuncDecl]*funcLockFacts {
 			if !ok || fd.Body == nil {
 				continue
 			}
-			w := &lockWalker{pass: p, facts: &funcLockFacts{}, funcName: fd.Name.Name}
-			st := make(lockState)
-			terminated := w.walkStmts(fd.Body.List, st, false)
-			if !terminated && !isAcquireHelper(fd.Name.Name) {
-				for _, k := range st.sortedKeys() {
-					h := st[k]
-					if !h.deferred {
-						w.facts.pairing = append(w.facts.pairing, lockFinding{
-							pos: fd.Body.Rbrace,
-							msg: sprintf("%s is not unlocked when the function returns", describeLock(h, p)),
-						})
-					}
-				}
+			w := &lockWalker{
+				pass:     p,
+				facts:    &funcLockFacts{acquired: make(map[string]token.Pos)},
+				funcName: fd.Name.Name,
+				record:   true,
 			}
+			w.analyzeBody(fd.Body.List, make(lockState), false, fd.Body.Rbrace, true)
 			p.lockFacts[fd] = w.facts
 		}
 	}
@@ -149,26 +167,140 @@ func describeLock(h *heldLock, p *Pass) string {
 	return sprintf("%s.%s() (%s:%d)", h.key, mode, shortPath(pos.Filename), pos.Line)
 }
 
-// lockWalker carries the walk context for one top-level function.
+// lockWalker carries the analysis context for one top-level function.
 type lockWalker struct {
 	pass     *Pass
 	facts    *funcLockFacts
 	funcName string
+	// record gates every fact append: the solver's fixpoint iterations
+	// run with record=false so re-visiting a block never duplicates a
+	// finding; the final once-per-block pass runs with record=true.
+	record bool
 }
 
-// walkStmts analyzes a statement list, mutating st along straight-line
-// flow. It reports whether the list definitely terminates (return,
-// panic, or branch out) before falling off the end.
-func (w *lockWalker) walkStmts(stmts []ast.Stmt, st lockState, async bool) bool {
-	for _, s := range stmts {
-		if w.walkStmt(s, st, async) {
-			return true
+func (w *lockWalker) blockingFinding(pos token.Pos, msg string) {
+	if w.record {
+		w.facts.blocking = append(w.facts.blocking, lockFinding{pos: pos, msg: msg})
+	}
+}
+
+func (w *lockWalker) pairingFinding(pos token.Pos, msg string) {
+	if w.record {
+		w.facts.pairing = append(w.facts.pairing, lockFinding{pos: pos, msg: msg})
+	}
+}
+
+// analyzeBody builds and solves the CFG of one body — a function or a
+// function literal, which inherits or resets the state per its
+// concurrency mode. end anchors the fall-off-the-end pairing check and
+// checkExit enables it (top-level bodies only; a literal's leaked lock
+// surfaces at its call sites, not its closing brace). The return value
+// is the lock state at the fall-through exit, or nil when the end of
+// the body is unreachable — immediately-invoked literals feed it back
+// into the caller's state.
+func (w *lockWalker) analyzeBody(stmts []ast.Stmt, init lockState, async bool, end token.Pos, checkExit bool) lockState {
+	g := buildCFG(stmts, cfgOptions{
+		tryLock: func(call *ast.CallExpr) bool {
+			_, op, ok := w.mutexOp(call)
+			return ok && (op == "TryLock" || op == "TryRLock")
+		},
+		isPanic: func(call *ast.CallExpr) bool { return isPanicCall(w.pass, call) },
+	})
+	lat := lattice[lockState]{
+		clone: lockState.clone,
+		equal: equalKeys,
+		transfer: func(blk *cfgBlock, st lockState) {
+			w.transferBlock(blk, st, async)
+		},
+	}
+	record := w.record
+	w.record = false
+	in, has, conflicts := solveForward(g, init.clone(), lat)
+	w.record = record
+	exitState := func() lockState {
+		if has[g.exit.index] {
+			return in[g.exit.index]
+		}
+		return nil
+	}
+	if !w.record {
+		return exitState()
+	}
+	for _, blk := range conflicts {
+		w.pairingFinding(blk.joinPos, mergeConflictMsg(blk))
+	}
+	for _, blk := range g.reachable() {
+		if !has[blk.index] {
+			continue
+		}
+		st := in[blk.index].clone()
+		w.transferBlock(blk, st, async)
+		if blk.ret != nil && !isAcquireHelper(w.funcName) {
+			for _, k := range st.sortedKeys() {
+				if h := st[k]; !h.deferred {
+					w.pairingFinding(blk.ret.Pos(),
+						sprintf("%s is not unlocked on this return path", describeLock(h, w.pass)))
+				}
+			}
 		}
 	}
-	return false
+	if checkExit && !isAcquireHelper(w.funcName) {
+		if st := exitState(); st != nil {
+			for _, k := range st.sortedKeys() {
+				if h := st[k]; !h.deferred {
+					w.pairingFinding(end,
+						sprintf("%s is not unlocked when the function returns", describeLock(h, w.pass)))
+				}
+			}
+		}
+	}
+	return exitState()
 }
 
-func (w *lockWalker) walkStmt(s ast.Stmt, st lockState, async bool) bool {
+// mergeConflictMsg phrases a held-set disagreement in terms of the join
+// that exposed it.
+func mergeConflictMsg(blk *cfgBlock) string {
+	switch blk.join {
+	case joinLoop:
+		return "lock state changes across a loop iteration (lock/unlock not balanced in the loop body)"
+	case joinSwitch:
+		return "switch case leaves different locks held than its siblings"
+	case joinSelect:
+		return "select cases leave different locks held (conditional lock/unlock)"
+	default:
+		return "branches leave different locks held (conditional lock/unlock)"
+	}
+}
+
+// transferBlock applies one basic block's nodes to the lock state.
+func (w *lockWalker) transferBlock(blk *cfgBlock, st lockState, async bool) {
+	for _, n := range blk.nodes {
+		switch {
+		case n.acquire != nil:
+			key, op, _ := w.mutexOp(n.acquire)
+			st[key] = &heldLock{
+				key:   key,
+				class: w.lockClass(n.acquire.Fun.(*ast.SelectorExpr).X),
+				rlock: op == "TryRLock",
+				pos:   n.acquire.Pos(),
+			}
+			w.recordAcquire(st[key], st)
+		case n.sel != nil:
+			if h := st.anyHeld(); h != nil {
+				w.blockingFinding(n.sel.Pos(),
+					sprintf("select (blocking) while %s is held", describeLock(h, w.pass)))
+			}
+		case n.expr != nil:
+			w.expr(n.expr, st, async)
+		case n.stmt != nil:
+			w.nodeStmt(n.stmt, st, async)
+		}
+	}
+}
+
+// nodeStmt applies one straight-line statement. Control statements never
+// reach here — the CFG builder turned them into edges.
+func (w *lockWalker) nodeStmt(s ast.Stmt, st lockState, async bool) {
 	switch x := s.(type) {
 	case *ast.ExprStmt:
 		w.expr(x.X, st, async)
@@ -196,99 +328,17 @@ func (w *lockWalker) walkStmt(s ast.Stmt, st lockState, async bool) bool {
 			if h, held := st[key]; held {
 				h.deferred = true
 			}
-			return false
+			return
 		}
 		w.expr(x.Call, st, async)
 	case *ast.ReturnStmt:
 		for _, r := range x.Results {
 			w.expr(r, st, async)
 		}
-		if !isAcquireHelper(w.funcName) {
-			for _, k := range st.sortedKeys() {
-				h := st[k]
-				if !h.deferred {
-					w.facts.pairing = append(w.facts.pairing, lockFinding{
-						pos: x.Pos(),
-						msg: sprintf("%s is not unlocked on this return path", describeLock(h, w.pass)),
-					})
-				}
-			}
-		}
-		return true
-	case *ast.BranchStmt:
-		// break/continue/goto leave the enclosing construct; treat as
-		// terminating this path so branch merges stay conservative.
-		return true
-	case *ast.BlockStmt:
-		return w.walkStmts(x.List, st, async)
-	case *ast.LabeledStmt:
-		return w.walkStmt(x.Stmt, st, async)
-	case *ast.IfStmt:
-		return w.walkIf(x, st, async)
-	case *ast.ForStmt:
-		if x.Init != nil {
-			w.walkStmt(x.Init, st, async)
-		}
-		if x.Cond != nil {
-			w.expr(x.Cond, st, async)
-		}
-		body := st.clone()
-		w.walkStmts(x.Body.List, body, async)
-		if x.Post != nil {
-			w.walkStmt(x.Post, body, async)
-		}
-		if !equalKeys(st, body) {
-			w.facts.pairing = append(w.facts.pairing, lockFinding{
-				pos: x.Pos(),
-				msg: "lock state changes across a loop iteration (lock/unlock not balanced in the loop body)",
-			})
-		}
-		// Infinite for{} without break: treat as terminating.
-		return x.Cond == nil && !hasBreak(x.Body)
-	case *ast.RangeStmt:
-		w.expr(x.X, st, async)
-		body := st.clone()
-		w.walkStmts(x.Body.List, body, async)
-		if !equalKeys(st, body) {
-			w.facts.pairing = append(w.facts.pairing, lockFinding{
-				pos: x.Pos(),
-				msg: "lock state changes across a loop iteration (lock/unlock not balanced in the loop body)",
-			})
-		}
-	case *ast.SwitchStmt:
-		if x.Init != nil {
-			w.walkStmt(x.Init, st, async)
-		}
-		if x.Tag != nil {
-			w.expr(x.Tag, st, async)
-		}
-		w.walkCases(x.Body, x.Pos(), st, async)
-	case *ast.TypeSwitchStmt:
-		if x.Init != nil {
-			w.walkStmt(x.Init, st, async)
-		}
-		w.walkCases(x.Body, x.Pos(), st, async)
-	case *ast.SelectStmt:
-		if h := st.anyHeld(); h != nil {
-			w.facts.blocking = append(w.facts.blocking, lockFinding{
-				pos: x.Pos(),
-				msg: sprintf("select (blocking) while %s is held", describeLock(h, w.pass)),
-			})
-		}
-		for _, c := range x.Body.List {
-			cc := c.(*ast.CommClause)
-			branch := st.clone()
-			if cc.Comm != nil {
-				w.walkStmt(cc.Comm, branch, async)
-			}
-			w.walkStmts(cc.Body, branch, async)
-		}
 	case *ast.SendStmt:
 		if h := st.anyHeld(); h != nil {
-			w.facts.blocking = append(w.facts.blocking, lockFinding{
-				pos: x.Pos(),
-				msg: sprintf("channel send while %s is held", describeLock(h, w.pass)),
-			})
+			w.blockingFinding(x.Pos(),
+				sprintf("channel send while %s is held", describeLock(h, w.pass)))
 		}
 		w.expr(x.Chan, st, async)
 		w.expr(x.Value, st, async)
@@ -297,80 +347,53 @@ func (w *lockWalker) walkStmt(s ast.Stmt, st lockState, async bool) bool {
 			w.expr(arg, st, async)
 		}
 		if lit, ok := x.Call.Fun.(*ast.FuncLit); ok {
-			w.walkStmts(lit.Body.List, make(lockState), true)
+			w.analyzeBody(lit.Body.List, make(lockState), true, lit.Body.Rbrace, false)
 		} else {
 			w.expr(x.Call.Fun, st, async)
 		}
 	}
-	return false
 }
 
-// walkIf handles branching with the TryLock special case and the
-// branch-merge rules.
-func (w *lockWalker) walkIf(x *ast.IfStmt, st lockState, async bool) bool {
-	if x.Init != nil {
-		w.walkStmt(x.Init, st, async)
+// recordAcquire feeds the lockorder facts: the acquisition itself (in
+// synchronous context) and an ordering edge from every lock already
+// held when it happened.
+func (w *lockWalker) recordAcquire(h *heldLock, st lockState) {
+	if !w.record || h.class == "" {
+		return
 	}
-	thenSt := st.clone()
-	// `if mu.TryLock() { ... }`: the lock is held only in the then
-	// branch.
-	if call, ok := x.Cond.(*ast.CallExpr); ok {
-		if key, op, isMu := w.mutexOp(call); isMu && (op == "TryLock" || op == "TryRLock") {
-			thenSt[key] = &heldLock{key: key, rlock: op == "TryRLock", pos: call.Pos()}
-		} else {
-			w.expr(x.Cond, st, async)
-		}
-	} else {
-		w.expr(x.Cond, st, async)
+	if _, seen := w.facts.acquired[h.class]; !seen {
+		w.facts.acquired[h.class] = h.pos
 	}
-	termThen := w.walkStmts(x.Body.List, thenSt, async)
-	elseSt := st.clone()
-	termElse := false
-	switch e := x.Else.(type) {
-	case *ast.BlockStmt:
-		termElse = w.walkStmts(e.List, elseSt, async)
-	case *ast.IfStmt:
-		termElse = w.walkIf(e, elseSt, async)
-	}
-	switch {
-	case termThen && termElse:
-		return true
-	case termThen:
-		replace(st, elseSt)
-	case termElse:
-		replace(st, thenSt)
-	default:
-		if !equalKeys(thenSt, elseSt) {
-			w.facts.pairing = append(w.facts.pairing, lockFinding{
-				pos: x.Pos(),
-				msg: "branches leave different locks held (conditional lock/unlock)",
-			})
-		}
-		replace(st, thenSt)
-	}
-	return false
-}
-
-// walkCases analyzes switch/type-switch clause bodies as independent
-// branches that must each leave the lock state unchanged (unless they
-// terminate).
-func (w *lockWalker) walkCases(body *ast.BlockStmt, pos token.Pos, st lockState, async bool) {
-	for _, c := range body.List {
-		cc, ok := c.(*ast.CaseClause)
-		if !ok {
+	for _, k := range st.sortedKeys() {
+		held := st[k]
+		if held.key == h.key || held.class == "" || held.class == h.class {
 			continue
 		}
-		for _, e := range cc.List {
-			w.expr(e, st, async)
-		}
-		branch := st.clone()
-		if !w.walkStmts(cc.Body, branch, async) && !equalKeys(branch, st) {
-			w.facts.pairing = append(w.facts.pairing, lockFinding{
-				pos: pos,
-				msg: "switch case leaves different locks held than its siblings",
-			})
-		}
+		w.facts.acqEdges = append(w.facts.acqEdges, lockAcqEdge{from: held.class, to: h.class, pos: h.pos})
 	}
+}
+
+// lockClass canonicalizes a mutex receiver expression to its
+// package-level class: "h.mu" on a *Handler receiver becomes
+// "Handler.mu", a package-level var "tableMu" becomes "pkg.tableMu".
+// Locals and unresolvable shapes fall back to the source expression,
+// which stays stable within the package.
+func (w *lockWalker) lockClass(muExpr ast.Expr) string {
+	switch x := ast.Unparen(muExpr).(type) {
+	case *ast.SelectorExpr:
+		if tv, ok := w.pass.Info.Types[x.X]; ok {
+			if named, ok := deref(tv.Type).(*types.Named); ok {
+				return named.Obj().Name() + "." + x.Sel.Name
+			}
+		}
+		return types.ExprString(x)
+	case *ast.Ident:
+		if v, ok := w.pass.Info.Uses[x].(*types.Var); ok && w.pass.Pkg != nil && v.Parent() == w.pass.Pkg.Scope() {
+			return w.pass.Pkg.Name() + "." + x.Name
+		}
+		return x.Name
+	}
+	return types.ExprString(muExpr)
 }
 
 func replace(dst, src lockState) {
@@ -380,20 +403,4 @@ func replace(dst, src lockState) {
 	for k, v := range src {
 		dst[k] = v
 	}
-}
-
-func hasBreak(body *ast.BlockStmt) bool {
-	found := false
-	ast.Inspect(body, func(n ast.Node) bool {
-		switch n.(type) {
-		case *ast.ForStmt, *ast.RangeStmt, *ast.SwitchStmt, *ast.TypeSwitchStmt, *ast.SelectStmt, *ast.FuncLit:
-			return false // break inside these doesn't exit the outer loop
-		case *ast.BranchStmt:
-			if n.(*ast.BranchStmt).Tok == token.BREAK {
-				found = true
-			}
-		}
-		return !found
-	})
-	return found
 }

@@ -46,6 +46,22 @@ func (s *store) badWrite(k string, v int) {
 	s.vals[k] = v // want "store.vals is written while s.mu is only read-locked"
 }
 
+// newStore initializes guarded fields before the value is published:
+// the fresh-local exemption keeps constructors suppression-free.
+func newStore() *store {
+	st := &store{}
+	st.vals = make(map[string]int)
+	st.hits = 0
+	return st
+}
+
+// reopened aliases an object handed in from outside: not fresh, the
+// lock requirement stands.
+func reopened(s *store) {
+	t := s
+	t.vals = nil // want "store.vals is written without holding t.mu"
+}
+
 type badGuard struct {
 	// guarded by lock
 	x int // want "does not name a sibling"

@@ -1,0 +1,69 @@
+// Package lockorder seeds a direct two-mutex ordering cycle, an
+// interprocedural one (the acquisition hides behind an in-package
+// call), and a consistently-ordered pair that must stay silent.
+package lockorder
+
+import "sync"
+
+type regionA struct{ mu sync.Mutex }
+
+type regionB struct{ mu sync.Mutex }
+
+func lockAB(a *regionA, b *regionB) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	b.mu.Lock() // want "lock acquisition order cycle among {regionA.mu, regionB.mu}"
+	defer b.mu.Unlock()
+}
+
+func lockBA(a *regionA, b *regionB) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	a.mu.Lock()
+	defer a.mu.Unlock()
+}
+
+type regionC struct{ mu sync.Mutex }
+
+type regionD struct{ mu sync.Mutex }
+
+func lockCthenD(c *regionC, d *regionD) {
+	c.mu.Lock()
+	grabD(d) // want "lock acquisition order cycle among {regionC.mu, regionD.mu}"
+	c.mu.Unlock()
+}
+
+func grabD(d *regionD) {
+	d.mu.Lock()
+	d.mu.Unlock()
+}
+
+func lockDthenC(c *regionC, d *regionD) {
+	d.mu.Lock()
+	grabC(c)
+	d.mu.Unlock()
+}
+
+func grabC(c *regionC) {
+	c.mu.Lock()
+	c.mu.Unlock()
+}
+
+type regionE struct{ mu sync.Mutex }
+
+type regionF struct{ mu sync.Mutex }
+
+// The E-before-F order is used everywhere: clean.
+func lockEF(e *regionE, f *regionF) {
+	e.mu.Lock()
+	f.mu.Lock()
+	f.mu.Unlock()
+	e.mu.Unlock()
+}
+
+func lockEFAgain(e *regionE, f *regionF) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+}

@@ -1,0 +1,77 @@
+// Package stalepointer reproduces the PR 8 bug class: a pointer
+// fetched from a controller table before a commit/unwind boundary and
+// dereferenced after it without a re-fetch.
+package stalepointer
+
+type assignment struct {
+	Shard int
+	Port  int
+}
+
+type table struct {
+	m map[string]*assignment
+}
+
+func (t *table) get(id string) *assignment { return t.m[id] }
+
+type txn struct {
+	t *table
+}
+
+func begin(t *table) *txn { return &txn{t: t} }
+
+//apple:boundary
+func (x *txn) Commit() {}
+
+//apple:boundary
+func (x *txn) unwind() {}
+
+func use(n int) {}
+
+func staleUse(t *table, x *txn) {
+	a := t.get("c1")
+	x.Commit()
+	use(a.Port) // want "a may be stale: it was fetched before the Commit boundary"
+}
+
+func refetched(t *table, x *txn) {
+	a := t.get("c1")
+	x.Commit()
+	a = t.get("c1") // re-fetch clears the staleness
+	use(a.Port)
+}
+
+func unwindStale(t *table, x *txn) {
+	a := t.get("c1")
+	if a == nil {
+		return
+	}
+	x.unwind()
+	use(a.Shard) // want "a may be stale: it was fetched before the unwind boundary"
+}
+
+// beginReceiver shows the receiver exemption: the transaction object
+// owns the boundary, so the boundary does not invalidate it.
+func beginReceiver(t *table) {
+	x := begin(t)
+	x.Commit()
+	_ = x.t
+}
+
+// loopStale is the loop-carried shape: fetched in one iteration,
+// committed at the end of the body, dereferenced in the next.
+func loopStale(t *table, x *txn, ids []string) {
+	a := t.get("seed")
+	for _, id := range ids {
+		use(a.Port) // want "a may be stale: it was fetched before the Commit boundary"
+		x.Commit()
+		_ = id
+	}
+}
+
+// freshLocal allocates here: no table record to go stale.
+func freshLocal(x *txn) {
+	a := &assignment{Shard: 1}
+	x.Commit()
+	use(a.Port)
+}
