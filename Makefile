@@ -5,8 +5,9 @@ FUZZ_TARGETS := FuzzMatchLookup FuzzSubsumes FuzzPrefixContains
 SHARD_CLASSES ?= 200000
 SHARD_COUNTS ?= 1,2,4,8
 SHARD_MIN_SPEEDUP ?= 2
+POLICY_MIN_COMPILES ?= 2000
 
-.PHONY: build test race vet lint bench bench-dp bench-shard reopt fuzz cover check trace-smoke clean
+.PHONY: build test race vet lint bench bench-dp bench-shard bench-policy reopt fuzz cover check trace-smoke clean
 
 build:
 	$(GO) build ./...
@@ -60,6 +61,17 @@ bench-dp:
 # smoke. SHARD_CLASSES/SHARD_COUNTS/SHARD_MIN_SPEEDUP tune the run.
 bench-shard:
 	$(GO) run ./cmd/benchshard -classes $(SHARD_CLASSES) -shards $(SHARD_COUNTS) -min-speedup $(SHARD_MIN_SPEEDUP) -out BENCH_scale.json
+
+# bench-policy refreshes BENCH_policy.json, the policy engine v2 report:
+# hierarchy compile throughput (org/tenant/class layers with merge and
+# override down to effective chains) and the four-topology anti-affinity
+# audit (objective overhead of the IDS/Proxy exclusion vs the flat solve,
+# engine solve times, and the interference-freedom counters). The built-in
+# gates double as the CI regression smoke: the target fails on any
+# co-located excluded pair, any controller audit violation, or compile
+# throughput below POLICY_MIN_COMPILES/sec.
+bench-policy:
+	$(GO) run ./cmd/benchpolicy -out BENCH_policy.json -min-compiles $(POLICY_MIN_COMPILES)
 
 # reopt replays the continuous re-optimization loop (warm-started
 # parametric LP + make-before-break rule transactions) over the diurnal

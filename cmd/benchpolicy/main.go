@@ -1,0 +1,274 @@
+// Command benchpolicy measures the policy engine v2 and writes a
+// machine-readable BENCH_policy.json so the policy-path trajectory is
+// tracked across PRs alongside the other BENCH_* reports. Two halves:
+//
+//   - compile throughput: a synthetic org/tenant/class hierarchy (one
+//     org default, tenant overrides, one merge layer per class) is
+//     compiled to effective chains, measuring single-target Compile
+//     calls per second and the end-to-end ApplyHierarchy time for a
+//     whole problem;
+//   - anti-affinity audit: the four Table V topologies are solved flat
+//     and with the default IDS/Proxy exclusion compiled through the
+//     hierarchy, reporting the objective overhead, the engine solve
+//     times, and the interference-freedom counters (co-located excluded
+//     pairs and controller audit violations — both must be zero).
+//
+// The gates turn the report into a regression smoke: the exit status is
+// 1 if compile throughput drops below -min-compiles, or if any audit
+// row reports a co-located excluded pair or an audit violation.
+//
+// Usage:
+//
+//	benchpolicy                            # BENCH_policy.json
+//	benchpolicy -out - -min-compiles 2000  # JSON to stdout, gated
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"github.com/apple-nfv/apple/internal/core"
+	"github.com/apple-nfv/apple/internal/experiments"
+	"github.com/apple-nfv/apple/internal/policy"
+)
+
+// compileClasses is the synthetic hierarchy's class count.
+const compileClasses = 256
+
+// compileTenants is the synthetic hierarchy's tenant count.
+const compileTenants = 8
+
+// CompileReport is the hierarchy compile-throughput measurement.
+type CompileReport struct {
+	Layers         int     `json:"layers"`
+	Tenants        int     `json:"tenants"`
+	Classes        int     `json:"classes"`
+	CompilesPerSec float64 `json:"compiles_per_sec"`
+	// ApplyMs is one ApplyHierarchy pass over all classes (compile +
+	// variant enumeration + exclusion accumulation).
+	ApplyMs float64 `json:"apply_ms"`
+}
+
+// AuditReport is one topology's anti-affinity audit row.
+type AuditReport struct {
+	Topology        string   `json:"topology"`
+	Classes         int      `json:"classes"`
+	Pairs           []string `json:"pairs"`
+	FlatObjective   int      `json:"flat_objective"`
+	Objective       int      `json:"objective"`
+	OverheadPct     float64  `json:"overhead_pct"`
+	FlatSolveMs     float64  `json:"flat_solve_ms"`
+	SolveMs         float64  `json:"solve_ms"`
+	ColocatedPairs  int      `json:"colocated_pairs"`
+	AuditViolations int      `json:"audit_violations"`
+}
+
+// Report is the whole BENCH_policy.json document.
+type Report struct {
+	GeneratedAt string        `json:"generated_at"`
+	Seed        int64         `json:"seed"`
+	MinCompiles float64       `json:"gate_min_compiles_per_sec"`
+	Compile     CompileReport `json:"compile"`
+	Audits      []AuditReport `json:"audits"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		seed        = flag.Int64("seed", 1, "deterministic workload seed")
+		out         = flag.String("out", "BENCH_policy.json", "output path, or - for stdout")
+		minCompiles = flag.Float64("min-compiles", 1, "fail (exit 1) unless hierarchy compiles/sec is at least this")
+	)
+	flag.Parse()
+
+	rep := Report{
+		GeneratedAt: time.Now().UTC().Format(time.RFC3339),
+		Seed:        *seed,
+		MinCompiles: *minCompiles,
+	}
+
+	cr, err := measureCompile(*seed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpolicy: %v\n", err)
+		return 1
+	}
+	rep.Compile = cr
+	fmt.Fprintf(os.Stderr, "compile %4d layers %3d classes  %10.0f compiles/s  apply %6.2f ms\n",
+		cr.Layers, cr.Classes, cr.CompilesPerSec, cr.ApplyMs)
+
+	scs, err := experiments.All(experiments.Options{Seed: *seed, Snapshots: 48, Scale: 0.5})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpolicy: %v\n", err)
+		return 1
+	}
+	rows, err := experiments.PolicyAuditAll(scs, experiments.DefaultAntiAffinity())
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpolicy: %v\n", err)
+		return 1
+	}
+	violated := false
+	for _, r := range rows {
+		ar := AuditReport{
+			Topology:        r.Topology,
+			Classes:         r.Classes,
+			Pairs:           r.Pairs,
+			FlatObjective:   r.FlatObjective,
+			Objective:       r.Objective,
+			OverheadPct:     100 * r.Overhead(),
+			FlatSolveMs:     float64(r.FlatSolveTime.Microseconds()) / 1e3,
+			SolveMs:         float64(r.SolveTime.Microseconds()) / 1e3,
+			ColocatedPairs:  r.ColocatedPairs,
+			AuditViolations: r.AuditViolations,
+		}
+		rep.Audits = append(rep.Audits, ar)
+		fmt.Fprintf(os.Stderr, "audit  %-10s %2d classes  flat %3d -> %3d (%+5.1f%%)  solve %6.2f ms  coloc %d  violations %d\n",
+			ar.Topology, ar.Classes, ar.FlatObjective, ar.Objective, ar.OverheadPct, ar.SolveMs,
+			ar.ColocatedPairs, ar.AuditViolations)
+		if ar.ColocatedPairs != 0 || ar.AuditViolations != 0 {
+			violated = true
+		}
+	}
+
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpolicy: %v\n", err)
+		return 1
+	}
+	data = append(data, '\n')
+	if *out == "-" {
+		_, err = os.Stdout.Write(data)
+	} else {
+		err = os.WriteFile(*out, data, 0o644)
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "benchpolicy: %v\n", err)
+		return 1
+	}
+	if violated {
+		fmt.Fprintln(os.Stderr, "benchpolicy: REGRESSION: an audit row reports interference (co-location or audit violations)")
+		return 1
+	}
+	if rep.Compile.CompilesPerSec < *minCompiles {
+		fmt.Fprintf(os.Stderr, "benchpolicy: REGRESSION: %.0f compiles/s below the %.0f gate\n",
+			rep.Compile.CompilesPerSec, *minCompiles)
+		return 1
+	}
+	return 0
+}
+
+// buildHierarchy assembles the synthetic org/tenant/class hierarchy: an
+// org-wide default chain with the exclusion, a proxy-first override for
+// every odd tenant, and one merge layer per class adding a NAT stage.
+func buildHierarchy() (*policy.Hierarchy, map[core.ClassID]string, error) {
+	h := policy.NewHierarchy()
+	if err := h.Attach(policy.PolicySpec{
+		Name:         "org-default",
+		Scope:        policy.ScopeOrg,
+		Chain:        policy.Chain{policy.Firewall, policy.Proxy},
+		AntiAffinity: experiments.DefaultAntiAffinity(),
+	}); err != nil {
+		return nil, nil, err
+	}
+	for t := 0; t < compileTenants; t++ {
+		if t%2 == 0 {
+			continue
+		}
+		if err := h.Attach(policy.PolicySpec{
+			Name:     fmt.Sprintf("tenant-%d-proxy-first", t),
+			Scope:    policy.ScopeTenant,
+			Tenant:   fmt.Sprintf("tenant-%d", t),
+			Strategy: policy.StrategyOverride,
+			Chain:    policy.Chain{policy.Proxy, policy.Firewall},
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	tenants := make(map[core.ClassID]string, compileClasses)
+	for c := 0; c < compileClasses; c++ {
+		id := core.ClassID(c + 1)
+		tenants[id] = fmt.Sprintf("tenant-%d", c%compileTenants)
+		d, err := policy.NewChainDAG(policy.NAT)
+		if err != nil {
+			return nil, nil, err
+		}
+		if err := d.AddEdge(policy.Firewall, policy.NAT); err != nil {
+			return nil, nil, err
+		}
+		if err := h.Attach(policy.PolicySpec{
+			Name:    fmt.Sprintf("class-%d-nat", id),
+			Scope:   policy.ScopeClass,
+			Tenant:  tenants[id],
+			ClassID: int(id),
+			DAG:     d,
+		}); err != nil {
+			return nil, nil, err
+		}
+	}
+	return h, tenants, nil
+}
+
+func measureCompile(seed int64) (CompileReport, error) {
+	h, tenants, err := buildHierarchy()
+	if err != nil {
+		return CompileReport{}, err
+	}
+	cr := CompileReport{Layers: h.Len(), Tenants: compileTenants, Classes: compileClasses}
+
+	// Single-target compile throughput, rotating through every class.
+	targets := make([]policy.Target, 0, compileClasses)
+	for c := 0; c < compileClasses; c++ {
+		id := core.ClassID(c + 1)
+		targets = append(targets, policy.Target{Tenant: tenants[id], ClassID: int(id)})
+	}
+	ns, err := measureLoop(func(iters int) error {
+		for i := 0; i < iters; i++ {
+			if _, err := h.Compile(targets[i%len(targets)]); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		return cr, err
+	}
+	cr.CompilesPerSec = 1e9 / ns
+
+	// Whole-problem ApplyHierarchy, on a problem shaped like the compile
+	// workload (paths are irrelevant to compilation cost).
+	classes := make([]core.Class, compileClasses)
+	for c := range classes {
+		classes[c] = core.Class{ID: core.ClassID(c + 1), RateMbps: 100}
+	}
+	start := time.Now()
+	prob := &core.Problem{Classes: classes}
+	if err := core.ApplyHierarchy(prob, h, tenants); err != nil {
+		return cr, err
+	}
+	cr.ApplyMs = float64(time.Since(start).Microseconds()) / 1e3
+	_ = seed
+	return cr, nil
+}
+
+// measureLoop times fn per-iteration, doubling the iteration count until
+// the run lasts long enough to trust.
+func measureLoop(fn func(iters int) error) (float64, error) {
+	const minRun = 100 * time.Millisecond
+	iters := 256
+	for {
+		start := time.Now()
+		if err := fn(iters); err != nil {
+			return 0, err
+		}
+		elapsed := time.Since(start)
+		if elapsed >= minRun || iters >= 1<<24 {
+			return float64(elapsed.Nanoseconds()) / float64(iters), nil
+		}
+		iters *= 2
+	}
+}

@@ -88,6 +88,9 @@ func (c *Controller) ReOptimize(prob *core.Problem, pl *core.Placement, opts Reo
 	inPlacement := make(map[core.ClassID]bool, len(prob.Classes))
 	for _, cl := range prob.Classes {
 		inPlacement[cl.ID] = true
+		// The placement may have selected a partial-order chain variant;
+		// its Dist axes follow that chain, so the staged class must too.
+		cl.Chain = pl.ChainFor(cl)
 		dist, ok := pl.Dist[cl.ID]
 		if !ok {
 			err := fmt.Errorf("controller: class %d missing from placement", cl.ID)
@@ -98,6 +101,17 @@ func (c *Controller) ReOptimize(prob *core.Problem, pl *core.Placement, opts Reo
 		if !installed {
 			txn.StageInstall(cl, dist)
 			report.Added++
+			continue
+		}
+		// A changed chain is always a full cutover: the installed steering
+		// rules encode the old NF sequence hop by hop, so even a split
+		// that compiles to the same sub-class shape (same hops, same
+		// portions — e.g. a one-host [firewall] becoming a one-host [ids])
+		// enforces the wrong policy if left in place. Rate-only refresh
+		// and the unchanged short-circuit only apply to same-chain deltas.
+		if !old.Class.Chain.Equal(cl.Chain) {
+			txn.StageUpdate(cl, dist)
+			report.Updated++
 			continue
 		}
 		same, serr := c.sameSplit(old, cl, dist)

@@ -56,6 +56,9 @@ func (c *Controller) InstallPlacement(prob *core.Problem, pl *core.Placement) er
 	}
 	// 3. Per-class state and rules.
 	for _, cl := range prob.Classes {
+		// Honor a partial-order chain variant the engine selected; the
+		// placement's Dist axes follow the selected chain.
+		cl.Chain = pl.ChainFor(cl)
 		dist, ok := pl.Dist[cl.ID]
 		if !ok {
 			return fmt.Errorf("controller: class %d missing from placement", cl.ID)

@@ -25,6 +25,9 @@ func SolveGreedy(prob *Problem) (*Placement, error) {
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
+	if len(prob.AntiAffinity) > 0 {
+		return nil, fmt.Errorf("core: greedy engine does not support anti-affinity constraints (use the LP engine)")
+	}
 	// Mutable capacity state.
 	counts := make(map[topology.NodeID]map[policy.NF]int)
 	slack := make(map[qKey]float64) // unused capacity on open instances

@@ -1,0 +1,42 @@
+package core
+
+import (
+	"fmt"
+
+	"github.com/apple-nfv/apple/internal/policy"
+)
+
+// ApplyHierarchy compiles a policy hierarchy onto a problem: every class's
+// effective policy is compiled for its target (tenant from the tenants
+// map, "" when absent), its canonical Chain and partial-order AltChains
+// are installed, and the anti-affinity pairs accumulated across all
+// classes become the problem's placement exclusions. The problem is
+// modified in place; compile errors name the class and propagate the
+// hierarchy's layer attribution (e.g. policy.RepeatError, cycle errors).
+func ApplyHierarchy(prob *Problem, h *policy.Hierarchy, tenants map[ClassID]string) error {
+	if prob == nil {
+		return fmt.Errorf("core: nil problem")
+	}
+	if h == nil || h.Len() == 0 {
+		return fmt.Errorf("core: empty policy hierarchy")
+	}
+	var pairs []policy.NFPair
+	for i := range prob.Classes {
+		c := &prob.Classes[i]
+		eff, err := h.Compile(policy.Target{Tenant: tenants[c.ID], ClassID: int(c.ID)})
+		if err != nil {
+			return fmt.Errorf("core: class %d: %w", c.ID, err)
+		}
+		c.Chain = eff.Chain.Clone()
+		c.AltChains = nil
+		for _, alt := range eff.Alternatives {
+			if !alt.Equal(eff.Chain) {
+				c.AltChains = append(c.AltChains, alt.Clone())
+			}
+		}
+		pairs = append(pairs, eff.AntiAffinity...)
+	}
+	pairs = append(pairs, prob.AntiAffinity...)
+	prob.AntiAffinity = policy.SortNFPairs(pairs)
+	return nil
+}

@@ -94,6 +94,9 @@ func NewIncrementalEngine(prob *Problem, opts IncrementalOptions) (*IncrementalE
 	if err := prob.Validate(); err != nil {
 		return nil, err
 	}
+	if len(prob.AntiAffinity) > 0 {
+		return nil, fmt.Errorf("core: incremental engine does not support anti-affinity constraints (use Engine.Solve)")
+	}
 	md, rVar, err := buildParametricModel(prob)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,314 @@
+package core
+
+// Joint chain-orientation rescue for anti-affinity. The eviction search
+// separates one co-located pair at a time and coordinate descent flips
+// one class's chain at a time, so neither can escape an infeasible
+// canonical assignment that needs several classes re-oriented and several
+// hosts dedicated at once — the classic case being two 2-hop classes
+// crossing the same link in opposite directions with an excluded pair in
+// both chains: whichever side hosts the pair's first NF for one class
+// must host the second NF for the other. Separability is then a
+// 2-coloring problem over the host switches: each switch is dedicated to
+// one side of the pair, and a class's traversal order across the colors
+// dictates which chain variant it must use. The coloring of each
+// connected component is only determined up to a polarity flip (which
+// side is which), and the flip matters beyond the pair's own classes — a
+// class running only one of the two NFs needs at least one host on its
+// side — so orientationPlan enumerates the few polarity assignments and
+// keeps the first under which every class still has a routable chain.
+// The winning plan is returned as one joint proposal — a variant per
+// re-oriented class plus the coloring itself as q-variable caps — and
+// the engine tries it as a single candidate solve before falling back
+// to descent.
+
+import (
+	"sort"
+
+	"github.com/apple-nfv/apple/internal/policy"
+	"github.com/apple-nfv/apple/internal/topology"
+)
+
+// maxPolarityBits caps the polarity enumeration: more than this many free
+// components across all pairs and the plan gives up rather than search.
+const maxPolarityBits = 6
+
+// ordersBefore reports whether chain c runs first before second.
+func ordersBefore(c policy.Chain, first, second policy.NF) bool {
+	i, j := c.Index(first), c.Index(second)
+	return i >= 0 && j >= 0 && i < j
+}
+
+// pairColoring is one excluded pair's host-switch dedication: color 1
+// hosts only pair.A, color 2 only pair.B, absent switches host either.
+type pairColoring struct {
+	pair  policy.NFPair
+	color map[topology.NodeID]int
+}
+
+// allows reports whether the coloring lets switch v host nf.
+func (pc *pairColoring) allows(v topology.NodeID, nf policy.NF) bool {
+	switch nf {
+	case pc.pair.A:
+		return pc.color[v] != 2
+	case pc.pair.B:
+		return pc.color[v] != 1
+	}
+	return true
+}
+
+// pairPlan is one pair's coloring before polarity resolution: a relative
+// 2-coloring per connected component plus any polarities pinned by
+// classes that cannot re-orient.
+type pairPlan struct {
+	pair   policy.NFPair
+	comp   map[topology.NodeID]int // node -> component id
+	rel    map[topology.NodeID]int // relative color within the component
+	forced map[int]bool            // comp id -> flip relative colors
+	free   []int                   // components whose polarity is open
+}
+
+// colored materializes the pair's coloring under one polarity choice:
+// flip[i] inverts component i's relative colors (rel 1 becomes the B
+// side). Forced components ignore flip.
+func (pp *pairPlan) colored(flip map[int]bool) *pairColoring {
+	color := make(map[topology.NodeID]int, len(pp.rel))
+	for v, r := range pp.rel {
+		f, pinned := pp.forced[pp.comp[v]]
+		if !pinned {
+			f = flip[pp.comp[v]]
+		}
+		if f {
+			r = 3 - r
+		}
+		color[v] = r
+	}
+	return &pairColoring{pair: pp.pair, color: color}
+}
+
+// orientationPlan proposes a joint rescue for a problem whose canonical
+// chain assignment cannot separate its anti-affine pairs: a chain variant
+// for every re-oriented class (only classes whose proposal differs from
+// the canonical chain appear in the map) and the switch coloring as zero
+// caps on the banned q variables. Returns nils when no consistent
+// assignment is evident.
+func orientationPlan(prob *Problem) (map[ClassID]policy.Chain, map[qKey]float64) {
+	if len(prob.AntiAffinity) == 0 {
+		return nil, nil
+	}
+	// Per class: the candidate chains (canonical first) and the host
+	// switches along its path, in traversal order.
+	type classState struct {
+		idx        int
+		candidates []policy.Chain
+		hosts      []topology.NodeID
+	}
+	states := make([]*classState, 0, len(prob.Classes))
+	for i := range prob.Classes {
+		c := &prob.Classes[i]
+		st := &classState{idx: i, candidates: append([]policy.Chain{c.Chain}, c.AltChains...)}
+		for _, h := range prob.eligibleHops(*c) {
+			st.hosts = append(st.hosts, c.Path[h])
+		}
+		states = append(states, st)
+	}
+
+	var plans []*pairPlan
+	freeBits := 0
+	for _, p := range prob.AntiAffinity {
+		// Classes that run both sides of the pair, and whether their
+		// candidate set allows either orientation.
+		type involved struct {
+			st       *classState
+			flexible bool
+		}
+		var inv []involved
+		for _, st := range states {
+			c := prob.Classes[st.idx].Chain
+			if !c.Contains(p.A) || !c.Contains(p.B) {
+				continue
+			}
+			aFirst, bFirst := false, false
+			for _, cand := range st.candidates {
+				if ordersBefore(cand, p.A, p.B) {
+					aFirst = true
+				}
+				if ordersBefore(cand, p.B, p.A) {
+					bFirst = true
+				}
+			}
+			inv = append(inv, involved{st: st, flexible: aFirst && bFirst})
+		}
+		if len(inv) == 0 {
+			continue
+		}
+
+		// 2-hop classes force their two hosts onto opposite sides.
+		adj := make(map[topology.NodeID][]topology.NodeID)
+		addEdge := func(a, b topology.NodeID) {
+			adj[a] = append(adj[a], b)
+			adj[b] = append(adj[b], a)
+		}
+		for _, iv := range inv {
+			if len(iv.st.hosts) < 2 {
+				return nil, nil // the pair cannot be separated on this path
+			}
+			if len(iv.st.hosts) == 2 {
+				a, b := iv.st.hosts[0], iv.st.hosts[1]
+				if a == b {
+					return nil, nil
+				}
+				addEdge(a, b)
+			}
+		}
+		nodes := make([]topology.NodeID, 0, len(adj))
+		for v := range adj {
+			nodes = append(nodes, v)
+			sort.Slice(adj[v], func(i, j int) bool { return adj[v][i] < adj[v][j] })
+		}
+		sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+
+		// Relative 2-coloring by BFS from each smallest-ID root; each
+		// root opens a new component with relative color 1.
+		pp := &pairPlan{
+			pair:   p,
+			comp:   make(map[topology.NodeID]int),
+			rel:    make(map[topology.NodeID]int),
+			forced: make(map[int]bool),
+		}
+		ncomp := 0
+		for _, root := range nodes {
+			if pp.rel[root] != 0 {
+				continue
+			}
+			id := ncomp
+			ncomp++
+			pp.comp[root], pp.rel[root] = id, 1
+			queue := []topology.NodeID{root}
+			for len(queue) > 0 {
+				v := queue[0]
+				queue = queue[1:]
+				want := 3 - pp.rel[v]
+				for _, w := range adj[v] {
+					switch pp.rel[w] {
+					case 0:
+						pp.comp[w], pp.rel[w] = id, want
+						queue = append(queue, w)
+					case want:
+					default:
+						return nil, nil // odd cycle: no consistent separation
+					}
+				}
+			}
+		}
+
+		// A pinned 2-hop class fixes its component's polarity: its first
+		// host must sit on the side of the NF its chain runs first.
+		for _, iv := range inv {
+			if iv.flexible || len(iv.st.hosts) != 2 {
+				continue
+			}
+			a := iv.st.hosts[0]
+			want := 1 // A-side first
+			if ordersBefore(prob.Classes[iv.st.idx].Chain, p.B, p.A) {
+				want = 2
+			}
+			flip := pp.rel[a] != want
+			if have, ok := pp.forced[pp.comp[a]]; ok && have != flip {
+				return nil, nil // two pinned classes disagree on polarity
+			}
+			pp.forced[pp.comp[a]] = flip
+		}
+		for id := 0; id < ncomp; id++ {
+			if _, ok := pp.forced[id]; !ok {
+				pp.free = append(pp.free, id)
+			}
+		}
+		freeBits += len(pp.free)
+		plans = append(plans, pp)
+	}
+	if len(plans) == 0 || freeBits > maxPolarityBits {
+		return nil, nil
+	}
+
+	// routable reports whether a chain can be walked over the hosts under
+	// the colorings: each position on an allowed host, at or after the
+	// previous position. Conservative — it places each position on a
+	// single hop — but a chain that passes leaves the LP a feasible
+	// corner.
+	routable := func(st *classState, chain policy.Chain, colorings []*pairColoring) bool {
+		pos := 0
+		for _, nf := range chain {
+			placed := -1
+			for i := pos; i < len(st.hosts); i++ {
+				ok := true
+				for _, pc := range colorings {
+					if !pc.allows(st.hosts[i], nf) {
+						ok = false
+						break
+					}
+				}
+				if ok {
+					placed = i
+					break
+				}
+			}
+			if placed < 0 {
+				return false
+			}
+			pos = placed
+		}
+		return true
+	}
+
+	// Enumerate polarity assignments over the free components of every
+	// pair (combo 0 keeps all relative colorings as drawn) and keep the
+	// first under which every class — both-NF or not — has a routable
+	// candidate.
+	for combo := 0; combo < 1<<freeBits; combo++ {
+		colorings := make([]*pairColoring, 0, len(plans))
+		bit := 0
+		for _, pp := range plans {
+			flip := make(map[int]bool, len(pp.free))
+			for _, id := range pp.free {
+				flip[id] = combo&(1<<bit) != 0
+				bit++
+			}
+			colorings = append(colorings, pp.colored(flip))
+		}
+		hint := make(map[ClassID]policy.Chain)
+		ok := true
+		for _, st := range states {
+			found := false
+			for _, cand := range st.candidates {
+				if routable(st, cand, colorings) {
+					if !cand.Equal(prob.Classes[st.idx].Chain) {
+						hint[prob.Classes[st.idx].ID] = cand.Clone()
+					}
+					found = true
+					break
+				}
+			}
+			if !found {
+				ok = false
+				break
+			}
+		}
+		if !ok {
+			continue
+		}
+		// The winning coloring, as zero caps on the banned side of every
+		// dedicated switch.
+		caps := make(map[qKey]float64)
+		for _, pc := range colorings {
+			for v, c := range pc.color {
+				if c == 1 {
+					caps[qKey{v: v, nf: pc.pair.B}] = 0
+				} else {
+					caps[qKey{v: v, nf: pc.pair.A}] = 0
+				}
+			}
+		}
+		return hint, caps
+	}
+	return nil, nil
+}

@@ -32,6 +32,11 @@ type Class struct {
 	Path []topology.NodeID
 	// Chain is C_h: the NF sequence the class must traverse, in order.
 	Chain policy.Chain
+	// AltChains lists alternative linearizations of the class's
+	// partial-order policy (policy.EffectivePolicy.Alternatives minus the
+	// canonical Chain). The engine may pick any of them; empty means the
+	// chain is fixed.
+	AltChains []policy.Chain
 	// RateMbps is T_h.
 	RateMbps float64
 }
@@ -46,6 +51,14 @@ func (c Class) Validate(g *topology.Graph) error {
 	}
 	if c.RateMbps < 0 || math.IsNaN(c.RateMbps) || math.IsInf(c.RateMbps, 0) {
 		return fmt.Errorf("core: class %d has bad rate %v", c.ID, c.RateMbps)
+	}
+	for k, alt := range c.AltChains {
+		if err := alt.Validate(); err != nil {
+			return fmt.Errorf("core: class %d alternative chain %d: %w", c.ID, k, err)
+		}
+		if !sameNFSet(c.Chain, alt) {
+			return fmt.Errorf("core: class %d alternative chain %d (%v) is not a permutation of %v", c.ID, k, alt, c.Chain)
+		}
 	}
 	seen := make(map[topology.NodeID]bool, len(c.Path))
 	for i, v := range c.Path {
@@ -67,6 +80,21 @@ func (c Class) Validate(g *topology.Graph) error {
 	return nil
 }
 
+// sameNFSet reports whether two chains visit the same NF type set.
+// Validated chains never repeat a type, so set equality is permutation
+// equality.
+func sameNFSet(a, b policy.Chain) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for _, nf := range a {
+		if !b.Contains(nf) {
+			return false
+		}
+	}
+	return true
+}
+
 // HopIndex is i(P,h,v): the index of switch v on the class path, or -1.
 func (c Class) HopIndex(v topology.NodeID) int {
 	for i, p := range c.Path {
@@ -86,6 +114,10 @@ type Problem struct {
 	// Avail maps each switch with attached APPLE hosts to its free
 	// resources. Switches absent from the map host nothing.
 	Avail map[topology.NodeID]policy.Resources
+	// AntiAffinity lists NF type pairs that must not be co-located on one
+	// switch's host — the placement exclusions compiled from the policy
+	// hierarchy. Empty means the classic unconstrained problem.
+	AntiAffinity []policy.NFPair
 }
 
 // Validate checks the whole problem.
@@ -109,6 +141,14 @@ func (p *Problem) Validate() error {
 	for v, r := range p.Avail {
 		if !r.NonNegative() {
 			return fmt.Errorf("core: negative resources %v at switch %d", r, v)
+		}
+	}
+	for _, pr := range p.AntiAffinity {
+		if _, err := policy.NewNFPair(pr.A, pr.B); err != nil {
+			return fmt.Errorf("core: %w", err)
+		}
+		if pr.A > pr.B {
+			return fmt.Errorf("core: anti-affinity pair %v not normalized (want A < B)", pr)
 		}
 	}
 	return nil
@@ -139,6 +179,11 @@ type Placement struct {
 	Counts map[topology.NodeID]map[policy.NF]int
 	// Dist is d_{h,j}^i indexed as Dist[classID][hopIndex][chainIndex].
 	Dist map[ClassID][][]float64
+	// Chains records, per class, the chain variant the engine selected
+	// when the class carried partial-order alternatives. Classes absent
+	// from the map use their canonical Class.Chain; Dist's chainIndex axis
+	// always follows the selected chain.
+	Chains map[ClassID]policy.Chain
 	// Objective is Σ q — the minimized instance total (Eq. 1).
 	Objective int
 	// SolveTime is the wall-clock optimization time (Table V's metric).
@@ -147,6 +192,32 @@ type Placement struct {
 	Iterations int
 	// Method names the engine that produced the placement.
 	Method string
+}
+
+// ChainFor returns the chain the placement actually uses for class c: the
+// selected variant if one was recorded, the canonical chain otherwise.
+func (p *Placement) ChainFor(c Class) policy.Chain {
+	if ch, ok := p.Chains[c.ID]; ok {
+		return ch
+	}
+	return c.Chain
+}
+
+// AdoptChains rewrites each class's canonical Chain to the variant the
+// placement selected (clearing AltChains), so downstream consumers that
+// read Class.Chain — the controller's rule generation, Subclasses — see
+// the chain the distribution was solved for. Classes without a recorded
+// variant are untouched. The problem is modified in place.
+func AdoptChains(prob *Problem, pl *Placement) {
+	if len(pl.Chains) == 0 {
+		return
+	}
+	for i := range prob.Classes {
+		if ch, ok := pl.Chains[prob.Classes[i].ID]; ok {
+			prob.Classes[i].Chain = ch.Clone()
+			prob.Classes[i].AltChains = nil
+		}
+	}
 }
 
 // TotalInstances recomputes Σ q from Counts.
@@ -208,6 +279,19 @@ func (p *Placement) Verify(prob *Problem) error {
 	}
 	load := make(map[topology.NodeID]map[policy.NF]float64)
 	for _, c := range prob.Classes {
+		chain := p.ChainFor(c)
+		if !chain.Equal(c.Chain) {
+			legit := false
+			for _, alt := range c.AltChains {
+				if chain.Equal(alt) {
+					legit = true
+					break
+				}
+			}
+			if !legit {
+				return fmt.Errorf("core: class %d: selected chain %v is neither the canonical chain nor a declared alternative", c.ID, chain)
+			}
+		}
 		dist, ok := p.Dist[c.ID]
 		if !ok {
 			return fmt.Errorf("core: class %d missing from distribution", c.ID)
@@ -217,13 +301,13 @@ func (p *Placement) Verify(prob *Problem) error {
 				c.ID, len(dist), len(c.Path))
 		}
 		cumPrev := make([]float64, len(c.Path)) // cumulative for position j-1
-		for j := range c.Chain {
+		for j := range chain {
 			total := 0.0
 			cum := 0.0
 			for i := range c.Path {
-				if len(dist[i]) != len(c.Chain) {
+				if len(dist[i]) != len(chain) {
 					return fmt.Errorf("core: class %d hop %d has %d chain entries, want %d",
-						c.ID, i, len(dist[i]), len(c.Chain))
+						c.ID, i, len(dist[i]), len(chain))
 				}
 				d := dist[i][j]
 				if d < -distTolerance || d > 1+distTolerance {
@@ -240,7 +324,7 @@ func (p *Placement) Verify(prob *Problem) error {
 					if load[v] == nil {
 						load[v] = make(map[policy.NF]float64)
 					}
-					load[v][c.Chain[j]] += c.RateMbps * d
+					load[v][chain[j]] += c.RateMbps * d
 				}
 			}
 			if math.Abs(total-1) > 1e-4 {
@@ -290,6 +374,15 @@ func (p *Placement) Verify(prob *Problem) error {
 		}
 		if ok && !used.Fits(avail) {
 			return fmt.Errorf("core: switch %d uses %v of %v available (Eq. 6)", v, used, avail)
+		}
+	}
+	// Anti-affinity: no excluded pair co-located on one switch's host.
+	for v, m := range p.Counts {
+		for _, pr := range prob.AntiAffinity {
+			if m[pr.A] > 0 && m[pr.B] > 0 {
+				return fmt.Errorf("core: switch %d co-locates anti-affine pair %v (%d and %d instances)",
+					v, pr, m[pr.A], m[pr.B])
+			}
 		}
 	}
 	return nil

@@ -1,0 +1,143 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"github.com/apple-nfv/apple/internal/core"
+)
+
+// TestPolicyAuditAllTopologies is the acceptance audit: on all four
+// scenarios, enforcing the default IDS/Proxy exclusion yields zero
+// co-located excluded pairs and zero controller audit violations, at an
+// instance cost no lower than the flat solve.
+func TestPolicyAuditAllTopologies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full four-topology audit")
+	}
+	scs, err := All(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := PolicyAuditAll(scs, DefaultAntiAffinity())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+	for _, r := range rows {
+		if r.ColocatedPairs != 0 {
+			t.Errorf("%s: %d co-located excluded pairs", r.Topology, r.ColocatedPairs)
+		}
+		if r.AuditViolations != 0 {
+			t.Errorf("%s: %d audit violations", r.Topology, r.AuditViolations)
+		}
+		if r.Classes == 0 || len(r.Pairs) != 1 || r.Pairs[0] != "proxy!ids" {
+			t.Errorf("%s: row metadata wrong: %+v", r.Topology, r)
+		}
+	}
+}
+
+// TestScenarioHierarchyRoundTrip: the hierarchy rebuild of a mean problem
+// compiles back to the flat chains and carries the exclusions.
+func TestScenarioHierarchyRoundTrip(t *testing.T) {
+	sc, err := Internet2(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat, err := sc.MeanProblem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := sc.MeanProblem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := DefaultAntiAffinity()
+	h, tenants, err := ScenarioHierarchy(cons, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Len() != len(flat.Classes)+1 {
+		t.Fatalf("hierarchy has %d layers, want %d class layers + 1 org layer", h.Len(), len(flat.Classes))
+	}
+	if err := core.ApplyHierarchy(cons, h, tenants); err != nil {
+		t.Fatal(err)
+	}
+	for i := range cons.Classes {
+		cc, fc := cons.Classes[i].Chain, flat.Classes[i].Chain
+		relaxed := fc.Contains(pairs[0].A) && fc.Contains(pairs[0].B)
+		if !relaxed && !cc.Equal(fc) {
+			t.Fatalf("class %d: hierarchy %v != flat %v (no excluded pair, order must survive)",
+				cons.Classes[i].ID, cc, fc)
+		}
+		if len(cc) != len(fc) {
+			t.Fatalf("class %d: hierarchy %v lost NFs vs %v", cons.Classes[i].ID, cc, fc)
+		}
+		for _, nf := range fc {
+			if !cc.Contains(nf) {
+				t.Fatalf("class %d: hierarchy %v dropped %v", cons.Classes[i].ID, cc, nf)
+			}
+		}
+		if relaxed && len(cons.Classes[i].AltChains) == 0 {
+			t.Fatalf("class %d carries both excluded NFs but no alternatives", cons.Classes[i].ID)
+		}
+	}
+	if len(cons.AntiAffinity) != 1 || cons.AntiAffinity[0] != pairs[0] {
+		t.Fatalf("exclusions did not flow through: %v", cons.AntiAffinity)
+	}
+}
+
+// TestExclusionUnsatisfiableDetected pins the other half of the
+// interference-freedom contract: when a workload makes full separation
+// provably impossible (GEANT's full 60-class draw contains a parity
+// trap, see auditMaxClasses), the engine must refuse with an explicit
+// separation error rather than install a violating placement.
+func TestExclusionUnsatisfiableDetected(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full GEANT draw")
+	}
+	sc, err := GEANT(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cons, err := sc.MeanProblem()
+	if err != nil {
+		t.Fatal(err)
+	}
+	pairs := DefaultAntiAffinity()
+	h, tenants, err := ScenarioHierarchy(cons, pairs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := core.ApplyHierarchy(cons, h, tenants); err != nil {
+		t.Fatal(err)
+	}
+	pl, err := core.NewEngine(core.EngineOptions{}).Solve(cons)
+	if err == nil {
+		if n := ColocatedPairs(pl, cons.AntiAffinity); n > 0 {
+			t.Fatalf("engine returned a placement with %d co-located excluded pairs", n)
+		}
+		t.Fatal("expected the parity-trapped draw to be refused")
+	}
+	if !strings.Contains(err.Error(), "separate") {
+		t.Fatalf("refusal should name the separation failure, got: %v", err)
+	}
+}
+
+func TestPolicyAuditValidation(t *testing.T) {
+	if _, err := PolicyAudit(nil, DefaultAntiAffinity()); err == nil {
+		t.Error("nil scenario should fail")
+	}
+	sc, err := Internet2(smallOpts())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := PolicyAudit(sc, nil); err == nil {
+		t.Error("no pairs should fail")
+	}
+	if _, _, err := ScenarioHierarchy(nil, nil); err == nil {
+		t.Error("nil problem should fail")
+	}
+}

@@ -13,7 +13,7 @@ import (
 // seeded *rand.Rand; time comes from the sim.Simulation virtual clock.
 var AnalyzerSimClock = &Analyzer{
 	Name: "simclock",
-	Doc:  "no wall clock and no global math/rand source inside deterministic packages (sim, lp, topology, traffic, experiments, trace, hashring, shard)",
+	Doc:  "no wall clock and no global math/rand source inside deterministic packages (sim, lp, policy, topology, traffic, experiments, trace, hashring, shard)",
 	Run:  runSimClock,
 }
 
@@ -22,6 +22,7 @@ var AnalyzerSimClock = &Analyzer{
 var deterministicPackages = map[string]bool{
 	"sim":         true,
 	"lp":          true,
+	"policy":      true,
 	"topology":    true,
 	"traffic":     true,
 	"experiments": true,

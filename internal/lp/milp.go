@@ -16,9 +16,27 @@ type MILPOptions struct {
 	// IntTol is the tolerance within which a value counts as integral;
 	// 0 means the default 1e-6.
 	IntTol float64
+	// Exclusions lists variable pairs of which at most one may be
+	// positive in the final solution (SOS1-style complementarity, used
+	// for anti-affinity co-location: q_a and q_b on one host cannot both
+	// be nonzero). An integral candidate violating a pair is not accepted
+	// as incumbent; the search branches into the two subproblems fixing
+	// one side of the pair to zero.
+	Exclusions [][2]VarID
 }
 
 const defaultMaxNodes = 10000
+
+// violatedExclusion returns the first exclusion pair with both variables
+// meaningfully positive in sol, in declaration order (deterministic).
+func violatedExclusion(opts MILPOptions, sol *Solution) (a, b VarID, violated bool) {
+	for _, ex := range opts.Exclusions {
+		if sol.Values[ex[0]] > opts.IntTol && sol.Values[ex[1]] > opts.IntTol {
+			return ex[0], ex[1], true
+		}
+	}
+	return 0, 0, false
+}
 
 // SolveMILP solves the model respecting integrality flags by LP-based
 // branch and bound (best-first on the parent bound, branching on the most
@@ -38,9 +56,16 @@ func SolveMILP(m *Model, opts MILPOptions) (Solution, error) {
 			break
 		}
 	}
+	for _, ex := range opts.Exclusions {
+		for _, v := range ex {
+			if int(v) < 0 || int(v) >= len(m.vars) {
+				return Solution{}, fmt.Errorf("lp: exclusion references unknown variable %d", v)
+			}
+		}
+	}
 	s := NewSolver(m)
 	root, err := s.Solve()
-	if err != nil || !hasInt {
+	if err != nil || (!hasInt && len(opts.Exclusions) == 0) {
 		return root, err
 	}
 
@@ -135,7 +160,16 @@ func SolveMILP(m *Model, opts MILPOptions) (Solution, error) {
 			}
 		}
 		if branchVar < 0 {
-			// Integral: candidate incumbent.
+			// Integral: candidate incumbent — unless it co-locates an
+			// excluded pair, in which case branch on the pair instead
+			// (zero one side or the other; every feasible completion lies
+			// in one of the two subproblems).
+			if a, b, violated := violatedExclusion(opts, &sol); violated {
+				left := append(append([]bound(nil), nd.bounds...), bound{v: a, lo: math.Inf(-1), hi: 0})
+				right := append(append([]bound(nil), nd.bounds...), bound{v: b, lo: math.Inf(-1), hi: 0})
+				queue = append(queue, node{bounds: left, lb: sol.Objective}, node{bounds: right, lb: sol.Objective})
+				continue
+			}
 			if sol.Objective < best.Objective {
 				best = sol
 				best.Nodes = nodes

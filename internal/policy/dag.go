@@ -1,0 +1,341 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// NFPair is an unordered pair of NF types, normalized so A < B. It is the
+// unit of anti-affinity: the two types must not share an APPLE host
+// (Allybokus et al., "Virtual Function Placement for Service Chaining with
+// Partial Orders and Anti-Affinity Rules").
+type NFPair struct {
+	A, B NF
+}
+
+// NewNFPair returns the normalized pair {min(a,b), max(a,b)}.
+func NewNFPair(a, b NF) (NFPair, error) {
+	if !a.Valid() || !b.Valid() {
+		return NFPair{}, fmt.Errorf("policy: anti-affinity pair (%v,%v): unknown NF", a, b)
+	}
+	if a == b {
+		return NFPair{}, fmt.Errorf("policy: anti-affinity pair (%v,%v): an NF type cannot be anti-affine with itself", a, b)
+	}
+	if a > b {
+		a, b = b, a
+	}
+	return NFPair{A: a, B: b}, nil
+}
+
+// String renders the pair as "ids!proxy".
+func (p NFPair) String() string { return p.A.String() + "!" + p.B.String() }
+
+// SortNFPairs sorts and deduplicates a pair slice in place and returns it.
+// The order is (A, B) ascending, so equal sets render identically.
+func SortNFPairs(pairs []NFPair) []NFPair {
+	sort.Slice(pairs, func(i, j int) bool {
+		if pairs[i].A != pairs[j].A {
+			return pairs[i].A < pairs[j].A
+		}
+		return pairs[i].B < pairs[j].B
+	})
+	out := pairs[:0]
+	for i, p := range pairs {
+		if i == 0 || p != pairs[i-1] {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// ErrCycle reports a precedence cycle in a ChainDAG.
+var ErrCycle = errors.New("policy: precedence cycle")
+
+// ChainDAG is a partial-order chain specification: a set of NF types plus
+// precedence edges A→B meaning "A must run before B". It generalizes the
+// paper's totally-ordered Chain (§V): a Chain is a DAG whose edges form a
+// path. Node and edge sets are kept sorted, so structurally equal DAGs are
+// representationally equal.
+type ChainDAG struct {
+	nfs   []NF    // sorted, unique
+	edges [][2]NF // sorted lexicographically, unique
+}
+
+// NewChainDAG builds a DAG over the given NF set with no edges.
+func NewChainDAG(nfs ...NF) (*ChainDAG, error) {
+	d := &ChainDAG{}
+	for _, nf := range nfs {
+		if err := d.AddNF(nf); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// DAGFromChain lifts a total order into the equivalent path DAG.
+func DAGFromChain(c Chain) (*ChainDAG, error) {
+	if err := c.Validate(); err != nil {
+		return nil, err
+	}
+	d, err := NewChainDAG(c...)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i+1 < len(c); i++ {
+		if err := d.AddEdge(c[i], c[i+1]); err != nil {
+			return nil, err
+		}
+	}
+	return d, nil
+}
+
+// AddNF inserts an NF type into the node set (idempotent).
+func (d *ChainDAG) AddNF(nf NF) error {
+	if !nf.Valid() {
+		return fmt.Errorf("policy: dag: unknown NF %v", nf)
+	}
+	i := sort.Search(len(d.nfs), func(i int) bool { return d.nfs[i] >= nf })
+	if i < len(d.nfs) && d.nfs[i] == nf {
+		return nil
+	}
+	d.nfs = append(d.nfs, 0)
+	copy(d.nfs[i+1:], d.nfs[i:])
+	d.nfs[i] = nf
+	return nil
+}
+
+// AddEdge inserts the precedence constraint from→to, adding both endpoints
+// to the node set (idempotent). Cycles are not detected here — call
+// Validate after construction.
+func (d *ChainDAG) AddEdge(from, to NF) error {
+	if from == to {
+		return fmt.Errorf("policy: dag: self-edge on %v", from)
+	}
+	if err := d.AddNF(from); err != nil {
+		return err
+	}
+	if err := d.AddNF(to); err != nil {
+		return err
+	}
+	e := [2]NF{from, to}
+	i := sort.Search(len(d.edges), func(i int) bool {
+		if d.edges[i][0] != e[0] {
+			return d.edges[i][0] >= e[0]
+		}
+		return d.edges[i][1] >= e[1]
+	})
+	if i < len(d.edges) && d.edges[i] == e {
+		return nil
+	}
+	d.edges = append(d.edges, [2]NF{})
+	copy(d.edges[i+1:], d.edges[i:])
+	d.edges[i] = e
+	return nil
+}
+
+// NFs returns the node set in ascending order (a copy).
+func (d *ChainDAG) NFs() []NF {
+	out := make([]NF, len(d.nfs))
+	copy(out, d.nfs)
+	return out
+}
+
+// Edges returns the precedence edges in lexicographic order (a copy).
+func (d *ChainDAG) Edges() [][2]NF {
+	out := make([][2]NF, len(d.edges))
+	copy(out, d.edges)
+	return out
+}
+
+// Contains reports whether nf is in the node set.
+func (d *ChainDAG) Contains(nf NF) bool {
+	i := sort.Search(len(d.nfs), func(i int) bool { return d.nfs[i] >= nf })
+	return i < len(d.nfs) && d.nfs[i] == nf
+}
+
+// Clone returns a deep copy.
+func (d *ChainDAG) Clone() *ChainDAG {
+	return &ChainDAG{nfs: d.NFs(), edges: d.Edges()}
+}
+
+// Merge unions o's nodes and edges into d.
+func (d *ChainDAG) Merge(o *ChainDAG) error {
+	for _, nf := range o.nfs {
+		if err := d.AddNF(nf); err != nil {
+			return err
+		}
+	}
+	for _, e := range o.edges {
+		if err := d.AddEdge(e[0], e[1]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Equal reports structural equality (same nodes, same edges). Both sets
+// are kept sorted, so this is a plain element-wise comparison.
+func (d *ChainDAG) Equal(o *ChainDAG) bool {
+	if len(d.nfs) != len(o.nfs) || len(d.edges) != len(o.edges) {
+		return false
+	}
+	for i := range d.nfs {
+		if d.nfs[i] != o.nfs[i] {
+			return false
+		}
+	}
+	for i := range d.edges {
+		if d.edges[i] != o.edges[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the DAG as "{firewall,ids | firewall<ids}".
+func (d *ChainDAG) String() string {
+	nfs := make([]string, len(d.nfs))
+	for i, nf := range d.nfs {
+		nfs[i] = nf.String()
+	}
+	edges := make([]string, len(d.edges))
+	for i, e := range d.edges {
+		edges[i] = e[0].String() + "<" + e[1].String()
+	}
+	if len(edges) == 0 {
+		return "{" + strings.Join(nfs, ",") + "}"
+	}
+	return "{" + strings.Join(nfs, ",") + " | " + strings.Join(edges, ",") + "}"
+}
+
+// indegrees returns the in-degree of every node and the adjacency list,
+// both keyed by position in d.nfs.
+func (d *ChainDAG) indegrees() (indeg []int, adj [][]int) {
+	pos := make(map[NF]int, len(d.nfs))
+	for i, nf := range d.nfs {
+		pos[nf] = i
+	}
+	indeg = make([]int, len(d.nfs))
+	adj = make([][]int, len(d.nfs))
+	for _, e := range d.edges {
+		u, v := pos[e[0]], pos[e[1]]
+		adj[u] = append(adj[u], v)
+		indeg[v]++
+	}
+	return indeg, adj
+}
+
+// Validate checks that the DAG is non-empty and acyclic.
+func (d *ChainDAG) Validate() error {
+	if len(d.nfs) == 0 {
+		return errors.New("policy: empty dag")
+	}
+	if _, err := d.Linearize(); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Linearize returns the min-canonical linearization: the lexicographically
+// smallest topological order of the DAG, computed by Kahn's algorithm that
+// always pops the smallest ready NF. Every call on equal DAGs returns the
+// same chain, so the effective chain compiled from a hierarchy is
+// deterministic. Returns ErrCycle if the precedence edges form a cycle.
+func (d *ChainDAG) Linearize() (Chain, error) {
+	indeg, adj := d.indegrees()
+	out := make(Chain, 0, len(d.nfs))
+	done := make([]bool, len(d.nfs))
+	for len(out) < len(d.nfs) {
+		next := -1
+		for i := range d.nfs {
+			if !done[i] && indeg[i] == 0 {
+				next = i // d.nfs is sorted: first ready index is min NF
+				break
+			}
+		}
+		if next < 0 {
+			var stuck []string
+			for i, nf := range d.nfs {
+				if !done[i] {
+					stuck = append(stuck, nf.String())
+				}
+			}
+			return nil, fmt.Errorf("%w among {%s}", ErrCycle, strings.Join(stuck, ","))
+		}
+		done[next] = true
+		out = append(out, d.nfs[next])
+		for _, v := range adj[next] {
+			indeg[v]--
+		}
+	}
+	return out, nil
+}
+
+// Linearizations enumerates topological orders of the DAG in lexicographic
+// order, up to max chains (max ≤ 0 means unbounded; with four NF types the
+// worst case is 4! = 24). The first element is always the min-canonical
+// linearization. Returns ErrCycle if the DAG has a cycle.
+func (d *ChainDAG) Linearizations(max int) ([]Chain, error) {
+	if _, err := d.Linearize(); err != nil {
+		return nil, err
+	}
+	indeg, adj := d.indegrees()
+	done := make([]bool, len(d.nfs))
+	prefix := make(Chain, 0, len(d.nfs))
+	var out []Chain
+	var walk func() bool
+	walk = func() bool {
+		if max > 0 && len(out) >= max {
+			return false
+		}
+		if len(prefix) == len(d.nfs) {
+			out = append(out, prefix.Clone())
+			return !(max > 0 && len(out) >= max)
+		}
+		for i := range d.nfs {
+			if done[i] || indeg[i] != 0 {
+				continue
+			}
+			done[i] = true
+			prefix = append(prefix, d.nfs[i])
+			for _, v := range adj[i] {
+				indeg[v]--
+			}
+			more := walk()
+			for _, v := range adj[i] {
+				indeg[v]++
+			}
+			prefix = prefix[:len(prefix)-1]
+			done[i] = false
+			if !more {
+				return false
+			}
+		}
+		return true
+	}
+	walk()
+	return out, nil
+}
+
+// Respects reports whether chain c is a valid linearization of d: it
+// contains exactly d's node set and honors every precedence edge.
+func (d *ChainDAG) Respects(c Chain) bool {
+	if len(c) != len(d.nfs) {
+		return false
+	}
+	pos := make(map[NF]int, len(c))
+	for i, nf := range c {
+		if _, dup := pos[nf]; dup || !d.Contains(nf) {
+			return false
+		}
+		pos[nf] = i
+	}
+	for _, e := range d.edges {
+		if pos[e[0]] >= pos[e[1]] {
+			return false
+		}
+	}
+	return true
+}

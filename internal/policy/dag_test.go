@@ -1,0 +1,272 @@
+package policy
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func TestNFPairNormalization(t *testing.T) {
+	p, err := NewNFPair(IDS, Proxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	q, err := NewNFPair(Proxy, IDS)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != q || p.A != Proxy || p.B != IDS {
+		t.Fatalf("pairs %v and %v should normalize identically with A < B", p, q)
+	}
+	if p.String() != "proxy!ids" {
+		t.Fatalf("String = %q", p.String())
+	}
+	if _, err := NewNFPair(IDS, IDS); err == nil {
+		t.Fatal("self-pair should fail")
+	}
+	if _, err := NewNFPair(NF(99), IDS); err == nil {
+		t.Fatal("unknown NF should fail")
+	}
+}
+
+func TestSortNFPairs(t *testing.T) {
+	pairs := []NFPair{{A: Proxy, B: IDS}, {A: Firewall, B: NAT}, {A: Proxy, B: IDS}}
+	got := SortNFPairs(pairs)
+	if len(got) != 2 {
+		t.Fatalf("dedup failed: %v", got)
+	}
+	if got[0] != (NFPair{A: Firewall, B: NAT}) || got[1] != (NFPair{A: Proxy, B: IDS}) {
+		t.Fatalf("order wrong: %v", got)
+	}
+}
+
+func TestDAGFromChainRoundTrip(t *testing.T) {
+	for _, c := range CommonChains() {
+		d, err := DAGFromChain(c)
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		lin, err := d.Linearize()
+		if err != nil {
+			t.Fatalf("%v: %v", c, err)
+		}
+		if !lin.Equal(c) {
+			t.Fatalf("path DAG of %v linearized to %v", c, lin)
+		}
+		alts, err := d.Linearizations(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(alts) != 1 {
+			t.Fatalf("a total order has exactly one linearization, got %d", len(alts))
+		}
+	}
+}
+
+func TestDAGLinearizeMinCanonical(t *testing.T) {
+	// No edges at all: the canonical order is ascending NF order.
+	d, err := NewChainDAG(IDS, Firewall, NAT, Proxy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lin, err := d.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lin.Equal(Chain{Firewall, Proxy, NAT, IDS}) {
+		t.Fatalf("unconstrained linearization = %v, want ascending NF order", lin)
+	}
+	// One edge IDS→Firewall forces IDS first despite its higher value.
+	d2, err := NewChainDAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.AddEdge(IDS, Firewall); err != nil {
+		t.Fatal(err)
+	}
+	if err := d2.AddNF(Proxy); err != nil {
+		t.Fatal(err)
+	}
+	lin2, err := d2.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lin2.Equal(Chain{Proxy, IDS, Firewall}) {
+		t.Fatalf("linearization = %v, want proxy->ids->firewall (min-canonical)", lin2)
+	}
+}
+
+func TestDAGLinearizationsEnumeration(t *testing.T) {
+	// firewall < {proxy, nat} unordered: two linearizations, canonical first.
+	d, err := NewChainDAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(Firewall, Proxy); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(Firewall, NAT); err != nil {
+		t.Fatal(err)
+	}
+	alts, err := d.Linearizations(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(alts) != 2 {
+		t.Fatalf("want 2 linearizations, got %v", alts)
+	}
+	if !alts[0].Equal(Chain{Firewall, Proxy, NAT}) || !alts[1].Equal(Chain{Firewall, NAT, Proxy}) {
+		t.Fatalf("lexicographic order wrong: %v", alts)
+	}
+	canon, err := d.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !alts[0].Equal(canon) {
+		t.Fatalf("first enumeration %v != canonical %v", alts[0], canon)
+	}
+	// The cap truncates enumeration.
+	capped, err := d.Linearizations(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(capped) != 1 || !capped[0].Equal(canon) {
+		t.Fatalf("capped enumeration = %v", capped)
+	}
+}
+
+func TestDAGCycleDetection(t *testing.T) {
+	d, err := NewChainDAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(Firewall, IDS); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(IDS, Firewall); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := d.Linearize(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("want ErrCycle, got %v", err)
+	}
+	if err := d.Validate(); !errors.Is(err, ErrCycle) {
+		t.Fatalf("Validate: want ErrCycle, got %v", err)
+	}
+	if _, err := d.Linearizations(0); !errors.Is(err, ErrCycle) {
+		t.Fatalf("Linearizations: want ErrCycle, got %v", err)
+	}
+	if err := (&ChainDAG{}).Validate(); err == nil {
+		t.Fatal("empty dag should fail validation")
+	}
+	if err := d.AddEdge(Firewall, Firewall); err == nil {
+		t.Fatal("self-edge should fail")
+	}
+}
+
+func TestDAGMergeEqualClone(t *testing.T) {
+	a, err := DAGFromChain(Chain{Firewall, IDS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DAGFromChain(Chain{IDS, Proxy})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := a.Clone()
+	if err := m.Merge(b); err != nil {
+		t.Fatal(err)
+	}
+	lin, err := m.Linearize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !lin.Equal(Chain{Firewall, IDS, Proxy}) {
+		t.Fatalf("merged linearization = %v", lin)
+	}
+	if !a.Equal(a.Clone()) || a.Equal(m) {
+		t.Fatal("Equal/Clone wrong")
+	}
+	if got := m.String(); !strings.Contains(got, "firewall<ids") {
+		t.Fatalf("String = %q", got)
+	}
+	if !m.Contains(Proxy) || m.Contains(NAT) {
+		t.Fatal("Contains wrong")
+	}
+}
+
+// randomDAG builds a random acyclic precedence spec: edges only point from
+// lower to higher rank in a shuffled NF ordering, so the DAG is acyclic by
+// construction but its edge directions are arbitrary with respect to NF
+// value order.
+func randomDAG(t *testing.T, rng *rand.Rand) *ChainDAG {
+	t.Helper()
+	nfs := AllNFs()
+	rng.Shuffle(len(nfs), func(i, j int) { nfs[i], nfs[j] = nfs[j], nfs[i] })
+	n := 2 + rng.Intn(3) // 2..4 NFs
+	nfs = nfs[:n]
+	d, err := NewChainDAG(nfs...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if rng.Float64() < 0.5 {
+				if err := d.AddEdge(nfs[i], nfs[j]); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+	}
+	return d
+}
+
+// TestLinearizationsRespectEdges is the partial-order half of the
+// merge/override determinism property suite: over 200 seeded random DAGs,
+// every enumerated linearization must respect every precedence edge, the
+// canonical chain must come first and validate, and Respects must agree
+// with membership in the enumeration.
+func TestLinearizationsRespectEdges(t *testing.T) {
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		d := randomDAG(t, rng)
+		canon, err := d.Linearize()
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if err := canon.Validate(); err != nil {
+			t.Fatalf("seed %d: canonical chain invalid: %v", seed, err)
+		}
+		alts, err := d.Linearizations(0)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !alts[0].Equal(canon) {
+			t.Fatalf("seed %d: first linearization %v != canonical %v", seed, alts[0], canon)
+		}
+		for k, alt := range alts {
+			if !d.Respects(alt) {
+				t.Fatalf("seed %d: linearization %d (%v) violates an edge of %v", seed, k, alt, d)
+			}
+			if k > 0 && alt.String() <= alts[k-1].String() && alt.Equal(alts[k-1]) {
+				t.Fatalf("seed %d: duplicate linearization %v", seed, alt)
+			}
+		}
+		// A chain that drops an NF, or swaps an ordered pair, must not
+		// pass Respects.
+		if len(canon) > 1 {
+			short := canon[:len(canon)-1]
+			if d.Respects(short) {
+				t.Fatalf("seed %d: truncated chain %v should not respect %v", seed, short, d)
+			}
+		}
+		for _, e := range d.Edges() {
+			bad := canon.Clone()
+			bi, bj := bad.Index(e[0]), bad.Index(e[1])
+			bad[bi], bad[bj] = bad[bj], bad[bi]
+			if d.Respects(bad) {
+				t.Fatalf("seed %d: edge-swapped chain %v should violate %v", seed, bad, d)
+			}
+		}
+	}
+}

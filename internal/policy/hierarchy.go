@@ -1,0 +1,303 @@
+package policy
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// MergeStrategy selects how a policy layer combines with the layers above
+// it when the hierarchy is compiled (Kuadrant-style policy attachment:
+// defaults merge, overrides replace).
+type MergeStrategy int
+
+const (
+	// StrategyMerge unions the layer's precedence DAG into the DAG
+	// accumulated from less-specific layers.
+	StrategyMerge MergeStrategy = iota
+	// StrategyOverride discards the accumulated DAG and replaces it with
+	// the layer's own spec. Anti-affinity pairs are never overridden —
+	// placement exclusions are safety constraints and only accumulate.
+	StrategyOverride
+)
+
+// String returns the strategy's conventional name.
+func (s MergeStrategy) String() string {
+	switch s {
+	case StrategyMerge:
+		return "merge"
+	case StrategyOverride:
+		return "override"
+	default:
+		return fmt.Sprintf("MergeStrategy(%d)", int(s))
+	}
+}
+
+// Scope is the attachment level of a policy in the hierarchy, from least
+// to most specific. More-specific layers are applied later, so they win
+// under StrategyOverride.
+type Scope int
+
+const (
+	// ScopeOrg applies to every traffic class.
+	ScopeOrg Scope = iota
+	// ScopeTenant applies to every class of one tenant.
+	ScopeTenant
+	// ScopeClass applies to a single traffic class of one tenant.
+	ScopeClass
+)
+
+// String returns the scope's conventional name.
+func (s Scope) String() string {
+	switch s {
+	case ScopeOrg:
+		return "org"
+	case ScopeTenant:
+		return "tenant"
+	case ScopeClass:
+		return "class"
+	default:
+		return fmt.Sprintf("Scope(%d)", int(s))
+	}
+}
+
+// Target identifies the traffic class a hierarchy is compiled for: its
+// tenant and its class ID (core.ClassID, kept as a plain int here so
+// policy stays dependency-free).
+type Target struct {
+	Tenant  string
+	ClassID int
+}
+
+// ErrRepeatedNF marks a chain or DAG layer that mentions an NF type more
+// than once. The data plane disambiguates chain hops by the vSwitch
+// in-port of the sub-class tag (§V-B), which identifies the *instance*; the
+// engine's placement variables are keyed by NF *type*, so effective chains
+// conservatively keep the one-hop-per-type restriction.
+var ErrRepeatedNF = errors.New("policy: repeated NF type")
+
+// RepeatError wraps ErrRepeatedNF with the hierarchy layer that introduced
+// the repeat, so authors of multi-layer policies see which attachment to
+// fix rather than a bare chain error.
+type RepeatError struct {
+	NF    NF
+	Layer string // policy name, or "" for a bare chain
+}
+
+func (e *RepeatError) Error() string {
+	if e.Layer == "" {
+		return fmt.Sprintf("%v appears more than once (placement is keyed by NF type; split the chain or drop the duplicate)", e.NF)
+	}
+	return fmt.Sprintf("%v appears more than once (introduced by policy layer %q; placement is keyed by NF type)", e.NF, e.Layer)
+}
+
+func (e *RepeatError) Unwrap() error { return ErrRepeatedNF }
+
+// PolicySpec is one layer of the hierarchy: a scoped, named policy
+// attached to an org, a tenant, or a single class. Exactly one of Chain
+// (a total order) or DAG (a partial order) carries the chain spec; a spec
+// with neither contributes only anti-affinity pairs.
+type PolicySpec struct {
+	Name     string
+	Scope    Scope
+	Tenant   string // required for ScopeTenant and ScopeClass
+	ClassID  int    // required for ScopeClass
+	Strategy MergeStrategy
+	Chain    Chain     // total order (lifted to a path DAG at attach)
+	DAG      *ChainDAG // partial order
+	// AntiAffinity lists NF type pairs that must not share an APPLE host.
+	// Pairs accumulate across layers regardless of Strategy.
+	AntiAffinity []NFPair
+}
+
+// EffectivePolicy is the compiled result for one target: the canonical
+// effective chain the controller installs, the alternative linearizations
+// the engine may select among (canonical first), the accumulated
+// anti-affinity pairs, and the names of the layers that contributed, in
+// application order.
+type EffectivePolicy struct {
+	Chain        Chain
+	Alternatives []Chain
+	AntiAffinity []NFPair
+	Layers       []string
+}
+
+// maxLinearizations caps variant enumeration; with the four-type catalogue
+// a DAG has at most 4! = 24 linearizations.
+const maxLinearizations = 24
+
+// Hierarchy is an attachment set of scoped policies. Attach validates and
+// indexes each spec; Compile reconciles the layers that apply to a target
+// into one EffectivePolicy. The zero value is empty and usable.
+type Hierarchy struct {
+	specs []PolicySpec
+	names map[string]bool
+}
+
+// NewHierarchy returns an empty hierarchy.
+func NewHierarchy() *Hierarchy { return &Hierarchy{} }
+
+// Len returns the number of attached policies.
+func (h *Hierarchy) Len() int { return len(h.specs) }
+
+// Attach validates and adds one policy layer. The layer's chain spec (if
+// any) is normalized to a DAG; a repeated NF type in the Chain form is
+// reported as a RepeatError naming this layer.
+func (h *Hierarchy) Attach(s PolicySpec) error {
+	if s.Name == "" {
+		return errors.New("policy: hierarchy: policy needs a name")
+	}
+	if h.names[s.Name] {
+		return fmt.Errorf("policy: hierarchy: duplicate policy name %q", s.Name)
+	}
+	switch s.Scope {
+	case ScopeOrg:
+		if s.Tenant != "" {
+			return fmt.Errorf("policy: hierarchy: %q: org-scoped policy must not name a tenant", s.Name)
+		}
+	case ScopeTenant:
+		if s.Tenant == "" {
+			return fmt.Errorf("policy: hierarchy: %q: tenant-scoped policy needs a tenant", s.Name)
+		}
+	case ScopeClass:
+		if s.Tenant == "" {
+			return fmt.Errorf("policy: hierarchy: %q: class-scoped policy needs a tenant", s.Name)
+		}
+	default:
+		return fmt.Errorf("policy: hierarchy: %q: unknown scope %v", s.Name, s.Scope)
+	}
+	if len(s.Chain) > 0 && s.DAG != nil {
+		return fmt.Errorf("policy: hierarchy: %q: set Chain or DAG, not both", s.Name)
+	}
+	if len(s.Chain) > 0 {
+		seen := make(map[NF]bool, len(s.Chain))
+		for i, nf := range s.Chain {
+			if !nf.Valid() {
+				return fmt.Errorf("policy: hierarchy: %q: chain position %d: unknown NF %v", s.Name, i, nf)
+			}
+			if seen[nf] {
+				return fmt.Errorf("policy: hierarchy: %w", &RepeatError{NF: nf, Layer: s.Name})
+			}
+			seen[nf] = true
+		}
+		d, err := DAGFromChain(s.Chain)
+		if err != nil {
+			return fmt.Errorf("policy: hierarchy: %q: %w", s.Name, err)
+		}
+		s.DAG = d
+		s.Chain = nil
+	} else if s.DAG != nil {
+		if err := s.DAG.Validate(); err != nil {
+			return fmt.Errorf("policy: hierarchy: %q: %w", s.Name, err)
+		}
+		s.DAG = s.DAG.Clone()
+	}
+	if len(s.AntiAffinity) == 0 && s.DAG == nil {
+		return fmt.Errorf("policy: hierarchy: %q: empty policy (no chain spec, no anti-affinity)", s.Name)
+	}
+	pairs := make([]NFPair, 0, len(s.AntiAffinity))
+	for _, p := range s.AntiAffinity {
+		np, err := NewNFPair(p.A, p.B)
+		if err != nil {
+			return fmt.Errorf("policy: hierarchy: %q: %w", s.Name, err)
+		}
+		pairs = append(pairs, np)
+	}
+	s.AntiAffinity = SortNFPairs(pairs)
+	if h.names == nil {
+		h.names = make(map[string]bool)
+	}
+	h.names[s.Name] = true
+	h.specs = append(h.specs, s)
+	return nil
+}
+
+// applicable returns the layers that apply to t, sorted by (Scope, Name)
+// so the fold order — and therefore the compiled result — is independent
+// of attachment order.
+func (h *Hierarchy) applicable(t Target) []PolicySpec {
+	var out []PolicySpec
+	for _, s := range h.specs {
+		switch s.Scope {
+		case ScopeOrg:
+			out = append(out, s)
+		case ScopeTenant:
+			if s.Tenant == t.Tenant {
+				out = append(out, s)
+			}
+		case ScopeClass:
+			if s.Tenant == t.Tenant && s.ClassID == t.ClassID {
+				out = append(out, s)
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Scope != out[j].Scope {
+			return out[i].Scope < out[j].Scope
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Compile reconciles the hierarchy for one target. Layers apply from least
+// to most specific (org → tenant → class; ties broken by name): a
+// StrategyMerge layer unions its DAG into the accumulated spec, a
+// StrategyOverride layer replaces it. Anti-affinity pairs accumulate
+// across all layers regardless of strategy. The result's Chain is the
+// deterministic min-canonical linearization of the final DAG, and
+// Alternatives lists every linearization (canonical first, capped at 24).
+//
+// A repeated NF type cannot arise from the DAG algebra itself (nodes are a
+// set), so the only repeat source is a single layer's Chain, which Attach
+// already rejects with a RepeatError naming the layer. A cycle, however,
+// can be emergent — two merge layers with opposite edges — and is reported
+// with the contributing layer names.
+func (h *Hierarchy) Compile(t Target) (*EffectivePolicy, error) {
+	layers := h.applicable(t)
+	if len(layers) == 0 {
+		return nil, fmt.Errorf("policy: hierarchy: no policy applies to tenant %q class %d", t.Tenant, t.ClassID)
+	}
+	var acc *ChainDAG
+	var pairs []NFPair
+	var applied []string
+	for _, s := range layers {
+		applied = append(applied, s.Name)
+		pairs = append(pairs, s.AntiAffinity...)
+		if s.DAG == nil {
+			continue
+		}
+		switch s.Strategy {
+		case StrategyOverride:
+			acc = s.DAG.Clone()
+		default: // StrategyMerge
+			if acc == nil {
+				acc = s.DAG.Clone()
+			} else if err := acc.Merge(s.DAG); err != nil {
+				return nil, fmt.Errorf("policy: hierarchy: merging layer %q: %w", s.Name, err)
+			}
+		}
+	}
+	if acc == nil {
+		return nil, fmt.Errorf("policy: hierarchy: no chain spec applies to tenant %q class %d (layers %v carry only anti-affinity)", t.Tenant, t.ClassID, applied)
+	}
+	chain, err := acc.Linearize()
+	if err != nil {
+		return nil, fmt.Errorf("policy: hierarchy: layers %v: %w", applied, err)
+	}
+	alts, err := acc.Linearizations(maxLinearizations)
+	if err != nil {
+		return nil, fmt.Errorf("policy: hierarchy: layers %v: %w", applied, err)
+	}
+	// Linearizations enumerates lexicographically, so alts[0] is the
+	// min-canonical chain; keep that invariant explicit.
+	if len(alts) == 0 || !alts[0].Equal(chain) {
+		return nil, fmt.Errorf("policy: hierarchy: internal: canonical chain %v not first linearization", chain)
+	}
+	return &EffectivePolicy{
+		Chain:        chain,
+		Alternatives: alts,
+		AntiAffinity: SortNFPairs(pairs),
+		Layers:       applied,
+	}, nil
+}

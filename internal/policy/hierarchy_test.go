@@ -1,0 +1,369 @@
+package policy
+
+import (
+	"errors"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+func orgDefault(t *testing.T) PolicySpec {
+	t.Helper()
+	return PolicySpec{
+		Name:  "org-baseline",
+		Scope: ScopeOrg,
+		Chain: Chain{Firewall, IDS},
+	}
+}
+
+func TestHierarchyAttachValidation(t *testing.T) {
+	h := NewHierarchy()
+	if err := h.Attach(PolicySpec{Scope: ScopeOrg, Chain: Chain{Firewall}}); err == nil {
+		t.Fatal("nameless policy should fail")
+	}
+	if err := h.Attach(orgDefault(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Attach(orgDefault(t)); err == nil {
+		t.Fatal("duplicate name should fail")
+	}
+	if err := h.Attach(PolicySpec{Name: "x", Scope: ScopeOrg, Tenant: "acme", Chain: Chain{NAT}}); err == nil {
+		t.Fatal("org policy naming a tenant should fail")
+	}
+	if err := h.Attach(PolicySpec{Name: "x", Scope: ScopeTenant, Chain: Chain{NAT}}); err == nil {
+		t.Fatal("tenant policy without tenant should fail")
+	}
+	if err := h.Attach(PolicySpec{Name: "x", Scope: ScopeClass, ClassID: 3, Chain: Chain{NAT}}); err == nil {
+		t.Fatal("class policy without tenant should fail")
+	}
+	if err := h.Attach(PolicySpec{Name: "x", Scope: Scope(9), Chain: Chain{NAT}}); err == nil {
+		t.Fatal("unknown scope should fail")
+	}
+	d, err := DAGFromChain(Chain{NAT})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Attach(PolicySpec{Name: "x", Scope: ScopeOrg, Chain: Chain{NAT}, DAG: d}); err == nil {
+		t.Fatal("both Chain and DAG should fail")
+	}
+	if err := h.Attach(PolicySpec{Name: "x", Scope: ScopeOrg}); err == nil {
+		t.Fatal("empty policy should fail")
+	}
+	if err := h.Attach(PolicySpec{Name: "x", Scope: ScopeOrg, AntiAffinity: []NFPair{{A: IDS, B: IDS}}}); err == nil {
+		t.Fatal("bad anti-affinity pair should fail")
+	}
+	if h.Len() != 1 {
+		t.Fatalf("Len = %d, want 1 (only the org baseline attached)", h.Len())
+	}
+}
+
+func TestHierarchyRepeatErrorNamesLayer(t *testing.T) {
+	h := NewHierarchy()
+	err := h.Attach(PolicySpec{Name: "tenant-web", Scope: ScopeTenant, Tenant: "acme",
+		Chain: Chain{Firewall, Proxy, Firewall}})
+	if err == nil {
+		t.Fatal("repeated NF in a layer chain should fail")
+	}
+	if !errors.Is(err, ErrRepeatedNF) {
+		t.Fatalf("error %v should wrap ErrRepeatedNF", err)
+	}
+	var re *RepeatError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v should carry a *RepeatError", err)
+	}
+	if re.Layer != "tenant-web" || re.NF != Firewall {
+		t.Fatalf("RepeatError = %+v, want layer tenant-web / firewall", re)
+	}
+	if !strings.Contains(err.Error(), "tenant-web") {
+		t.Fatalf("message should name the layer: %q", err)
+	}
+}
+
+func TestHierarchyCompileOverride(t *testing.T) {
+	h := NewHierarchy()
+	if err := h.Attach(orgDefault(t)); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Attach(PolicySpec{
+		Name: "acme-nat", Scope: ScopeTenant, Tenant: "acme",
+		Strategy: StrategyOverride, Chain: Chain{NAT, Firewall},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// Unmatched tenant: only the org default applies.
+	eff, err := h.Compile(Target{Tenant: "other", ClassID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eff.Chain.Equal(Chain{Firewall, IDS}) {
+		t.Fatalf("org-only chain = %v", eff.Chain)
+	}
+	// Matched tenant: the override replaces the org default entirely.
+	eff, err = h.Compile(Target{Tenant: "acme", ClassID: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eff.Chain.Equal(Chain{NAT, Firewall}) {
+		t.Fatalf("override chain = %v", eff.Chain)
+	}
+	if len(eff.Alternatives) != 1 {
+		t.Fatalf("a total-order override has one linearization, got %v", eff.Alternatives)
+	}
+	if got := eff.Layers; len(got) != 2 || got[0] != "org-baseline" || got[1] != "acme-nat" {
+		t.Fatalf("Layers = %v", got)
+	}
+}
+
+func TestHierarchyCompileMerge(t *testing.T) {
+	h := NewHierarchy()
+	if err := h.Attach(orgDefault(t)); err != nil {
+		t.Fatal(err)
+	}
+	// A tenant merge layer adds Proxy with IDS→Proxy precedence.
+	d, err := NewChainDAG()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.AddEdge(IDS, Proxy); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Attach(PolicySpec{
+		Name: "acme-proxy", Scope: ScopeTenant, Tenant: "acme",
+		Strategy: StrategyMerge, DAG: d,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eff, err := h.Compile(Target{Tenant: "acme", ClassID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !eff.Chain.Equal(Chain{Firewall, IDS, Proxy}) {
+		t.Fatalf("merged chain = %v", eff.Chain)
+	}
+	// firewall<ids, ids<proxy: the merged order is total again.
+	if len(eff.Alternatives) != 1 {
+		t.Fatalf("alternatives = %v", eff.Alternatives)
+	}
+	// A class-scoped merge with a partial order opens variants.
+	d2, err := NewChainDAG(NAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Attach(PolicySpec{
+		Name: "acme-7-nat", Scope: ScopeClass, Tenant: "acme", ClassID: 7,
+		Strategy: StrategyMerge, DAG: d2,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eff, err = h.Compile(Target{Tenant: "acme", ClassID: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.Chain) != 4 || !eff.Chain.Contains(NAT) {
+		t.Fatalf("class-merged chain = %v", eff.Chain)
+	}
+	if len(eff.Alternatives) < 2 {
+		t.Fatalf("NAT is unordered, want multiple linearizations, got %v", eff.Alternatives)
+	}
+	if !eff.Alternatives[0].Equal(eff.Chain) {
+		t.Fatalf("canonical chain %v must lead the alternatives %v", eff.Chain, eff.Alternatives)
+	}
+}
+
+func TestHierarchyAntiAffinityAccumulates(t *testing.T) {
+	h := NewHierarchy()
+	org := orgDefault(t)
+	org.AntiAffinity = []NFPair{{A: Proxy, B: IDS}}
+	if err := h.Attach(org); err != nil {
+		t.Fatal(err)
+	}
+	// An override layer replaces the chain but its own anti-affinity adds
+	// to — never replaces — the accumulated set.
+	if err := h.Attach(PolicySpec{
+		Name: "acme-full", Scope: ScopeTenant, Tenant: "acme",
+		Strategy: StrategyOverride, Chain: Chain{Firewall, NAT},
+		AntiAffinity: []NFPair{{A: Firewall, B: NAT}},
+	}); err != nil {
+		t.Fatal(err)
+	}
+	eff, err := h.Compile(Target{Tenant: "acme", ClassID: 0})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(eff.AntiAffinity) != 2 {
+		t.Fatalf("AntiAffinity = %v, want both pairs", eff.AntiAffinity)
+	}
+	if eff.AntiAffinity[0] != (NFPair{A: Firewall, B: NAT}) || eff.AntiAffinity[1] != (NFPair{A: Proxy, B: IDS}) {
+		t.Fatalf("AntiAffinity order = %v", eff.AntiAffinity)
+	}
+}
+
+func TestHierarchyCompileErrors(t *testing.T) {
+	h := NewHierarchy()
+	if _, err := h.Compile(Target{Tenant: "acme"}); err == nil {
+		t.Fatal("empty hierarchy should fail to compile")
+	}
+	// Anti-affinity-only layers cannot produce a chain.
+	if err := h.Attach(PolicySpec{Name: "aa", Scope: ScopeOrg,
+		AntiAffinity: []NFPair{{A: Proxy, B: IDS}}}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Compile(Target{Tenant: "acme"}); err == nil {
+		t.Fatal("anti-affinity-only hierarchy should fail to compile")
+	}
+	// Emergent cycle: two merge layers with opposite edges.
+	a, err := DAGFromChain(Chain{Firewall, IDS})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := DAGFromChain(Chain{IDS, Firewall})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Attach(PolicySpec{Name: "m1", Scope: ScopeOrg, DAG: a}); err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Attach(PolicySpec{Name: "m2", Scope: ScopeOrg, DAG: b}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = h.Compile(Target{Tenant: "acme"})
+	if !errors.Is(err, ErrCycle) {
+		t.Fatalf("want ErrCycle, got %v", err)
+	}
+	if !strings.Contains(err.Error(), "m1") || !strings.Contains(err.Error(), "m2") {
+		t.Fatalf("cycle error should name the contributing layers: %q", err)
+	}
+}
+
+// randomSpecs builds a seeded random set of policy layers across all three
+// scopes, with chains drawn from CommonChains, random strategies, and
+// occasional anti-affinity pairs.
+func randomSpecs(t *testing.T, rng *rand.Rand) []PolicySpec {
+	t.Helper()
+	chains := CommonChains()
+	tenants := []string{"acme", "globex"}
+	n := 2 + rng.Intn(5)
+	specs := make([]PolicySpec, 0, n+1)
+	// Always one org default so every target compiles.
+	specs = append(specs, PolicySpec{
+		Name: "org-0", Scope: ScopeOrg,
+		Chain: chains[rng.Intn(len(chains))].Clone(),
+	})
+	for i := 0; i < n; i++ {
+		s := PolicySpec{
+			Name:     "p-" + string(rune('a'+i)),
+			Strategy: MergeStrategy(rng.Intn(2)),
+		}
+		switch rng.Intn(3) {
+		case 0:
+			s.Scope = ScopeOrg
+		case 1:
+			s.Scope = ScopeTenant
+			s.Tenant = tenants[rng.Intn(len(tenants))]
+		default:
+			s.Scope = ScopeClass
+			s.Tenant = tenants[rng.Intn(len(tenants))]
+			s.ClassID = rng.Intn(3)
+		}
+		if rng.Float64() < 0.8 {
+			s.Chain = chains[rng.Intn(len(chains))].Clone()
+		}
+		if rng.Float64() < 0.4 {
+			p, err := NewNFPair(Proxy, IDS)
+			if err != nil {
+				t.Fatal(err)
+			}
+			s.AntiAffinity = []NFPair{p}
+		}
+		if len(s.Chain) == 0 && len(s.AntiAffinity) == 0 {
+			s.Chain = chains[0].Clone()
+		}
+		specs = append(specs, s)
+	}
+	return specs
+}
+
+// TestHierarchyOrderIndependence is the merge/override determinism
+// property: over 200 seeds, attaching the same policy set in shuffled
+// orders compiles every target to an identical effective policy —
+// StrategyMerge is a union (commutative) and conflicts between layers are
+// resolved by the (scope, name) fold order, never by attachment order.
+func TestHierarchyOrderIndependence(t *testing.T) {
+	targets := []Target{
+		{Tenant: "acme", ClassID: 0}, {Tenant: "acme", ClassID: 1},
+		{Tenant: "globex", ClassID: 2}, {Tenant: "", ClassID: 0},
+	}
+	for seed := int64(0); seed < 200; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		specs := randomSpecs(t, rng)
+
+		compile := func(order []int) map[Target]*EffectivePolicy {
+			h := NewHierarchy()
+			for _, i := range order {
+				if err := h.Attach(specs[i]); err != nil {
+					t.Fatalf("seed %d: attach %q: %v", seed, specs[i].Name, err)
+				}
+			}
+			out := make(map[Target]*EffectivePolicy, len(targets))
+			for _, tgt := range targets {
+				eff, err := h.Compile(tgt)
+				if err != nil {
+					// Emergent cycles are a legitimate compile outcome for
+					// random layer sets; they must at least be deterministic.
+					if !errors.Is(err, ErrCycle) {
+						t.Fatalf("seed %d: compile %v: %v", seed, tgt, err)
+					}
+					out[tgt] = nil
+					continue
+				}
+				out[tgt] = eff
+			}
+			return out
+		}
+
+		base := make([]int, len(specs))
+		for i := range base {
+			base[i] = i
+		}
+		want := compile(base)
+		for trial := 0; trial < 3; trial++ {
+			shuffled := append([]int(nil), base...)
+			rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+			got := compile(shuffled)
+			for _, tgt := range targets {
+				w, g := want[tgt], got[tgt]
+				if (w == nil) != (g == nil) {
+					t.Fatalf("seed %d trial %d target %v: cycle outcome differs with attachment order", seed, trial, tgt)
+				}
+				if w == nil {
+					continue
+				}
+				if !g.Chain.Equal(w.Chain) {
+					t.Fatalf("seed %d trial %d target %v: chain %v != %v under shuffled attachment",
+						seed, trial, tgt, g.Chain, w.Chain)
+				}
+				if len(g.Alternatives) != len(w.Alternatives) {
+					t.Fatalf("seed %d trial %d target %v: alternative counts differ", seed, trial, tgt)
+				}
+				for k := range g.Alternatives {
+					if !g.Alternatives[k].Equal(w.Alternatives[k]) {
+						t.Fatalf("seed %d trial %d target %v: alternative %d differs", seed, trial, tgt, k)
+					}
+				}
+				if len(g.AntiAffinity) != len(w.AntiAffinity) {
+					t.Fatalf("seed %d trial %d target %v: anti-affinity sets differ", seed, trial, tgt)
+				}
+				for k := range g.AntiAffinity {
+					if g.AntiAffinity[k] != w.AntiAffinity[k] {
+						t.Fatalf("seed %d trial %d target %v: anti-affinity %d differs", seed, trial, tgt, k)
+					}
+				}
+				for k := range g.Layers {
+					if g.Layers[k] != w.Layers[k] {
+						t.Fatalf("seed %d trial %d target %v: layer order differs", seed, trial, tgt)
+					}
+				}
+			}
+		}
+	}
+}

@@ -139,9 +139,13 @@ func SpecOf(nf NF) (Spec, error) {
 type Chain []NF
 
 // Validate checks that the chain is non-empty, all NFs are defined, and no
-// NF type repeats (the data plane disambiguates hops by vSwitch in-port,
-// which requires each instance — and, conservatively, each type — to appear
-// once; §V-B).
+// NF type repeats. The restriction is not a data-plane limit — with
+// tagging installed, §V-B's vSwitch in-port disambiguation is
+// per-*instance*, so a repeated type would steer fine — it is a modeling
+// one: the engine's placement variables and the controller's instance
+// pools are keyed by NF *type*, so a chain visiting the same type twice
+// has no distinct second hop to place. Repeats wrap ErrRepeatedNF so
+// hierarchy compilation can report which layer introduced one.
 func (c Chain) Validate() error {
 	if len(c) == 0 {
 		return errors.New("policy: empty chain")
@@ -152,7 +156,7 @@ func (c Chain) Validate() error {
 			return fmt.Errorf("policy: chain position %d: unknown NF %v", i, nf)
 		}
 		if seen[nf] {
-			return fmt.Errorf("policy: chain repeats %v", nf)
+			return fmt.Errorf("policy: chain: %w", &RepeatError{NF: nf})
 		}
 		seen[nf] = true
 	}
@@ -284,14 +288,23 @@ func NewGenerator(seed int64, chains []Chain) (*Generator, error) {
 	for i := range cum {
 		cum[i] /= total
 	}
+	// Pin the last boundary exactly: total/total can round below 1.0, and
+	// Float64 draws in [0,1), so a drifted last bucket would silently send
+	// near-1.0 draws to the *least*-popular chain via a fallthrough.
+	cum[len(cum)-1] = 1.0
 	return &Generator{rng: rand.New(rand.NewSource(seed)), chains: cloned, cum: cum}, nil
 }
 
 // Next returns the chain for the next flow class.
-func (g *Generator) Next() Chain {
-	u := g.rng.Float64()
-	for i, c := range g.cum {
-		if u <= c {
+func (g *Generator) Next() Chain { return g.pick(g.rng.Float64()) }
+
+// pick maps a draw u ∈ [0,1) to its popularity bucket. Bucket i covers
+// (cum[i-1], cum[i]]; the last bucket is explicitly half-open to 1.0, so
+// every draw lands in exactly one bucket even when normalization rounding
+// left cum's final entry below 1.0.
+func (g *Generator) pick(u float64) Chain {
+	for i := 0; i < len(g.cum)-1; i++ {
+		if u <= g.cum[i] {
 			return g.chains[i].Clone()
 		}
 	}

@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"errors"
 	"strings"
 	"testing"
 )
@@ -239,6 +240,82 @@ func TestGeneratorRejectsBadChains(t *testing.T) {
 	}
 	if _, err := NewGenerator(1, []Chain{{NF(77)}}); err == nil {
 		t.Fatal("invalid NF should be rejected")
+	}
+}
+
+func TestGeneratorLastBucketBoundary(t *testing.T) {
+	g, err := NewGenerator(3, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Normalization must pin the final boundary exactly, not at
+	// total/total (which can round below 1.0).
+	if last := g.cum[len(g.cum)-1]; last != 1.0 {
+		t.Fatalf("cum[last] = %v, want exactly 1.0", last)
+	}
+	chains := CommonChains()
+	least := chains[len(chains)-1]
+	// A draw at the very top of [0,1) belongs to the last bucket — the
+	// least-popular chain — deliberately, not via a fallthrough.
+	for _, u := range []float64{1 - 1e-16, 0.999999, 1.0} {
+		if got := g.pick(u); !got.Equal(least) {
+			t.Fatalf("pick(%v) = %v, want %v", u, got, least)
+		}
+	}
+	if got := g.pick(0); !got.Equal(chains[0]) {
+		t.Fatalf("pick(0) = %v, want %v", got, chains[0])
+	}
+	// Even a drifted final boundary (the pre-fix hazard) must route a
+	// near-1.0 draw into the last bucket.
+	g.cum[len(g.cum)-1] = 1 - 1e-12
+	if got := g.pick(1 - 1e-16); !got.Equal(least) {
+		t.Fatalf("pick above drifted boundary = %v, want %v", got, least)
+	}
+}
+
+func TestGeneratorSingleChain(t *testing.T) {
+	only := Chain{Firewall, IDS}
+	g, err := NewGenerator(11, []Chain{only})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.cum[0] != 1.0 {
+		t.Fatalf("single-chain cum = %v, want [1.0]", g.cum)
+	}
+	for _, u := range []float64{0, 0.5, 1 - 1e-16} {
+		if got := g.pick(u); !got.Equal(only) {
+			t.Fatalf("pick(%v) = %v, want %v", u, got, only)
+		}
+	}
+	for i := 0; i < 100; i++ {
+		if !g.Next().Equal(only) {
+			t.Fatalf("draw %d escaped a single-chain generator", i)
+		}
+	}
+}
+
+func TestChainValidateRepeatError(t *testing.T) {
+	err := (Chain{Firewall, IDS, Firewall}).Validate()
+	if err == nil {
+		t.Fatal("repeated NF should fail")
+	}
+	if !errors.Is(err, ErrRepeatedNF) {
+		t.Fatalf("error %v should wrap ErrRepeatedNF", err)
+	}
+	var re *RepeatError
+	if !errors.As(err, &re) {
+		t.Fatalf("error %v should be a *RepeatError", err)
+	}
+	if re.NF != Firewall || re.Layer != "" {
+		t.Fatalf("RepeatError = %+v, want NF=firewall with no layer", re)
+	}
+	// The message must explain the modeling restriction, not §V-B's
+	// per-instance in-port disambiguation (tagging handles that).
+	if strings.Contains(err.Error(), "in-port") {
+		t.Fatalf("message still cites in-port disambiguation: %q", err)
+	}
+	if !strings.Contains(err.Error(), "firewall") {
+		t.Fatalf("message should name the repeated NF: %q", err)
 	}
 }
 

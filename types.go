@@ -81,6 +81,53 @@ const (
 	IDS      = policy.IDS
 )
 
+// Hierarchical policy machine (DESIGN.md §18).
+type (
+	// PolicyHierarchy is an attachment set of scoped policies compiled
+	// into effective chains per class.
+	PolicyHierarchy = policy.Hierarchy
+	// PolicySpec is one scoped layer: a chain spec (total or partial
+	// order), a merge strategy, and anti-affinity pairs.
+	PolicySpec = policy.PolicySpec
+	// PolicyTarget addresses one class during compilation.
+	PolicyTarget = policy.Target
+	// EffectivePolicy is the compiled result for one target.
+	EffectivePolicy = policy.EffectivePolicy
+	// ChainDAG is a partial order of NF precedence.
+	ChainDAG = policy.ChainDAG
+	// NFPair is a normalized anti-affinity pair (the two NFs must not
+	// share an APPLE host).
+	NFPair = policy.NFPair
+	// MergeStrategy selects how a layer combines with the layers above.
+	MergeStrategy = policy.MergeStrategy
+	// PolicyScope is the attachment level of a layer.
+	PolicyScope = policy.Scope
+)
+
+// Policy scopes and merge strategies.
+const (
+	ScopeOrg         = policy.ScopeOrg
+	ScopeTenant      = policy.ScopeTenant
+	ScopeClass       = policy.ScopeClass
+	StrategyMerge    = policy.StrategyMerge
+	StrategyOverride = policy.StrategyOverride
+)
+
+// NewPolicyHierarchy returns an empty hierarchy.
+func NewPolicyHierarchy() *PolicyHierarchy { return policy.NewHierarchy() }
+
+// NewChainDAG builds a partial order over the given NF nodes.
+func NewChainDAG(nfs ...NF) (*ChainDAG, error) { return policy.NewChainDAG(nfs...) }
+
+// NewNFPair normalizes an anti-affinity pair.
+func NewNFPair(a, b NF) (NFPair, error) { return policy.NewNFPair(a, b) }
+
+// ApplyHierarchy compiles the hierarchy for every class of a problem,
+// setting effective chains, chain alternatives, and exclusions.
+func ApplyHierarchy(p *Problem, h *PolicyHierarchy, tenants map[ClassID]string) error {
+	return core.ApplyHierarchy(p, h, tenants)
+}
+
 // Catalogue returns the Table IV datasheet.
 func Catalogue() []NFSpec { return policy.Catalogue() }
 
